@@ -1,0 +1,69 @@
+//! Ablation benches for Sparta's design choices (DESIGN.md §6):
+//! segment size (lazy-UB granularity), Φ (term-local map threshold).
+//! pNRA itself — the all-optimizations-off ablation — is benched in
+//! `algorithms.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparta_bench::{Dataset, Scale, VariantParams};
+use sparta_core::sparta::Sparta;
+use sparta_core::Algorithm;
+use sparta_exec::DedicatedExecutor;
+use std::time::Duration;
+
+fn ensure_scale() {
+    if std::env::var_os("SPARTA_DOCS").is_none() {
+        let docs = std::env::var("SPARTA_BENCH_DOCS").unwrap_or_else(|_| "5000".into());
+        std::env::set_var("SPARTA_DOCS", docs);
+    }
+}
+
+/// Segment-size sweep: seg = 1 is the per-posting-UB ablation.
+fn bench_seg_size(c: &mut Criterion) {
+    ensure_scale();
+    let ds = Dataset::cached(Scale::Cw);
+    let exec = DedicatedExecutor::new(4);
+    let queries = ds.queries_of_length(12, 6).to_vec();
+    let mut g = c.benchmark_group("ablation_seg_size");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for seg in [1usize, 64, 1024, 16384] {
+        let cfg = VariantParams::exact().config(ds.k).with_seg_size(seg);
+        g.bench_with_input(BenchmarkId::from_parameter(seg), &seg, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                Sparta.search(&ds.index, q, &cfg, &exec)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Φ sweep: Φ = 0 disables term-local maps entirely.
+fn bench_phi(c: &mut Criterion) {
+    ensure_scale();
+    let ds = Dataset::cached(Scale::Cw);
+    let exec = DedicatedExecutor::new(4);
+    let queries = ds.queries_of_length(12, 6).to_vec();
+    let mut g = c.benchmark_group("ablation_phi");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for phi in [0usize, 1_000, 10_000, 100_000] {
+        let cfg = VariantParams::exact().config(ds.k).with_phi(phi);
+        g.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                Sparta.search(&ds.index, q, &cfg, &exec)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_seg_size, bench_phi);
+criterion_main!(benches);

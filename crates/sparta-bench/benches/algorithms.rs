@@ -1,0 +1,73 @@
+//! Criterion benches for Tables 2–3 / Figures 3a–3e: per-algorithm
+//! query latency, exact and high-recall variants, by query length.
+//!
+//! Scale via `SPARTA_BENCH_DOCS` (default 5 000 so `cargo bench`
+//! terminates quickly; raise it for meaningful absolute numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparta_bench::{Dataset, Scale, VariantParams};
+use sparta_core::algorithm_by_name;
+use sparta_exec::DedicatedExecutor;
+use std::time::Duration;
+
+fn ensure_scale() {
+    if std::env::var_os("SPARTA_DOCS").is_none() {
+        let docs = std::env::var("SPARTA_BENCH_DOCS").unwrap_or_else(|_| "5000".into());
+        std::env::set_var("SPARTA_DOCS", docs);
+    }
+}
+
+/// Table 2: exact variants, 12-term queries.
+fn bench_exact(c: &mut Criterion) {
+    ensure_scale();
+    let ds = Dataset::cached(Scale::Cw);
+    let exec = DedicatedExecutor::new(4);
+    let cfg = VariantParams::exact().config(ds.k);
+    let queries = ds.queries_of_length(12, 8).to_vec();
+    let mut g = c.benchmark_group("table2_exact_latency");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for name in ["sparta", "pnra", "snra", "pra", "pbmw", "pjass"] {
+        let algo = algorithm_by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                algo.search(&ds.index, q, &cfg, &exec)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figures 3a/3d: high-recall variants across query lengths.
+fn bench_high_recall_by_length(c: &mut Criterion) {
+    ensure_scale();
+    let ds = Dataset::cached(Scale::Cw);
+    let exec = DedicatedExecutor::new(4);
+    let cfg = VariantParams::high().config(ds.k);
+    let mut g = c.benchmark_group("fig3_latency_by_terms");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for name in ["sparta", "pbmw", "pjass"] {
+        let algo = algorithm_by_name(name).unwrap();
+        for m in [2usize, 6, 12] {
+            let queries = ds.queries_of_length(m, 8).to_vec();
+            g.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    algo.search(&ds.index, q, &cfg, &exec)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_high_recall_by_length);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Substrate micro-benches: the striped map against a single-mutex
+//! map (the paper's granular-lock claim, §4.3), heap offers, swap-cell
+//! snapshots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parking_lot::Mutex;
+use sparta_collections::{BoundedTopK, StripedMap, SwapCell};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Striped map vs one big mutex, under concurrent mixed load.
+fn bench_striped_vs_mutex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("striped_map_vs_single_mutex");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    const OPS: u32 = 20_000;
+    const THREADS: usize = 4;
+
+    for stripes in [1usize, 8, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("striped", stripes),
+            &stripes,
+            |b, &stripes| {
+                b.iter(|| {
+                    let map: Arc<StripedMap<u32, u32>> =
+                        Arc::new(StripedMap::with_stripes(stripes));
+                    std::thread::scope(|s| {
+                        for t in 0..THREADS as u32 {
+                            let map = Arc::clone(&map);
+                            s.spawn(move || {
+                                for i in 0..OPS {
+                                    let k = i.wrapping_mul(2654435761).wrapping_add(t) % 4096;
+                                    if i % 4 == 0 {
+                                        map.insert(k, i);
+                                    } else {
+                                        std::hint::black_box(map.get(&k));
+                                    }
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    g.bench_function("single_mutex_hashmap", |b| {
+        b.iter(|| {
+            let map: Arc<Mutex<HashMap<u32, u32>>> = Arc::new(Mutex::new(HashMap::new()));
+            std::thread::scope(|s| {
+                for t in 0..THREADS as u32 {
+                    let map = Arc::clone(&map);
+                    s.spawn(move || {
+                        for i in 0..OPS {
+                            let k = i.wrapping_mul(2654435761).wrapping_add(t) % 4096;
+                            if i % 4 == 0 {
+                                map.lock().insert(k, i);
+                            } else {
+                                std::hint::black_box(map.lock().get(&k).copied());
+                            }
+                        }
+                    });
+                }
+            });
+        });
+    });
+    g.finish();
+}
+
+/// Heap offer cost at the paper's k = 1000.
+fn bench_heap_offers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topk_heap_offers");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g.bench_function("bounded_topk_k1000_100k_offers", |b| {
+        b.iter(|| {
+            let mut h = BoundedTopK::new(1000);
+            let mut x = 1u64;
+            for i in 0..100_000u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                h.offer(x % 1_000_000, i);
+            }
+            std::hint::black_box(h.threshold())
+        });
+    });
+    g.finish();
+}
+
+/// Swap-cell snapshot cost under a concurrent swinger (the cleaner's
+/// pointer swing pattern).
+fn bench_swap_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swap_cell");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g.bench_function("load_under_swings", |b| {
+        let cell = Arc::new(SwapCell::new(vec![0u64; 1024]));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let swinger = {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    cell.store(vec![1u64; 1024]);
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            })
+        };
+        b.iter(|| std::hint::black_box(cell.load().len()));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = swinger.join();
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_striped_vs_mutex, bench_heap_offers, bench_swap_cell);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for Figures 3h/3i: 12-term query latency as a
+//! function of intra-query parallelism.
+//!
+//! Note: on a single-core host thread sweeps measure scheduling
+//! overhead, not hardware speedup — the work-based invariance (same
+//! results at every thread count) is verified by the integration
+//! tests; the wall-clock sweep is still reported for completeness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparta_bench::{Dataset, Scale, VariantParams};
+use sparta_core::algorithm_by_name;
+use sparta_exec::DedicatedExecutor;
+use std::time::Duration;
+
+fn ensure_scale() {
+    if std::env::var_os("SPARTA_DOCS").is_none() {
+        let docs = std::env::var("SPARTA_BENCH_DOCS").unwrap_or_else(|_| "5000".into());
+        std::env::set_var("SPARTA_DOCS", docs);
+    }
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    ensure_scale();
+    let ds = Dataset::cached(Scale::Cw);
+    let cfg = VariantParams::high().config(ds.k);
+    let queries = ds.queries_of_length(12, 8).to_vec();
+    let mut g = c.benchmark_group("fig3h_parallelism");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for name in ["sparta", "pbmw"] {
+        let algo = algorithm_by_name(name).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let exec = DedicatedExecutor::new(threads);
+            g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    algo.search(&ds.index, q, &cfg, &exec)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_thread_sweep);
+criterion_main!(benches);

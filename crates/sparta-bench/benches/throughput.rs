@@ -1,0 +1,71 @@
+//! Criterion bench for Table 4 / Figure 4: throughput on the shared
+//! FCFS worker pool, voice-query mix and fixed-length batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparta_bench::{Dataset, Scale, VariantParams};
+use sparta_core::algorithm_by_name;
+use sparta_exec::WorkerPool;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn ensure_scale() {
+    if std::env::var_os("SPARTA_DOCS").is_none() {
+        let docs = std::env::var("SPARTA_BENCH_DOCS").unwrap_or_else(|_| "5000".into());
+        std::env::set_var("SPARTA_DOCS", docs);
+    }
+}
+
+/// Table 4: voice-query mix through a shared pool.
+fn bench_voice_mix(c: &mut Criterion) {
+    ensure_scale();
+    let ds = Dataset::cached(Scale::Cw);
+    let cfg = VariantParams::high().config(ds.k);
+    let mix = ds.queries.voice_mix(16, 99);
+    let pool = Arc::new(WorkerPool::new(4));
+    let mut g = c.benchmark_group("table4_throughput_voice_mix");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(mix.len() as u64));
+    for name in ["sparta", "pra", "pbmw", "pjass"] {
+        let algo = algorithm_by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for q in &mix {
+                    algo.search(&ds.index, q, &cfg, pool.as_ref());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 4: fixed-length batches.
+fn bench_by_length(c: &mut Criterion) {
+    ensure_scale();
+    let ds = Dataset::cached(Scale::Cw);
+    let cfg = VariantParams::high().config(ds.k);
+    let pool = Arc::new(WorkerPool::new(4));
+    let mut g = c.benchmark_group("fig4_throughput_by_terms");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for name in ["sparta", "pbmw"] {
+        let algo = algorithm_by_name(name).unwrap();
+        for m in [2usize, 6, 12] {
+            let batch = ds.queries_of_length(m, 8).to_vec();
+            g.throughput(Throughput::Elements(batch.len() as u64));
+            g.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
+                b.iter(|| {
+                    for q in &batch {
+                        algo.search(&ds.index, q, &cfg, pool.as_ref());
+                    }
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_voice_mix, bench_by_length);
+criterion_main!(benches);

@@ -1,0 +1,489 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation (§5) at this reproduction's scale.
+//!
+//! ```sh
+//! cargo run --release -p sparta-bench --bin repro -- <experiment>
+//! ```
+//!
+//! Experiments: `table2 table3 table4 fig3a fig3b fig3c fig3d fig3e
+//! fig3f fig3g fig3h fig3i fig4 ablations ramdisk all`
+//!
+//! Environment:
+//! * `SPARTA_DOCS`    — base corpus size (default 20 000; CWX10 = 10×)
+//! * `SPARTA_QUERIES` — queries per cell   (default 20; paper uses 100)
+//! * `SPARTA_THREADS` — worker threads     (default 4; paper uses 12)
+
+use sparta_bench::{Dataset, LatencyStats, Scale, VariantParams};
+use sparta_core::recall::{recall_dynamics, time_to_recall};
+use sparta_core::{algorithm_by_name, Algorithm};
+use sparta_exec::DedicatedExecutor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn threads() -> usize {
+    std::env::var("SPARTA_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+fn queries_per_cell() -> usize {
+    std::env::var("SPARTA_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20)
+}
+
+fn algo(name: &str) -> Arc<dyn Algorithm> {
+    algorithm_by_name(name).unwrap_or_else(|| panic!("unknown algorithm {name}"))
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+fn cell(
+    ds: &Dataset,
+    name: &str,
+    m: usize,
+    params: &VariantParams,
+    t: usize,
+    recall: bool,
+) -> LatencyStats {
+    let qs: Vec<_> = ds.queries_of_length(m, queries_per_cell()).to_vec();
+    sparta_bench::measure::run_latency(ds, algo(name).as_ref(), &qs, params, t, recall)
+}
+
+/// Table 2: mean latency of 12-term queries, exact algorithms.
+fn table2() {
+    println!(
+        "== Table 2: mean exact latency (ms), 12-term queries, {} threads ==",
+        threads()
+    );
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "corpus", "sparta", "pnra", "snra", "pra", "pbmw", "pjass"
+    );
+    for scale in [Scale::Cw, Scale::CwX10] {
+        let ds = Dataset::cached(scale);
+        print!("{:>6}", scale.name());
+        for name in ["sparta", "pnra", "snra", "pra", "pbmw", "pjass"] {
+            let s = cell(ds, name, 12, &VariantParams::exact(), threads(), false);
+            print!(" {:>9}", fmt_ms(s.mean()));
+        }
+        println!();
+    }
+    println!(
+        "(paper, 50M/500M docs: Sparta 860/12010, pNRA 13291/OOM, sNRA 5553/56223, \
+         pRA 480/7410, pBMW 750/10210, pJASS 54343/OOM)"
+    );
+}
+
+/// Table 3: recall of the approximate variants, 12-term queries.
+fn table3() {
+    println!("== Table 3: recall of approximate variants, 12-term queries ==");
+    let high = VariantParams::high();
+    let low = VariantParams::low();
+    println!(
+        "calibrated params: Δ={:?}, f(high/low)={}/{}, p(high/low)={}/{}",
+        high.delta.unwrap(),
+        high.bmw_f,
+        low.bmw_f,
+        high.jass_p,
+        low.jass_p
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
+        "corpus",
+        "sparta-high",
+        "pra-high",
+        "pnra-high",
+        "snra-high",
+        "pbmw-high",
+        "pbmw-low",
+        "pjass-high",
+        "pjass-low"
+    );
+    for scale in [Scale::Cw, Scale::CwX10] {
+        let ds = Dataset::cached(scale);
+        print!("{:>6}", scale.name());
+        let cells: [(&str, &VariantParams, usize); 8] = [
+            ("sparta", &high, 12),
+            ("pra", &high, 10),
+            ("pnra", &high, 10),
+            ("snra", &high, 10),
+            ("pbmw", &high, 10),
+            ("pbmw", &low, 10),
+            ("pjass", &high, 11),
+            ("pjass", &low, 10),
+        ];
+        for (name, params, width) in cells {
+            let s = cell(ds, name, 12, params, threads(), true);
+            print!(" {:>w$.1}%", 100.0 * s.mean_recall, w = width - 1);
+        }
+        println!();
+    }
+    println!("(paper CW: 97.5 / 98.5 / 98.5 / 99 / 97.5 / 80 / 96 / 93)");
+}
+
+/// Table 4: throughput (qps) on the voice-query mix, shared pool.
+fn table4() {
+    println!(
+        "== Table 4: throughput (qps), voice-query mix, {}-thread shared pool ==",
+        threads()
+    );
+    let n_mix = (queries_per_cell() * 5).max(40);
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9}",
+        "corpus", "sparta", "pra", "pbmw", "pjass"
+    );
+    for scale in [Scale::Cw, Scale::CwX10] {
+        let ds = Dataset::cached(scale);
+        let mix = ds.queries.voice_mix(n_mix, 99);
+        print!("{:>6}", scale.name());
+        for name in ["sparta", "pra", "pbmw", "pjass"] {
+            let qps = sparta_bench::measure::run_throughput(
+                ds,
+                algo(name).as_ref(),
+                &mix,
+                &VariantParams::high(),
+                threads(),
+            );
+            print!(" {qps:>9.2}");
+        }
+        println!();
+    }
+    println!("(paper CW: 12.5 / 10.9 / 5.95 / 10.8; CWX10: 9.6 / 1.8 / 0.38 / N/A)");
+}
+
+/// Figures 3a/3b (CW) and 3c (CWX10): latency vs query length.
+fn fig3_latency(scale: Scale, p95: bool, tag: &str) {
+    let ds = Dataset::cached(scale);
+    let stat = if p95 { "p95" } else { "mean" };
+    println!(
+        "== Fig {tag}: {stat} latency (ms) vs #terms, {}, high-recall, m threads ==",
+        scale.name()
+    );
+    let names = ["sparta", "pra", "pnra", "snra", "pbmw", "pjass"];
+    print!("{:>6}", "terms");
+    for n in names {
+        print!(" {n:>9}");
+    }
+    println!();
+    for m in [1usize, 2, 4, 6, 8, 10, 12] {
+        print!("{m:>6}");
+        for name in names {
+            let s = cell(ds, name, m, &VariantParams::high(), m.min(threads()), false);
+            let v = if p95 { s.percentile(0.95) } else { s.mean() };
+            print!(" {:>9}", fmt_ms(v));
+        }
+        println!();
+    }
+}
+
+/// Figures 3d/3e: Sparta-high vs low-recall pBMW/pJASS.
+fn fig3_low(scale: Scale, p95: bool, tag: &str) {
+    let ds = Dataset::cached(scale);
+    let stat = if p95 { "p95" } else { "mean" };
+    println!(
+        "== Fig {tag}: {stat} latency (ms) vs #terms, {}: sparta-high vs low-recall ==",
+        scale.name()
+    );
+    println!(
+        "{:>6} {:>12} {:>9} {:>9}",
+        "terms", "sparta-high", "pbmw-low", "pjass-low"
+    );
+    for m in [1usize, 2, 4, 6, 8, 10, 12] {
+        let sh = cell(ds, "sparta", m, &VariantParams::high(), m.min(threads()), false);
+        let bl = cell(ds, "pbmw", m, &VariantParams::low(), m.min(threads()), false);
+        let jl = cell(ds, "pjass", m, &VariantParams::low(), m.min(threads()), false);
+        let v = |s: &LatencyStats| if p95 { s.percentile(0.95) } else { s.mean() };
+        println!(
+            "{m:>6} {:>12} {:>9} {:>9}",
+            fmt_ms(v(&sh)),
+            fmt_ms(v(&bl)),
+            fmt_ms(v(&jl))
+        );
+    }
+}
+
+/// Figures 3f/3g: recall dynamics over elapsed time, 12-term queries.
+fn fig3_dynamics(scale: Scale, tag: &str) {
+    let ds = Dataset::cached(scale);
+    println!(
+        "== Fig {tag}: recall vs elapsed time, 12-term query, {} ==",
+        scale.name()
+    );
+    let q = &ds.queries_of_length(12, 1)[0];
+    let oracle = ds.oracle(q);
+    let exec = DedicatedExecutor::new(threads());
+    let samples = 16;
+    // Exact versions for Sparta/pRA/pJASS ("identical to the
+    // respective exact versions until they stop", §5.3); pBMW in all
+    // three variants.
+    let runs: Vec<(&str, &str, VariantParams)> = vec![
+        ("sparta", "exact", VariantParams::exact().with_trace()),
+        ("pra", "exact", VariantParams::exact().with_trace()),
+        ("pjass", "exact", VariantParams::exact().with_trace()),
+        ("pbmw", "exact", VariantParams::exact().with_trace()),
+        ("pbmw", "high", VariantParams::high().with_trace()),
+        ("pbmw", "low", VariantParams::low().with_trace()),
+    ];
+    for (name, label, params) in runs {
+        let r = algo(name).search(&ds.index, q, &params.config(ds.k), &exec);
+        let trace = r.trace.clone().unwrap_or_default();
+        let horizon = r.elapsed.max(Duration::from_micros(200));
+        let curve = recall_dynamics(&trace, &oracle, horizon, samples);
+        print!("{name:>7}-{label:<5} |");
+        for (_, rec) in &curve {
+            print!(
+                "{}",
+                match (rec * 10.0) as u32 {
+                    0 => ' ',
+                    1..=2 => '.',
+                    3..=5 => 'o',
+                    6..=8 => 'O',
+                    _ => '#',
+                }
+            );
+        }
+        let t80 = time_to_recall(&curve, 0.8)
+            .map(|t| format!("80% @ {}ms", fmt_ms(t)))
+            .unwrap_or_else(|| "80% not reached".into());
+        println!(
+            "| total {}ms, {t80}, final {:.1}%",
+            fmt_ms(r.elapsed),
+            100.0 * oracle.recall(&r.docs())
+        );
+    }
+    println!(
+        "( ' '<10% '.'<30% 'o'<60% 'O'<90% '#'>=90%, {samples} samples over each run )"
+    );
+}
+
+/// Figures 3h/3i: latency vs intra-query parallelism, 12-term queries.
+fn fig3_parallelism(scale: Scale, tag: &str) {
+    let ds = Dataset::cached(scale);
+    println!(
+        "== Fig {tag}: mean latency (ms) vs #threads, 12-term queries, {} ==",
+        scale.name()
+    );
+    println!(
+        "  [note: this host has {} hardware core(s) — thread-count scaling measures",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    println!("   scheduling overhead here, not hardware parallelism; see EXPERIMENTS.md]");
+    let names = ["sparta", "pra", "pbmw", "pjass"];
+    print!("{:>8}", "threads");
+    for n in names {
+        print!(" {n:>9}");
+    }
+    println!();
+    for t in [1usize, 2, 4, 8, 12] {
+        print!("{t:>8}");
+        for name in names {
+            let s = cell(ds, name, 12, &VariantParams::high(), t, false);
+            print!(" {:>9}", fmt_ms(s.mean()));
+        }
+        println!();
+    }
+}
+
+/// Figure 4: throughput vs query length (CW).
+fn fig4() {
+    let ds = Dataset::cached(Scale::Cw);
+    println!(
+        "== Fig 4: throughput (qps) vs #terms, CW, {}-thread pool ==",
+        threads()
+    );
+    let names = ["sparta", "pra", "pbmw", "pjass"];
+    print!("{:>6}", "terms");
+    for n in names {
+        print!(" {n:>9}");
+    }
+    println!();
+    for m in [1usize, 2, 4, 6, 8, 10, 12] {
+        let qs: Vec<_> = ds.queries_of_length(m, queries_per_cell()).to_vec();
+        print!("{m:>6}");
+        for name in names {
+            let qps = sparta_bench::measure::run_throughput(
+                ds,
+                algo(name).as_ref(),
+                &qs,
+                &VariantParams::high(),
+                threads(),
+            );
+            print!(" {qps:>9.2}");
+        }
+        println!();
+    }
+}
+
+/// Ablations: Sparta's design choices isolated (DESIGN.md §6).
+fn ablations() {
+    let ds = Dataset::cached(Scale::Cw);
+    let m = 12;
+    let t = threads();
+    let qs: Vec<_> = ds.queries_of_length(m, queries_per_cell()).to_vec();
+    let run = |label: &str,
+               cfg_fn: &dyn Fn(sparta_core::SearchConfig) -> sparta_core::SearchConfig| {
+        let exec = DedicatedExecutor::new(t);
+        let base = VariantParams::exact().config(ds.k);
+        let cfg = cfg_fn(base);
+        let mut times = Vec::new();
+        let mut postings = 0u64;
+        let mut peak = 0u64;
+        for q in &qs {
+            let t0 = std::time::Instant::now();
+            let r = algo("sparta").search(&ds.index, q, &cfg, &exec);
+            times.push(t0.elapsed());
+            postings += r.work.postings_scanned;
+            peak = peak.max(r.work.docmap_peak);
+        }
+        times.sort();
+        println!(
+            "{label:>30}: mean {:>8}ms  postings/q {:>10}  docmap-peak {:>8}",
+            fmt_ms(times.iter().sum::<Duration>() / times.len() as u32),
+            postings / qs.len() as u64,
+            peak
+        );
+    };
+    println!("== Ablations: Sparta design choices, 12-term queries, exact ==");
+    run("baseline (Φ=10k, seg=1024)", &|c| c);
+    run("no term-local maps (Φ=0)", &|c| c.with_phi(0));
+    run("per-posting UB (seg=1)", &|c| c.with_seg_size(1));
+    run("small segments (seg=64)", &|c| c.with_seg_size(64));
+    run("huge segments (seg=16384)", &|c| c.with_seg_size(16384));
+    run("probabilistic pruning γ=0.9", &|c| c.with_prune_gamma(0.9));
+    run("probabilistic pruning γ=0.7", &|c| c.with_prune_gamma(0.7));
+    println!("(pNRA in Table 2 is the no-cleaner + no-local-maps + per-posting-UB ablation;");
+    println!(" γ rows are the probabilistic-pruning extension — §6 future work — so their");
+    println!(" results are approximate even without Δ)");
+}
+
+/// RAM-resident vs disk-resident indexes (§5: "in all cases, all
+/// algorithms except pRA got similar results, which is not surprising
+/// given that the algorithms traverse posting lists sequentially").
+fn ramdisk() {
+    use sparta_corpus::scoring::TfIdfScorer;
+    use sparta_corpus::synth::{CorpusModel, SynthCorpus};
+    use sparta_index::{DiskIndex, Index, IndexBuilder, IoModel};
+    println!("== RAM-resident vs disk-resident (SSD model) index ==");
+    let docs = sparta_bench::dataset::base_docs().min(20_000);
+    let corpus = SynthCorpus::build(CorpusModel::clueweb_sim(docs, 42));
+    let builder = IndexBuilder::new(TfIdfScorer);
+    let ram: Arc<dyn Index> = Arc::new(builder.build_memory(&corpus));
+    let dir = std::env::temp_dir().join(format!("sparta-repro-ramdisk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    builder.write_disk(&corpus, &dir).expect("write disk index");
+    let disk: Arc<dyn Index> =
+        Arc::new(DiskIndex::open(&dir, IoModel::ssd()).expect("open disk index"));
+    let k = (docs / 100).clamp(10, 1000) as usize;
+    let log = sparta_corpus::querylog::QueryLog::generate(corpus.stats(), 10, 12, 7);
+    let cfg = VariantParams::high().config(k);
+    let exec = DedicatedExecutor::new(threads());
+    println!(
+        "{:>7} {:>11} {:>11} {:>8}",
+        "algo", "ram(ms)", "disk(ms)", "ratio"
+    );
+    for name in ["sparta", "pbmw", "pjass", "pra"] {
+        let a = algo(name);
+        let mut times = (Duration::ZERO, Duration::ZERO);
+        let qs = log.of_length(8);
+        for q in qs {
+            let t0 = std::time::Instant::now();
+            a.search(&ram, q, &cfg, &exec);
+            times.0 += t0.elapsed();
+            let t0 = std::time::Instant::now();
+            a.search(&disk, q, &cfg, &exec);
+            times.1 += t0.elapsed();
+        }
+        let n = qs.len() as u32;
+        let (ram_t, disk_t) = (times.0 / n, times.1 / n);
+        println!(
+            "{name:>7} {:>11} {:>11} {:>7.1}x",
+            fmt_ms(ram_t),
+            fmt_ms(disk_t),
+            disk_t.as_secs_f64() / ram_t.as_secs_f64().max(1e-9)
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("(paper: all algorithms except pRA are insensitive to disk residency;");
+    println!(" pRA pays one random access per document scored)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let t0 = std::time::Instant::now();
+    println!(
+        "sparta repro: docs={} (x10={}), k={}, threads={}, queries/cell={}\n",
+        sparta_bench::dataset::base_docs(),
+        sparta_bench::dataset::base_docs() * 10,
+        Dataset::cached(Scale::Cw).k,
+        threads(),
+        queries_per_cell()
+    );
+    let all = what == "all";
+    if all || what == "table2" {
+        table2();
+        println!();
+    }
+    if all || what == "table3" {
+        table3();
+        println!();
+    }
+    if all || what == "table4" {
+        table4();
+        println!();
+    }
+    if all || what == "fig3a" {
+        fig3_latency(Scale::Cw, false, "3a");
+        println!();
+    }
+    if all || what == "fig3b" {
+        fig3_latency(Scale::Cw, true, "3b");
+        println!();
+    }
+    if all || what == "fig3c" {
+        fig3_latency(Scale::CwX10, false, "3c");
+        println!();
+    }
+    if all || what == "fig3d" {
+        fig3_low(Scale::Cw, false, "3d");
+        println!();
+    }
+    if all || what == "fig3e" {
+        fig3_low(Scale::Cw, true, "3e");
+        println!();
+    }
+    if all || what == "fig3f" {
+        fig3_dynamics(Scale::Cw, "3f");
+        println!();
+    }
+    if all || what == "fig3g" {
+        fig3_dynamics(Scale::CwX10, "3g");
+        println!();
+    }
+    if all || what == "fig3h" {
+        fig3_parallelism(Scale::Cw, "3h");
+        println!();
+    }
+    if all || what == "fig3i" {
+        fig3_parallelism(Scale::CwX10, "3i");
+        println!();
+    }
+    if all || what == "fig4" {
+        fig4();
+        println!();
+    }
+    if all || what == "ablations" {
+        ablations();
+        println!();
+    }
+    if all || what == "ramdisk" {
+        ramdisk();
+        println!();
+    }
+    eprintln!("[{what} done in {:.1?}]", t0.elapsed());
+}

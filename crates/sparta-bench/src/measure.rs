@@ -1,0 +1,155 @@
+//! Measurement helpers: latency statistics, recall aggregation, and
+//! the throughput driver of §5.1.
+
+use crate::dataset::Dataset;
+use crate::variants::VariantParams;
+use sparta_core::result::WorkStats;
+use sparta_core::Algorithm;
+use sparta_corpus::types::Query;
+use sparta_exec::{DedicatedExecutor, WorkerPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency distribution over a query batch.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    /// Per-query latencies, sorted ascending.
+    pub sorted: Vec<Duration>,
+    /// Mean recall over the batch (1.0 when exactness was verified).
+    pub mean_recall: f64,
+    /// Summed work counters.
+    pub work: WorkStats,
+}
+
+impl LatencyStats {
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        self.sorted.iter().sum::<Duration>() / self.sorted.len() as u32
+    }
+
+    /// p-th percentile latency (p in 0..=1).
+    pub fn percentile(&self, p: f64) -> Duration {
+        percentile(&self.sorted, p)
+    }
+}
+
+/// p-th percentile of a sorted slice.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Runs `algo` over `queries` in latency mode (`threads` dedicated
+/// workers per query, §5.1) and measures latency + recall.
+pub fn run_latency(
+    ds: &Dataset,
+    algo: &dyn Algorithm,
+    queries: &[Query],
+    params: &VariantParams,
+    threads: usize,
+    measure_recall: bool,
+) -> LatencyStats {
+    let exec = DedicatedExecutor::new(threads.max(1));
+    let cfg = params.config(ds.k);
+    let mut sorted = Vec::with_capacity(queries.len());
+    let mut recall_sum = 0.0;
+    let mut work = WorkStats::default();
+    for q in queries {
+        let t0 = Instant::now();
+        let r = algo.search(&ds.index, q, &cfg, &exec);
+        sorted.push(t0.elapsed());
+        if measure_recall {
+            recall_sum += ds.oracle(q).recall(&r.docs());
+        } else {
+            recall_sum += 1.0;
+        }
+        work.postings_scanned += r.work.postings_scanned;
+        work.random_accesses += r.work.random_accesses;
+        work.heap_updates += r.work.heap_updates;
+        work.docmap_peak = work.docmap_peak.max(r.work.docmap_peak);
+        work.cleaner_passes += r.work.cleaner_passes;
+    }
+    sorted.sort();
+    LatencyStats {
+        mean_recall: recall_sum / queries.len().max(1) as f64,
+        sorted,
+        work,
+    }
+}
+
+/// Runs the throughput mode of §5.1: all queries submitted FCFS to a
+/// shared pool of `pool_threads`, multiple driver threads keeping the
+/// pool saturated. Returns queries/second.
+pub fn run_throughput(
+    ds: &Dataset,
+    algo: &dyn Algorithm,
+    mix: &[Query],
+    params: &VariantParams,
+    pool_threads: usize,
+) -> f64 {
+    let pool = Arc::new(WorkerPool::new(pool_threads));
+    let cfg = params.config(ds.k);
+    let next = AtomicUsize::new(0);
+    let drivers = pool_threads.min(4).max(2);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..drivers {
+            let pool = Arc::clone(&pool);
+            let next = &next;
+            let cfg = &cfg;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= mix.len() {
+                    break;
+                }
+                algo.search(&ds.index, &mix[i], cfg, pool.as_ref());
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    mix.len() as f64 / elapsed.as_secs_f64()
+}
+
+/// Convenience: the mean latency of one (algorithm, length) cell.
+pub fn mean_latency_cell(
+    ds: &Dataset,
+    algo: &dyn Algorithm,
+    m: usize,
+    n_queries: usize,
+    params: &VariantParams,
+    threads: usize,
+) -> LatencyStats {
+    let queries: Vec<Query> = ds.queries_of_length(m, n_queries).to_vec();
+    run_latency(ds, algo, &queries, params, threads, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_expected_entries() {
+        let v: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&v, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&v, 1.0), Duration::from_millis(100));
+        assert_eq!(percentile(&v, 0.95), Duration::from_millis(95));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_stats_mean() {
+        let s = LatencyStats {
+            sorted: vec![Duration::from_millis(10), Duration::from_millis(30)],
+            mean_recall: 1.0,
+            work: WorkStats::default(),
+        };
+        assert_eq!(s.mean(), Duration::from_millis(20));
+    }
+}

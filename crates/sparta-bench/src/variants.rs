@@ -1,0 +1,135 @@
+//! Variant parameterizations (§5.3).
+//!
+//! The paper instantiates "A-exact", "A-high" (empirical recall ≥ 96%)
+//! and "A-low" per algorithm with Δ = 10 ms, f ∈ {5, 10},
+//! p ∈ {0.02, 0.005}. Those constants are tuned to ClueWeb at 50M
+//! docs on their hardware; on a scaled-down synthetic corpus the same
+//! recall operating points correspond to different constants (e.g.
+//! smaller f — Θ saturates much faster on a small index). We therefore
+//! keep the *paper* constants available verbatim and provide
+//! *calibrated* equivalents that hit the high/low recall bands at this
+//! reproduction's scale. The `repro` binary prints which set it used;
+//! EXPERIMENTS.md discusses the mapping.
+
+use sparta_core::config::SearchConfig;
+use std::time::Duration;
+
+/// A named parameter set for one experiment cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantParams {
+    /// Label suffix ("exact", "high", "low").
+    pub label: &'static str,
+    /// Δ for the TA family (None = exact).
+    pub delta: Option<Duration>,
+    /// pBMW pruning factor f.
+    pub bmw_f: f64,
+    /// pJASS posting fraction p.
+    pub jass_p: f64,
+    /// Record heap traces.
+    pub trace: bool,
+}
+
+impl VariantParams {
+    /// Exact/safe parameters.
+    pub fn exact() -> Self {
+        Self {
+            label: "exact",
+            delta: None,
+            bmw_f: 1.0,
+            jass_p: 1.0,
+            trace: false,
+        }
+    }
+
+    /// The paper's high-recall constants, verbatim (§5.3).
+    pub fn paper_high() -> Self {
+        Self {
+            label: "high",
+            delta: Some(Duration::from_millis(10)),
+            bmw_f: 5.0,
+            jass_p: 0.02,
+            trace: false,
+        }
+    }
+
+    /// The paper's low-recall constants, verbatim (§5.3).
+    pub fn paper_low() -> Self {
+        Self {
+            label: "low",
+            delta: Some(Duration::from_millis(2)),
+            bmw_f: 10.0,
+            jass_p: 0.005,
+            trace: false,
+        }
+    }
+
+    /// High-recall operating point calibrated for this reproduction's
+    /// corpus scale (recall ≥ ~96% on the default 20k-doc corpus).
+    pub fn high() -> Self {
+        Self {
+            label: "high",
+            delta: Some(Duration::from_millis(10)),
+            bmw_f: 1.1,
+            jass_p: 0.9,
+            trace: false,
+        }
+    }
+
+    /// Low-recall operating point calibrated for this scale
+    /// (recall ≈ 80%, the paper's pBMW-low band).
+    pub fn low() -> Self {
+        Self {
+            label: "low",
+            delta: Some(Duration::from_millis(1)),
+            bmw_f: 1.5,
+            jass_p: 0.5,
+            trace: false,
+        }
+    }
+
+    /// Enables heap tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Materializes a [`SearchConfig`] for result-set size `k`.
+    pub fn config(&self, k: usize) -> SearchConfig {
+        SearchConfig::exact(k)
+            .with_delta(self.delta)
+            .with_bmw_f(self.bmw_f)
+            .with_jass_p(self.jass_p)
+            .with_trace(self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_is_safe() {
+        let c = VariantParams::exact().config(100);
+        assert!(c.is_exact());
+        assert_eq!(c.bmw_f, 1.0);
+        assert_eq!(c.jass_p, 1.0);
+    }
+
+    #[test]
+    fn paper_constants_match_section_5_3() {
+        let h = VariantParams::paper_high();
+        assert_eq!(h.delta, Some(Duration::from_millis(10)));
+        assert_eq!(h.bmw_f, 5.0);
+        assert_eq!(h.jass_p, 0.02);
+        let l = VariantParams::paper_low();
+        assert_eq!(l.bmw_f, 10.0);
+        assert_eq!(l.jass_p, 0.005);
+    }
+
+    #[test]
+    fn calibrated_low_prunes_harder_than_high() {
+        let (h, l) = (VariantParams::high(), VariantParams::low());
+        assert!(l.bmw_f > h.bmw_f);
+        assert!(l.jass_p < h.jass_p);
+    }
+}

@@ -1,0 +1,123 @@
+//! A contention-avoiding counter.
+//!
+//! Hot counters (postings scanned, I/O blocks fetched) are incremented
+//! from every worker thread. A single `AtomicU64` would bounce its
+//! cache line between cores on every increment; [`ShardedCounter`]
+//! spreads increments over per-slot cache-line-padded atomics and sums
+//! them on read, the standard HPC pattern for write-heavy/read-rare
+//! statistics.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of counter slots; a small power of two ≥ typical core counts.
+const SLOTS: usize = 16;
+
+/// A counter sharded over cache-line-padded slots.
+///
+/// `add` picks a slot from the calling thread's identity so different
+/// threads usually hit different cache lines. `get` sums all slots;
+/// the result is exact once all writers are quiescent, and a valid
+/// (possibly slightly stale) lower bound while they are running.
+pub struct ShardedCounter {
+    slots: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl ShardedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        let slots: Vec<_> = (0..SLOTS)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self) -> &AtomicU64 {
+        // Derive a slot index from the thread id; stable per thread.
+        thread_local! {
+            static SLOT: usize = {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                (h.finish() as usize) % SLOTS
+            };
+        }
+        let idx = SLOT.with(|s| *s);
+        &self.slots[idx]
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.slot().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Sums all slots.
+    pub fn get(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Resets all slots to zero. Only meaningful while writers are
+    /// quiescent.
+    pub fn reset(&self) {
+        for s in self.slots.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardedCounter({})", self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_single_thread() {
+        let c = ShardedCounter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counts_across_threads() {
+        let c = Arc::new(ShardedCounter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

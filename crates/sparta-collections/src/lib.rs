@@ -1,0 +1,32 @@
+//! Concurrent building blocks for the Sparta top-k retrieval engine.
+//!
+//! This crate provides the low-level shared data structures that the
+//! algorithms in `sparta-core` are built from:
+//!
+//! * [`BoundedTopK`] — a bounded min-heap tracking the k highest-scoring
+//!   items seen so far, together with the threshold Θ (the k-th best
+//!   score) that drives early stopping in every top-k algorithm.
+//! * [`StripedMap`] — a hash map sharded into independently locked
+//!   stripes. The Sparta paper (§4.3) protects each hash bucket of the
+//!   shared `docMap` with a granular lock and reports that this performs
+//!   better than a generic concurrent hash map; this is the Rust
+//!   equivalent.
+//! * [`SwapCell`] — a shared pointer that readers can snapshot cheaply
+//!   and a single writer can replace wholesale ("a single pointer
+//!   swing", §4.3), used by the cleaner to publish the pruned `docMap`.
+//! * [`ShardedCounter`] — a contention-avoiding counter used for
+//!   approximate map sizes and statistics.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod mutable_topk;
+pub mod striped_map;
+pub mod swap_cell;
+pub mod topk_heap;
+
+pub use counter::ShardedCounter;
+pub use mutable_topk::MutableTopK;
+pub use striped_map::StripedMap;
+pub use swap_cell::SwapCell;
+pub use topk_heap::{BoundedTopK, Entry};

@@ -1,0 +1,179 @@
+//! A bounded top-k set supporting score *updates*.
+//!
+//! NRA-family algorithms maintain their heap by document *lower
+//! bounds*, which grow as more postings of a document are seen (§3.2).
+//! [`BoundedTopK`](crate::BoundedTopK) cannot re-key an item, so the
+//! sequential NRA baseline uses this ordered-set-based variant:
+//! O(log k) offer, update, and eviction, with the same threshold
+//! semantics (Θ = k-th best score once full, 0 before).
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// Bounded top-k with updatable scores.
+#[derive(Debug, Clone, Default)]
+pub struct MutableTopK<T> {
+    k: usize,
+    // Ordered ascending: first element is the current minimum.
+    set: BTreeSet<(u64, T)>,
+    scores: HashMap<T, u64>,
+}
+
+impl<T: Ord + Hash + Copy> MutableTopK<T> {
+    /// Creates an empty set retaining at most `k` items.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k requires k >= 1");
+        Self {
+            k,
+            set: BTreeSet::new(),
+            scores: HashMap::with_capacity(k + 1),
+        }
+    }
+
+    /// Number of items held.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether no items are held.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Whether `k` items are held.
+    pub fn is_full(&self) -> bool {
+        self.set.len() == self.k
+    }
+
+    /// Θ: the k-th best score once full, 0 otherwise.
+    pub fn threshold(&self) -> u64 {
+        if self.is_full() {
+            self.set.first().map_or(0, |&(s, _)| s)
+        } else {
+            0
+        }
+    }
+
+    /// Current score of `item` if it is in the set.
+    pub fn score_of(&self, item: &T) -> Option<u64> {
+        self.scores.get(item).copied()
+    }
+
+    /// Whether `item` is in the set.
+    pub fn contains(&self, item: &T) -> bool {
+        self.scores.contains_key(item)
+    }
+
+    /// Offers `item` with `score`, or raises its score if already
+    /// present (scores never decrease in NRA — lower bounds only
+    /// grow). Returns `true` if the set changed.
+    pub fn offer(&mut self, score: u64, item: T) -> bool {
+        if let Some(&old) = self.scores.get(&item) {
+            if score <= old {
+                return false;
+            }
+            self.set.remove(&(old, item));
+            self.set.insert((score, item));
+            self.scores.insert(item, score);
+            return true;
+        }
+        if self.set.len() < self.k {
+            self.set.insert((score, item));
+            self.scores.insert(item, score);
+            return true;
+        }
+        let &(min_s, min_i) = self.set.first().expect("full implies non-empty");
+        // Admit only strict improvements over the floor entry (ties
+        // broken by item, matching BoundedTopK's determinism).
+        if (score, item) <= (min_s, min_i) {
+            return false;
+        }
+        self.set.pop_first();
+        self.scores.remove(&min_i);
+        self.set.insert((score, item));
+        self.scores.insert(item, score);
+        true
+    }
+
+    /// Items in rank order (descending score, then descending item).
+    pub fn sorted(&self) -> Vec<(u64, T)> {
+        self.set.iter().rev().copied().collect()
+    }
+
+    /// Iterates over `(score, item)` in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, T)> {
+        self.set.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_topk() {
+        let mut h = MutableTopK::new(2);
+        assert!(h.offer(5, 1u32));
+        assert!(h.offer(9, 2));
+        assert_eq!(h.threshold(), 5);
+        assert!(!h.offer(3, 3), "below floor");
+        assert!(h.offer(7, 4));
+        assert!(!h.contains(&1));
+        assert_eq!(h.sorted(), vec![(9, 2), (7, 4)]);
+    }
+
+    #[test]
+    fn updates_raise_scores() {
+        let mut h = MutableTopK::new(2);
+        h.offer(5, 1u32);
+        h.offer(9, 2);
+        assert!(h.offer(8, 1), "raise in place");
+        assert_eq!(h.score_of(&1), Some(8));
+        assert_eq!(h.threshold(), 8);
+        assert!(!h.offer(4, 1), "scores never decrease");
+        assert_eq!(h.score_of(&1), Some(8));
+    }
+
+    #[test]
+    fn threshold_zero_until_full() {
+        let mut h = MutableTopK::new(3);
+        h.offer(10, 1u32);
+        h.offer(20, 2);
+        assert_eq!(h.threshold(), 0);
+        h.offer(5, 3);
+        assert_eq!(h.threshold(), 5);
+    }
+
+    #[test]
+    fn tie_break_matches_bounded_topk() {
+        use crate::BoundedTopK;
+        let items = [(100u64, 5u32), (100, 1), (100, 9), (100, 7), (100, 3), (100, 8)];
+        let mut a = MutableTopK::new(3);
+        let mut b = BoundedTopK::new(3);
+        for &(s, i) in &items {
+            a.offer(s, i);
+            b.offer(s, i);
+        }
+        let av: Vec<(u64, u32)> = a.sorted();
+        let bv: Vec<(u64, u32)> = b.sorted_entries().iter().map(|e| (e.score, e.item)).collect();
+        assert_eq!(av, bv);
+    }
+
+    #[test]
+    fn matches_bounded_topk_on_random_stream() {
+        use crate::BoundedTopK;
+        // Deterministic pseudo-random stream without score updates.
+        let mut a = MutableTopK::new(10);
+        let mut b = BoundedTopK::new(10);
+        let mut x = 12345u64;
+        for i in 0..1000u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let s = x % 500;
+            a.offer(s, i);
+            b.offer(s, i);
+        }
+        let av: Vec<(u64, u32)> = a.sorted();
+        let bv: Vec<(u64, u32)> = b.sorted_entries().iter().map(|e| (e.score, e.item)).collect();
+        assert_eq!(av, bv);
+    }
+}

@@ -1,0 +1,356 @@
+//! A lock-striped concurrent hash map.
+//!
+//! Sparta's shared `docMap` is written concurrently by all worker
+//! threads during the growing phase. The paper protects "each hash
+//! bucket by a granular lock, which performs better than the generic
+//! Java concurrent hashmap" (§4.3). [`StripedMap`] is the analogous
+//! structure: the key space is partitioned into a fixed power-of-two
+//! number of *stripes*, each an independent `Mutex<HashMap>`. Threads
+//! touching different stripes never contend.
+//!
+//! Values are required to be `Clone`; callers that need shared mutable
+//! entries store `Arc<T>` (as Sparta does for its `DocType` records).
+
+use parking_lot::Mutex;
+use std::borrow::Borrow;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default number of stripes; enough that 12 worker threads (the
+/// paper's hardware) rarely collide.
+pub const DEFAULT_STRIPES: usize = 64;
+
+/// A concurrent hash map sharded into independently locked stripes.
+///
+/// ```
+/// use sparta_collections::StripedMap;
+/// use std::sync::Arc;
+/// let map: Arc<StripedMap<u32, u32>> = Arc::new(StripedMap::new());
+/// std::thread::scope(|s| {
+///     for t in 0..4u32 {
+///         let map = Arc::clone(&map);
+///         s.spawn(move || {
+///             for i in 0..100 {
+///                 map.insert(t * 100 + i, i);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(map.len(), 400);
+/// ```
+pub struct StripedMap<K, V> {
+    stripes: Box<[Mutex<HashMap<K, V>>]>,
+    mask: usize,
+    len: AtomicUsize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
+    /// Creates a map with [`DEFAULT_STRIPES`] stripes.
+    pub fn new() -> Self {
+        Self::with_stripes(DEFAULT_STRIPES)
+    }
+
+    /// Creates a map with `stripes` stripes, rounded up to a power of
+    /// two (minimum 1).
+    pub fn with_stripes(stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        let stripes: Vec<_> = (0..n).map(|_| Mutex::new(HashMap::new())).collect();
+        Self {
+            stripes: stripes.into_boxed_slice(),
+            mask: n - 1,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of stripes (always a power of two).
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    #[inline]
+    fn stripe_of<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) & self.mask
+    }
+
+    /// Current number of entries. Exact (maintained with atomic
+    /// increments), but may be stale by the time the caller reads it —
+    /// exactly the semantics Sparta's `|docMap| < Φ` check needs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the map is empty (same staleness caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a clone of the value for `key`, if present.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.stripes[self.stripe_of(key)].lock().get(key).cloned()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.stripes[self.stripe_of(key)].lock().contains_key(key)
+    }
+
+    /// Inserts `value` for `key`, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let prev = self.stripes[self.stripe_of(&key)].lock().insert(key, value);
+        if prev.is_none() {
+            self.len.fetch_add(1, Ordering::AcqRel);
+        }
+        prev
+    }
+
+    /// Returns the value for `key`, inserting `make()` first if absent.
+    /// The factory runs under the stripe lock, so exactly one value is
+    /// ever created per key even under concurrent calls — this is how
+    /// Sparta guarantees a single `DocType` per document id.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, make: F) -> V {
+        let mut stripe = self.stripes[self.stripe_of(&key)].lock();
+        if let Some(v) = stripe.get(&key) {
+            return v.clone();
+        }
+        let v = make();
+        stripe.insert(key, v.clone());
+        drop(stripe);
+        self.len.fetch_add(1, Ordering::AcqRel);
+        v
+    }
+
+    /// Like [`get_or_insert_with`](Self::get_or_insert_with) but
+    /// refuses to create missing entries when `allow_insert` is false
+    /// (Sparta stops admitting new documents once `UBStop` holds,
+    /// Alg. 1 line 18–21).
+    pub fn get_or_try_insert_with<F: FnOnce() -> V>(
+        &self,
+        key: K,
+        allow_insert: bool,
+        make: F,
+    ) -> Option<V> {
+        let mut stripe = self.stripes[self.stripe_of(&key)].lock();
+        if let Some(v) = stripe.get(&key) {
+            return Some(v.clone());
+        }
+        if !allow_insert {
+            return None;
+        }
+        let v = make();
+        stripe.insert(key, v.clone());
+        drop(stripe);
+        self.len.fetch_add(1, Ordering::AcqRel);
+        Some(v)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let prev = self.stripes[self.stripe_of(key)].lock().remove(key);
+        if prev.is_some() {
+            self.len.fetch_sub(1, Ordering::AcqRel);
+        }
+        prev
+    }
+
+    /// Visits every entry. Stripes are locked one at a time, so the
+    /// visit is not a consistent snapshot across stripes — sufficient
+    /// for the cleaner, which tolerates (and rechecks) staleness.
+    pub fn for_each<F: FnMut(&K, &V)>(&self, mut f: F) {
+        for stripe in self.stripes.iter() {
+            let guard = stripe.lock();
+            for (k, v) in guard.iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Collects all `(key, value)` pairs (same consistency caveat as
+    /// [`for_each`](Self::for_each)).
+    pub fn collect(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+
+    /// Mutates the value for `key` in place under the stripe lock.
+    /// Returns whether the key was present.
+    pub fn update<Q, F>(&self, key: &Q, f: F) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        F: FnOnce(&mut V),
+    {
+        let mut stripe = self.stripes[self.stripe_of(key)].lock();
+        match stripe.get_mut(key) {
+            Some(v) => {
+                f(v);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&self) {
+        for stripe in self.stripes.iter() {
+            let mut guard = stripe.lock();
+            let n = guard.len();
+            guard.clear();
+            drop(guard);
+            self.len.fetch_sub(n, Ordering::AcqRel);
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for StripedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> FromIterator<(K, V)> for StripedMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let map = Self::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_remove() {
+        let m: StripedMap<u32, String> = StripedMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a".into()), None);
+        assert_eq!(m.insert(1, "b".into()), Some("a".into()));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&1), Some("b".into()));
+        assert_eq!(m.remove(&1), Some("b".into()));
+        assert_eq!(m.remove(&1), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_creates_once() {
+        let m: StripedMap<u32, Arc<u32>> = StripedMap::new();
+        let a = m.get_or_insert_with(7, || Arc::new(70));
+        let b = m.get_or_insert_with(7, || Arc::new(71));
+        assert!(Arc::ptr_eq(&a, &b), "one value per key");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn try_insert_respects_flag() {
+        let m: StripedMap<u32, u32> = StripedMap::new();
+        assert_eq!(m.get_or_try_insert_with(1, false, || 10), None);
+        assert_eq!(m.get_or_try_insert_with(1, true, || 10), Some(10));
+        // Present entries are returned regardless of the flag.
+        assert_eq!(m.get_or_try_insert_with(1, false, || 99), Some(10));
+    }
+
+    #[test]
+    fn update_in_place() {
+        let m: StripedMap<u32, u32> = StripedMap::new();
+        assert!(!m.update(&5, |v| *v += 1));
+        m.insert(5, 10);
+        assert!(m.update(&5, |v| *v += 1));
+        assert_eq!(m.get(&5), Some(11));
+    }
+
+    #[test]
+    fn for_each_sees_everything() {
+        let m: StripedMap<u32, u32> = (0..1000u32).map(|i| (i, i * 2)).collect();
+        assert_eq!(m.len(), 1000);
+        let mut sum = 0u64;
+        m.for_each(|_, v| sum += u64::from(*v));
+        assert_eq!(sum, (0..1000u64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn clear_resets_len() {
+        let m: StripedMap<u32, u32> = (0..100u32).map(|i| (i, i)).collect();
+        m.clear();
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.get(&5), None);
+    }
+
+    #[test]
+    fn stripe_count_rounds_to_power_of_two() {
+        assert_eq!(StripedMap::<u32, u32>::with_stripes(0).stripe_count(), 1);
+        assert_eq!(StripedMap::<u32, u32>::with_stripes(3).stripe_count(), 4);
+        assert_eq!(StripedMap::<u32, u32>::with_stripes(64).stripe_count(), 64);
+    }
+
+    #[test]
+    fn concurrent_get_or_insert_is_unique() {
+        let m: Arc<StripedMap<u32, Arc<AtomicUsize>>> = Arc::new(StripedMap::with_stripes(8));
+        let made = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = Arc::clone(&m);
+                let made = Arc::clone(&made);
+                s.spawn(move || {
+                    for key in 0..1000u32 {
+                        let v = m.get_or_insert_with(key % 100, || {
+                            made.fetch_add(1, Ordering::Relaxed);
+                            Arc::new(AtomicUsize::new(0))
+                        });
+                        v.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(made.load(Ordering::Relaxed), 100, "one creation per key");
+        assert_eq!(m.len(), 100);
+        let mut total = 0;
+        m.for_each(|_, v| total += v.load(Ordering::Relaxed));
+        assert_eq!(total, 8 * 1000);
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_keep_len_consistent() {
+        let m: Arc<StripedMap<u32, u32>> = Arc::new(StripedMap::with_stripes(16));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..2000u32 {
+                        let k = (i * 7 + t) % 256;
+                        if i % 3 == 0 {
+                            m.remove(&k);
+                        } else {
+                            m.insert(k, i);
+                        }
+                    }
+                });
+            }
+        });
+        // len must equal the true number of entries after the dust settles.
+        let mut n = 0;
+        m.for_each(|_, _| n += 1);
+        assert_eq!(m.len(), n);
+    }
+}

@@ -1,0 +1,141 @@
+//! A snapshot-readable, wholesale-replaceable shared pointer.
+//!
+//! Sparta's cleaner "repeatedly builds a new map `tmpDocMap` … Once
+//! `tmpDocMap` is ready, the cleaner replaces `docMap` with it via a
+//! single pointer swing (flipping the global reference)" (§4.3).
+//! Readers (the worker threads) never block the writer and vice versa:
+//! a reader takes an `Arc` snapshot of the current map and keeps using
+//! it for a whole posting-list segment; the cleaner swaps in the pruned
+//! map underneath.
+//!
+//! The implementation uses a `parking_lot::RwLock<Arc<T>>`: readers
+//! hold the read lock only for the duration of an `Arc::clone` (a few
+//! nanoseconds), and the single writer holds the write lock only for a
+//! pointer store. This gives the wait-free-in-practice behaviour of an
+//! atomic pointer swing without `unsafe` or an epoch reclamation
+//! scheme — once the swing happens, old snapshots die when the last
+//! reader drops its `Arc`.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Shared cell holding an `Arc<T>` that readers snapshot and a writer
+/// replaces atomically.
+///
+/// ```
+/// use sparta_collections::SwapCell;
+/// let cell = SwapCell::new(vec![1, 2, 3]);
+/// let snapshot = cell.load();
+/// cell.store(vec![4]);                   // the pointer swing
+/// assert_eq!(*snapshot, vec![1, 2, 3]);  // old readers unaffected
+/// assert_eq!(*cell.load(), vec![4]);
+/// ```
+pub struct SwapCell<T> {
+    inner: RwLock<Arc<T>>,
+}
+
+impl<T> SwapCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: RwLock::new(Arc::new(value)),
+        }
+    }
+
+    /// Creates a cell from an existing `Arc`.
+    pub fn from_arc(value: Arc<T>) -> Self {
+        Self {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Takes a snapshot of the current value. The snapshot remains
+    /// valid (and unchanged) even if the cell is swapped afterwards.
+    #[inline]
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.inner.read())
+    }
+
+    /// Replaces the current value, returning the previous one.
+    /// This is the cleaner's "single pointer swing".
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        let mut guard = self.inner.write();
+        std::mem::replace(&mut guard, value)
+    }
+
+    /// Replaces the current value with `value`.
+    pub fn store(&self, value: T) {
+        self.swap(Arc::new(value));
+    }
+
+    /// Whether the current value is the same allocation as `other`.
+    /// Workers use this to detect that their local `termMap` snapshot
+    /// is (still) the global map (Alg. 1 line 9's
+    /// `termMap[i] = docMap` test).
+    pub fn ptr_eq(&self, other: &Arc<T>) -> bool {
+        Arc::ptr_eq(&self.inner.read(), other)
+    }
+}
+
+impl<T: Default> Default for SwapCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn load_returns_snapshot() {
+        let cell = SwapCell::new(vec![1, 2, 3]);
+        let snap = cell.load();
+        cell.store(vec![9]);
+        assert_eq!(*snap, vec![1, 2, 3], "snapshot unaffected by swap");
+        assert_eq!(*cell.load(), vec![9]);
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let cell = SwapCell::new(1u32);
+        let prev = cell.swap(Arc::new(2));
+        assert_eq!(*prev, 1);
+        assert_eq!(*cell.load(), 2);
+    }
+
+    #[test]
+    fn ptr_eq_detects_swing() {
+        let cell = SwapCell::new(0u32);
+        let snap = cell.load();
+        assert!(cell.ptr_eq(&snap));
+        cell.store(0);
+        assert!(!cell.ptr_eq(&snap), "same value, different allocation");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let cell = Arc::new(SwapCell::new(0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = *cell.load();
+                        assert!(v >= last, "values must be monotone");
+                        last = v;
+                    }
+                });
+            }
+            for i in 1..=1000u64 {
+                cell.store(i);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(*cell.load(), 1000);
+    }
+}

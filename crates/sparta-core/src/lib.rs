@@ -1,0 +1,75 @@
+//! Sparta — scalable parallel top-k retrieval (PPoPP '20) — and every
+//! baseline it is evaluated against.
+//!
+//! The primary contribution is [`sparta::Sparta`], a parallel
+//! threshold-algorithm variant with judicious context sharing: a
+//! striped shared candidate map that a background *cleaner* keeps
+//! pruning, per-segment (lazy) upper-bound updates, and thread-local
+//! map replicas once the candidate set fits in cache (§4).
+//!
+//! The baselines of the paper's case study (§5.2) are implemented in
+//! full:
+//!
+//! | algorithm | module | paper role |
+//! |---|---|---|
+//! | sequential NRA / RA | [`ta`] | the Threshold Algorithm [Fagin et al.] |
+//! | pRA | [`pra`] | parallel RA with a shared heap |
+//! | pNRA | [`pnra`] | naïve shared-state NRA |
+//! | sNRA | [`snra`] | shared-nothing NRA |
+//! | WAND / BMW / MaxScore | [`docorder`] | document-order engines |
+//! | pBMW | [`docorder::pbmw`] | doc-sharded parallel BMW [Rojas et al.] |
+//! | JASS / pJASS | [`jass`], [`pjass`] | score-at-a-time [Lin & Trotman; Mackenzie et al.] |
+//!
+//! Every algorithm implements [`Algorithm`] and is exercised through
+//! the same [`sparta_exec::Executor`] machinery, so latency and
+//! throughput experiments use identical code paths.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod docorder;
+pub mod jass;
+pub mod oracle;
+pub mod pjass;
+pub mod pnra;
+pub mod pra;
+pub mod recall;
+pub mod registry;
+pub mod result;
+pub mod shared_heap;
+pub mod snra;
+pub mod sparta;
+pub mod ta;
+pub mod trace;
+
+pub use config::{SearchConfig, Variant};
+pub use oracle::Oracle;
+pub use recall::recall_of_docs;
+pub use registry::{all_algorithms, algorithm_by_name};
+pub use result::{SearchHit, TopKResult, WorkStats};
+pub use trace::{TraceEvent, TraceSink};
+
+use sparta_corpus::types::Query;
+use sparta_exec::Executor;
+use sparta_index::Index;
+use std::sync::Arc;
+
+/// A top-k retrieval algorithm.
+pub trait Algorithm: Send + Sync {
+    /// Short identifier used in experiment output (e.g. `"sparta"`).
+    fn name(&self) -> &'static str;
+
+    /// Retrieves the (approximate) top-k documents for `query`.
+    ///
+    /// * `index` — shared index; cursors opened per worker.
+    /// * `cfg` — k plus the variant parameters (Δ, f, p, segment size…).
+    /// * `exec` — supplies worker threads; sequential algorithms run on
+    ///   the calling thread regardless.
+    fn search(
+        &self,
+        index: &Arc<dyn Index>,
+        query: &Query,
+        cfg: &SearchConfig,
+        exec: &dyn Executor,
+    ) -> TopKResult;
+}

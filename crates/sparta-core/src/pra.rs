@@ -1,0 +1,248 @@
+//! pRA — parallel Random-Access TA (§5.2.2).
+//!
+//! "Our implementation of pRA maintains its results in a shared heap
+//! … the algorithm's multiple worker threads may encounter postings
+//! of the same document independently, and consequently score that
+//! document and try to insert it into the heap multiple times. The
+//! implementation allows only the first to take effect. Since RA's
+//! stopping detection is lightweight, we do not dedicate a task to it.
+//! Instead, all workers check the UBStop condition, monitor the time
+//! elapsed since the last heap update and notify each other if they
+//! decide to stop."
+
+use crate::config::SearchConfig;
+use crate::result::{finalize_hits, SearchHit, TopKResult, WorkStats};
+use crate::shared_heap::SharedHeap;
+use crate::sparta::{open_cursor, SharedUb};
+use crate::trace::TraceSink;
+use crate::Algorithm;
+use sparta_collections::{ShardedCounter, StripedMap};
+use sparta_corpus::types::{DocId, Query};
+use sparta_exec::{Executor, JobQueue};
+use sparta_index::{Index, ScoreCursor};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The pRA baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PRa;
+
+struct State {
+    cfg: SearchConfig,
+    terms: Vec<u32>,
+    ub: SharedUb,
+    heap: SharedHeap,
+    /// First-wins dedup: a doc is fully scored by whichever worker
+    /// claims it first.
+    seen: StripedMap<DocId, ()>,
+    done: AtomicBool,
+    trace: TraceSink,
+    postings: ShardedCounter,
+    randoms: ShardedCounter,
+    index: Arc<dyn Index>,
+}
+
+impl State {
+    #[inline]
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// All workers run the stopping check (no dedicated task).
+    fn check_stop(&self) {
+        let ub_stop = self.ub.ub_stop(self.heap.theta());
+        let timed_out = self
+            .cfg
+            .delta
+            .is_some_and(|d| self.heap.since_last_update() >= d);
+        if ub_stop || timed_out {
+            self.done.store(true, Ordering::Release);
+        }
+    }
+}
+
+fn process_term(
+    state: Arc<State>,
+    queue: Arc<JobQueue>,
+    i: usize,
+    mut cursor: Box<dyn ScoreCursor>,
+) {
+    if state.is_done() {
+        return;
+    }
+    let ra = state
+        .index
+        .random_access()
+        .expect("pRA requires a secondary index");
+    let mut exhausted = false;
+    for _ in 0..state.cfg.seg_size {
+        if state.is_done() {
+            return;
+        }
+        let Some(p) = cursor.next() else {
+            exhausted = true;
+            break;
+        };
+        state.postings.incr();
+        // RA updates UB per posting (stopping detection is the cheap
+        // part of RA; the expensive part is the random access).
+        state.ub.set(i, p.score);
+        // First-wins claim of the document: `insert` returns the
+        // prior value, so exactly one worker sees `None` per doc.
+        if state.seen.insert(p.doc, ()).is_none() {
+            // Fresh claim: compute the full score via random access.
+            let mut full = u64::from(p.score);
+            for (j, &t) in state.terms.iter().enumerate() {
+                if j != i {
+                    full += u64::from(ra.term_score(t, p.doc));
+                    state.randoms.incr();
+                }
+            }
+            state.heap.offer(full, p.doc, &state.trace);
+        }
+        state.check_stop();
+    }
+    if exhausted {
+        state.ub.exhaust(i);
+        state.check_stop();
+    } else if !state.is_done() {
+        let q = Arc::clone(&queue);
+        queue.push(Box::new(move || process_term(state, q, i, cursor)));
+    }
+}
+
+impl Algorithm for PRa {
+    fn name(&self) -> &'static str {
+        "pra"
+    }
+
+    fn search(
+        &self,
+        index: &Arc<dyn Index>,
+        query: &Query,
+        cfg: &SearchConfig,
+        exec: &dyn Executor,
+    ) -> TopKResult {
+        let start = Instant::now();
+        if query.terms.is_empty() {
+            return TopKResult {
+                hits: Vec::new(),
+                elapsed: start.elapsed(),
+                work: WorkStats::default(),
+                trace: cfg.trace.then(Vec::new),
+            };
+        }
+        let state = Arc::new(State {
+            cfg: *cfg,
+            terms: query.terms.clone(),
+            ub: SharedUb::new(query.terms.len()),
+            heap: SharedHeap::new(cfg.k),
+            seen: StripedMap::new(),
+            done: AtomicBool::new(false),
+            trace: TraceSink::new(cfg.trace),
+            postings: ShardedCounter::new(),
+            randoms: ShardedCounter::new(),
+            index: Arc::clone(index),
+        });
+        let queue = JobQueue::new();
+        for (i, &t) in query.terms.iter().enumerate() {
+            let cursor = open_cursor(index, t);
+            let st = Arc::clone(&state);
+            let q = Arc::clone(&queue);
+            queue.push(Box::new(move || process_term(st, q, i, cursor)));
+        }
+        exec.run(queue);
+
+        let hits = finalize_hits(
+            state
+                .heap
+                .sorted()
+                .into_iter()
+                .map(|(score, doc)| SearchHit { doc, score })
+                .collect(),
+            cfg.k,
+        );
+        let work = WorkStats {
+            postings_scanned: state.postings.get(),
+            random_accesses: state.randoms.get(),
+            heap_updates: state.heap.update_count(),
+            docmap_peak: state.seen.len() as u64,
+            cleaner_passes: 0,
+        };
+        let state = Arc::into_inner(state).expect("all jobs drained");
+        TopKResult {
+            hits,
+            elapsed: start.elapsed(),
+            work,
+            trace: state.trace.into_events(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use sparta_exec::DedicatedExecutor;
+    use sparta_index::{InMemoryIndex, Posting};
+
+    fn pseudo_index(n: u32, m: usize, seed: u32) -> Arc<dyn Index> {
+        let lists: Vec<Vec<Posting>> = (0..m as u32)
+            .map(|t| {
+                (0..n)
+                    .map(|d| {
+                        let x = d
+                            .wrapping_mul(2654435761)
+                            .wrapping_add(t * 31 + seed)
+                            .wrapping_mul(2246822519);
+                        Posting::new(d, x % 7_000 + 1)
+                    })
+                    .collect()
+            })
+            .collect();
+        Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(n)))
+    }
+
+    #[test]
+    fn exact_matches_oracle_with_full_scores() {
+        for threads in [1, 4] {
+            let ix = pseudo_index(3000, 3, 4);
+            let q = Query::new(vec![0, 1, 2]);
+            let cfg = SearchConfig::exact(10).with_seg_size(128);
+            let oracle = Oracle::compute(ix.as_ref(), &q, 10);
+            let r = PRa.search(&ix, &q, &cfg, &DedicatedExecutor::new(threads));
+            assert_eq!(oracle.recall(&r.docs()), 1.0, "threads={threads}");
+            for h in &r.hits {
+                assert_eq!(h.score, oracle.score(h.doc), "pRA reports full scores");
+            }
+        }
+    }
+
+    #[test]
+    fn performs_random_accesses() {
+        let ix = pseudo_index(2000, 3, 8);
+        let q = Query::new(vec![0, 1, 2]);
+        let r = PRa.search(
+            &ix,
+            &q,
+            &SearchConfig::exact(10).with_seg_size(64),
+            &DedicatedExecutor::new(3),
+        );
+        assert!(r.work.random_accesses > 0);
+        // Each distinct doc claimed costs exactly m-1 lookups.
+        assert_eq!(r.work.random_accesses % 2, 0);
+    }
+
+    #[test]
+    fn dedup_scores_each_doc_once() {
+        let ix = pseudo_index(500, 4, 9);
+        let q = Query::new(vec![0, 1, 2, 3]);
+        // Exhaustive (k = all docs): every doc appears in all 4 lists,
+        // so claims = 500 and lookups = 500 × 3.
+        let cfg = SearchConfig::exact(500).with_seg_size(32);
+        let r = PRa.search(&ix, &q, &cfg, &DedicatedExecutor::new(4));
+        assert_eq!(r.work.random_accesses, 500 * 3);
+        assert_eq!(r.hits.len(), 500);
+    }
+}

@@ -1,0 +1,65 @@
+//! Recall helpers shared by tests and the benchmark harness.
+
+use crate::oracle::Oracle;
+use crate::trace::{replay, TraceEvent};
+use sparta_corpus::types::DocId;
+use std::time::Duration;
+
+/// Tie-aware recall of `docs` against `oracle` (see
+/// [`Oracle::recall`]).
+pub fn recall_of_docs(oracle: &Oracle, docs: &[DocId]) -> f64 {
+    oracle.recall(docs)
+}
+
+/// Recall-over-time curve for one traced run (Figures 3f/3g): for each
+/// of `samples` instants in `[0, horizon]`, the recall of the top-k
+/// candidate set implied by the trace so far.
+pub fn recall_dynamics(
+    events: &[TraceEvent],
+    oracle: &Oracle,
+    horizon: Duration,
+    samples: usize,
+) -> Vec<(Duration, f64)> {
+    replay(events, oracle.k(), horizon, samples, |docs| {
+        oracle.recall(docs)
+    })
+}
+
+/// Time (if any) at which the curve first reaches `target` recall.
+pub fn time_to_recall(curve: &[(Duration, f64)], target: f64) -> Option<Duration> {
+    curve.iter().find(|(_, r)| *r >= target).map(|(t, _)| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparta_corpus::types::Query;
+    use sparta_index::{InMemoryIndex, Posting};
+
+    #[test]
+    fn dynamics_reach_full_recall() {
+        let t0 = vec![
+            Posting::new(0, 30),
+            Posting::new(1, 20),
+            Posting::new(2, 10),
+        ];
+        let ix = InMemoryIndex::from_term_postings(vec![t0], 5);
+        let oracle = Oracle::compute(&ix, &Query::new(vec![0]), 2);
+        let events = vec![
+            TraceEvent { at: Duration::from_millis(1), doc: 2, score: 10 },
+            TraceEvent { at: Duration::from_millis(2), doc: 0, score: 30 },
+            TraceEvent { at: Duration::from_millis(6), doc: 1, score: 20 },
+        ];
+        let curve = recall_dynamics(&events, &oracle, Duration::from_millis(10), 5);
+        assert_eq!(curve.len(), 5);
+        // After 2ms: {2, 0} → recall 0.5; after 6ms: {0, 1} → 1.0.
+        assert_eq!(curve[0].1, 0.5);
+        assert_eq!(curve[4].1, 1.0);
+        assert_eq!(
+            time_to_recall(&curve, 1.0),
+            Some(Duration::from_millis(6)),
+            "first sample at/after the winning event"
+        );
+        assert_eq!(time_to_recall(&curve, 1.1), None);
+    }
+}

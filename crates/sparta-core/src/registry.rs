@@ -1,0 +1,76 @@
+//! Name-indexed registry of all implemented algorithms, used by the
+//! benchmark harness and the `repro` binary.
+
+use crate::docorder::{MaxScore, PBmw, SeqBmw, Wand};
+use crate::jass::Jass;
+use crate::pjass::PJass;
+use crate::pnra::PNra;
+use crate::pra::PRa;
+use crate::snra::SNra;
+use crate::sparta::Sparta;
+use crate::ta::{SeqNra, SeqRa};
+use crate::Algorithm;
+use std::sync::Arc;
+
+/// All algorithms, parallel and sequential.
+pub fn all_algorithms() -> Vec<Arc<dyn Algorithm>> {
+    vec![
+        Arc::new(Sparta),
+        Arc::new(PRa),
+        Arc::new(PNra),
+        Arc::new(SNra),
+        Arc::new(PBmw),
+        Arc::new(PJass),
+        Arc::new(SeqNra),
+        Arc::new(SeqRa),
+        Arc::new(SeqBmw),
+        Arc::new(Wand),
+        Arc::new(MaxScore),
+        Arc::new(Jass),
+    ]
+}
+
+/// The six algorithms of the paper's case study (§5.2), in the order
+/// of Table 2.
+pub fn case_study_algorithms() -> Vec<Arc<dyn Algorithm>> {
+    vec![
+        Arc::new(Sparta),
+        Arc::new(PNra),
+        Arc::new(SNra),
+        Arc::new(PRa),
+        Arc::new(PBmw),
+        Arc::new(PJass),
+    ]
+}
+
+/// Looks an algorithm up by its [`Algorithm::name`].
+pub fn algorithm_by_name(name: &str) -> Option<Arc<dyn Algorithm>> {
+    all_algorithms().into_iter().find(|a| a.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let algos = all_algorithms();
+        let mut names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate algorithm names");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(algorithm_by_name("sparta").is_some());
+        assert!(algorithm_by_name("pbmw").is_some());
+        assert!(algorithm_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn case_study_has_six() {
+        assert_eq!(case_study_algorithms().len(), 6);
+    }
+}

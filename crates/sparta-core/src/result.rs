@@ -1,0 +1,105 @@
+//! Search results and work accounting.
+
+use crate::trace::TraceEvent;
+use sparta_corpus::types::DocId;
+use std::time::Duration;
+
+/// One retrieved document.
+///
+/// For full-scoring algorithms (RA, BMW, JASS at completion) `score`
+/// is the exact document score; for NRA-family algorithms it is the
+/// *lower bound* the heap was ordered by (§3.2) — correct as a rank
+/// key at termination, but possibly below the true score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SearchHit {
+    /// Document id.
+    pub doc: DocId,
+    /// Score (or lower bound) the algorithm ranked the document by.
+    pub score: u64,
+}
+
+/// Work performed during one search — the scheduling-independent
+/// metrics used alongside wall-clock latency (this reproduction runs
+/// on fewer cores than the paper's 12, so work-based metrics carry the
+/// algorithmic comparison; see DESIGN.md §3.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Posting-list entries traversed (sequential accesses).
+    pub postings_scanned: u64,
+    /// Secondary-index lookups (RA family only).
+    pub random_accesses: u64,
+    /// Successful heap insertions/updates.
+    pub heap_updates: u64,
+    /// Peak size of the candidate document map (docMap / accumulator
+    /// table); the paper's memory-footprint argument (§6) shows up here.
+    pub docmap_peak: u64,
+    /// Cleaner passes executed (Sparta only).
+    pub cleaner_passes: u64,
+}
+
+/// The outcome of one top-k search.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// Hits in rank order (descending score, ties by descending doc).
+    pub hits: Vec<SearchHit>,
+    /// Wall-clock duration of the search.
+    pub elapsed: Duration,
+    /// Work counters.
+    pub work: WorkStats,
+    /// Heap trace, when requested via
+    /// [`SearchConfig::trace`](crate::SearchConfig).
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+impl TopKResult {
+    /// The returned document ids in rank order.
+    pub fn docs(&self) -> Vec<DocId> {
+        self.hits.iter().map(|h| h.doc).collect()
+    }
+
+    /// The returned scores in rank order.
+    pub fn scores(&self) -> Vec<u64> {
+        self.hits.iter().map(|h| h.score).collect()
+    }
+}
+
+/// Sorts hits into canonical rank order (descending score, ties by
+/// descending doc id) and truncates to `k`.
+pub fn finalize_hits(mut hits: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
+    hits.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(b.doc.cmp(&a.doc)));
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_orders_and_truncates() {
+        let hits = vec![
+            SearchHit { doc: 1, score: 10 },
+            SearchHit { doc: 2, score: 30 },
+            SearchHit { doc: 3, score: 30 },
+            SearchHit { doc: 4, score: 5 },
+        ];
+        let out = finalize_hits(hits, 3);
+        assert_eq!(
+            out.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            vec![3, 2, 1],
+            "score desc, tie by doc desc"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let r = TopKResult {
+            hits: vec![SearchHit { doc: 7, score: 9 }],
+            elapsed: Duration::from_millis(1),
+            work: WorkStats::default(),
+            trace: None,
+        };
+        assert_eq!(r.docs(), vec![7]);
+        assert_eq!(r.scores(), vec![9]);
+    }
+}

@@ -1,0 +1,240 @@
+//! sNRA — shared-nothing parallelization of NRA (§5.2.2).
+//!
+//! "sNRA is a shared-nothing parallelization of NRA, where the index
+//! is partitioned to [P] shards by document id. Each thread finds the
+//! top-k documents in its shard by running NRA independently with
+//! thread-local data structures. When all threads complete, their
+//! lists are merged and the global top-k documents are kept."
+//!
+//! The paper's point with this baseline is that *not* sharing state
+//! costs more than sharing it carefully: every shard must traverse
+//! deep into its lists because its local threshold is much weaker than
+//! the global one (the paper measures sNRA at 2× worse than even
+//! sequential NRA on ClueWeb). Shard materialization models the
+//! offline pre-partitioning of the index; its cost is excluded from
+//! the reported latency like the paper excludes index building.
+
+use crate::config::SearchConfig;
+use crate::result::{finalize_hits, SearchHit, TopKResult, WorkStats};
+use crate::ta::nra::run_nra;
+use crate::trace::TraceSink;
+use crate::Algorithm;
+use parking_lot::Mutex;
+use sparta_collections::BoundedTopK;
+use sparta_corpus::types::Query;
+use sparta_exec::{Executor, JobQueue};
+use sparta_index::cursor::SliceScoreCursor;
+use sparta_index::{Index, Posting, ScoreCursor};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The sNRA baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SNra;
+
+/// Pre-partitioned score-ordered posting lists: `shards[s][i]` is the
+/// slice of term i's list belonging to shard s (docs with
+/// `doc % P == s`), still in score order.
+pub struct ShardedLists {
+    shards: Vec<Vec<Arc<Vec<Posting>>>>,
+}
+
+impl ShardedLists {
+    /// Partitions the query terms' posting lists into `p` doc-id
+    /// shards by one sequential pass per list (filtering preserves
+    /// score order).
+    pub fn build(index: &Arc<dyn Index>, query: &Query, p: usize) -> Self {
+        assert!(p >= 1);
+        let m = query.terms.len();
+        let mut shards: Vec<Vec<Vec<Posting>>> = (0..p).map(|_| vec![Vec::new(); m]).collect();
+        for (i, &t) in query.terms.iter().enumerate() {
+            let mut c = index.score_cursor(t);
+            while let Some(post) = c.next() {
+                shards[(post.doc as usize) % p][i].push(post);
+            }
+        }
+        Self {
+            shards: shards
+                .into_iter()
+                .map(|terms| terms.into_iter().map(Arc::new).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether there are no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Opens owning cursors over shard `s`'s lists.
+    pub fn cursors(&self, s: usize) -> Vec<Box<dyn ScoreCursor + 'static>> {
+        self.shards[s]
+            .iter()
+            .map(|l| {
+                Box::new(SliceScoreCursor::new(ArcList(Arc::clone(l)))) as Box<dyn ScoreCursor>
+            })
+            .collect()
+    }
+}
+
+struct ArcList(Arc<Vec<Posting>>);
+
+impl AsRef<[Posting]> for ArcList {
+    fn as_ref(&self) -> &[Posting] {
+        self.0.as_slice()
+    }
+}
+
+impl Algorithm for SNra {
+    fn name(&self) -> &'static str {
+        "snra"
+    }
+
+    fn search(
+        &self,
+        index: &Arc<dyn Index>,
+        query: &Query,
+        cfg: &SearchConfig,
+        exec: &dyn Executor,
+    ) -> TopKResult {
+        let p = exec.parallelism().max(1);
+        let sharded = Arc::new(ShardedLists::build(index, query, p));
+        // Shard construction models offline pre-partitioning; latency
+        // measurement starts here, matching the paper's methodology.
+        let start = Instant::now();
+        let trace = Arc::new(TraceSink::new(cfg.trace));
+        let results: Arc<Vec<Mutex<(Vec<SearchHit>, WorkStats)>>> = Arc::new(
+            (0..p)
+                .map(|_| Mutex::new((Vec::new(), WorkStats::default())))
+                .collect(),
+        );
+        let queue = JobQueue::new();
+        let cfg_shard = *cfg;
+        for s in 0..p {
+            let sharded = Arc::clone(&sharded);
+            let results = Arc::clone(&results);
+            let trace = Arc::clone(&trace);
+            queue.push(Box::new(move || {
+                let cursors = sharded.cursors(s);
+                let (hits, work) = run_nra(cursors, &cfg_shard, &trace);
+                *results[s].lock() = (hits, work);
+            }));
+        }
+        exec.run(queue);
+
+        // Merge: global top-k over the shards' local top-k lists.
+        let mut merged = BoundedTopK::new(cfg.k);
+        let mut work = WorkStats::default();
+        for cell in results.iter() {
+            let (hits, w) = &*cell.lock();
+            for h in hits {
+                merged.offer(h.score, h.doc);
+            }
+            work.postings_scanned += w.postings_scanned;
+            work.heap_updates += w.heap_updates;
+            // Shared-nothing: the total candidate footprint is the
+            // *sum* of the shards' peaks.
+            work.docmap_peak += w.docmap_peak;
+        }
+        let hits = finalize_hits(
+            merged
+                .into_sorted_vec()
+                .into_iter()
+                .map(|e| SearchHit { doc: e.item, score: e.score })
+                .collect(),
+            cfg.k,
+        );
+        let trace = Arc::into_inner(trace).expect("all shard jobs drained");
+        TopKResult {
+            hits,
+            elapsed: start.elapsed(),
+            work,
+            trace: trace.into_events(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use sparta_exec::DedicatedExecutor;
+    use sparta_index::InMemoryIndex;
+
+    fn pseudo_index(n: u32, m: usize, seed: u32) -> Arc<dyn Index> {
+        let lists: Vec<Vec<Posting>> = (0..m as u32)
+            .map(|t| {
+                (0..n)
+                    .map(|d| {
+                        let x = d
+                            .wrapping_mul(2654435761)
+                            .wrapping_add(t * 17 + seed)
+                            .wrapping_mul(2246822519);
+                        Posting::new(d, x % 8_000 + 1)
+                    })
+                    .collect()
+            })
+            .collect();
+        Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(n)))
+    }
+
+    #[test]
+    fn shards_partition_all_postings() {
+        let ix = pseudo_index(1000, 2, 1);
+        let q = Query::new(vec![0, 1]);
+        let sh = ShardedLists::build(&ix, &q, 4);
+        assert_eq!(sh.len(), 4);
+        let total: usize = (0..4)
+            .map(|s| {
+                sh.cursors(s)
+                    .iter()
+                    .map(|c| c.len() as usize)
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(total, 2000);
+        // Each shard's lists hold only its residue class and remain
+        // score-ordered (checked by SliceScoreCursor's debug assert).
+        for s in 0..4 {
+            for mut c in sh.cursors(s) {
+                while let Some(p) = c.next() {
+                    assert_eq!(p.doc as usize % 4, s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_oracle() {
+        for threads in [1, 4] {
+            let ix = pseudo_index(3000, 3, 2);
+            let q = Query::new(vec![0, 1, 2]);
+            let cfg = SearchConfig::exact(10);
+            let oracle = Oracle::compute(ix.as_ref(), &q, 10);
+            let r = SNra.search(&ix, &q, &cfg, &DedicatedExecutor::new(threads));
+            assert_eq!(oracle.recall(&r.docs()), 1.0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shared_nothing_scans_more_than_shared() {
+        // The headline property: without a shared threshold each shard
+        // digs deeper, so total postings scanned exceed sequential NRA.
+        let ix = pseudo_index(20_000, 3, 3);
+        let q = Query::new(vec![0, 1, 2]);
+        let cfg = SearchConfig::exact(100);
+        let snra = SNra.search(&ix, &q, &cfg, &DedicatedExecutor::new(8));
+        let nra = crate::ta::SeqNra.search(&ix, &q, &cfg, &DedicatedExecutor::new(1));
+        assert!(
+            snra.work.postings_scanned > nra.work.postings_scanned,
+            "sNRA {} ≤ NRA {}",
+            snra.work.postings_scanned,
+            nra.work.postings_scanned
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Sparta's shared per-document record and upper-bound vector.
+
+use sparta_corpus::types::DocId;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// The paper's `DocType`: ⟨id, score[m], LB⟩ (Table 1).
+///
+/// `score[i]` is written **only** by the worker currently processing
+/// term i ("at most one thread processes each term", §4.3), and read
+/// by all; plain atomics with release/acquire ordering suffice — no
+/// lock. `LB` is "updated in a lazy manner while holding the global
+/// lock on docHeap" (§4.3), so it is only meaningful under that lock.
+#[derive(Debug)]
+pub struct DocType {
+    /// Document id.
+    pub id: DocId,
+    scores: Box<[AtomicU32]>,
+    lb: AtomicU64,
+}
+
+impl DocType {
+    /// Creates a record for `id` with `m` zeroed term scores.
+    pub fn new(id: DocId, m: usize) -> Self {
+        Self {
+            id,
+            scores: (0..m).map(|_| AtomicU32::new(0)).collect(),
+            lb: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of term slots.
+    pub fn arity(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Sets term i's score (owner thread only).
+    #[inline]
+    pub fn set_score(&self, i: usize, score: u32) {
+        self.scores[i].store(score, Ordering::Release);
+    }
+
+    /// Term i's score so far (0 = not yet seen).
+    #[inline]
+    pub fn score(&self, i: usize) -> u32 {
+        self.scores[i].load(Ordering::Acquire)
+    }
+
+    /// Sum of the known term scores — the document's lower bound,
+    /// computed fresh (Alg. 1 line 23 / 31).
+    #[inline]
+    pub fn current_sum(&self) -> u64 {
+        self.scores
+            .iter()
+            .map(|s| u64::from(s.load(Ordering::Acquire)))
+            .sum()
+    }
+
+    /// The lazily cached LB (valid under the heap lock).
+    #[inline]
+    pub fn lb(&self) -> u64 {
+        self.lb.load(Ordering::Acquire)
+    }
+
+    /// Stores the recomputed LB (heap lock held).
+    #[inline]
+    pub fn set_lb(&self, lb: u64) {
+        self.lb.store(lb, Ordering::Release);
+    }
+
+    /// Upper bound `UB(D) = Σᵢ (score[i] > 0 ? score[i] : UB[i])`
+    /// (Table 1).
+    pub fn ub(&self, ub: &SharedUb) -> u64 {
+        self.ub_scaled(ub, 1.0)
+    }
+
+    /// Probabilistically *estimated* bound: unknown term contributions
+    /// count as `γ·UB[i]` (γ = 1 gives the safe bound). The basis of
+    /// the probabilistic-pruning extension (§6 future work).
+    pub fn ub_scaled(&self, ub: &SharedUb, gamma: f64) -> u64 {
+        self.scores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let v = s.load(Ordering::Acquire);
+                if v > 0 {
+                    u64::from(v)
+                } else if gamma >= 1.0 {
+                    ub.get(i)
+                } else {
+                    (ub.get(i) as f64 * gamma) as u64
+                }
+            })
+            .sum()
+    }
+}
+
+/// The shared `UB[m]` vector (Table 1, init ∞). Entry i is written
+/// only by the worker owning term i — at the **end of each segment**,
+/// not per posting, to keep other workers' cached copies valid longer
+/// ("instead of updating UB after each document evaluation, the
+/// workers update it at the end of a segment traversal", §4.3).
+#[derive(Debug)]
+pub struct SharedUb {
+    ub: Box<[AtomicU64]>,
+}
+
+impl SharedUb {
+    /// Creates bounds for `m` terms, all ∞ (`u32::MAX` suffices: no
+    /// term score exceeds it).
+    pub fn new(m: usize) -> Self {
+        Self {
+            ub: (0..m).map(|_| AtomicU64::new(u64::from(u32::MAX))).collect(),
+        }
+    }
+
+    /// UB[i].
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.ub[i].load(Ordering::Acquire)
+    }
+
+    /// Sets UB[i] to the last traversed score (segment end).
+    #[inline]
+    pub fn set(&self, i: usize, score: u32) {
+        self.ub[i].store(u64::from(score), Ordering::Release);
+    }
+
+    /// Marks term i exhausted: no untraversed postings remain.
+    #[inline]
+    pub fn exhaust(&self, i: usize) {
+        self.ub[i].store(0, Ordering::Release);
+    }
+
+    /// Σᵢ UB[i].
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.ub.iter().map(|u| u.load(Ordering::Acquire)).sum()
+    }
+
+    /// Equation 1: Σᵢ UB[i] ≤ Θ.
+    #[inline]
+    pub fn ub_stop(&self, theta: u64) -> bool {
+        self.sum() <= theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_type_scores_and_sum() {
+        let d = DocType::new(7, 3);
+        assert_eq!(d.arity(), 3);
+        assert_eq!(d.current_sum(), 0);
+        d.set_score(0, 11);
+        d.set_score(2, 41);
+        assert_eq!(d.score(0), 11);
+        assert_eq!(d.score(1), 0);
+        assert_eq!(d.current_sum(), 52);
+        d.set_lb(52);
+        assert_eq!(d.lb(), 52);
+    }
+
+    #[test]
+    fn figure_1_doc_ub() {
+        // UB = [38, 32, 41]; D57 knows terms 2 and 3 (40, 41).
+        let ub = SharedUb::new(3);
+        ub.set(0, 38);
+        ub.set(1, 32);
+        ub.set(2, 41);
+        let d = DocType::new(57, 3);
+        d.set_score(1, 40);
+        d.set_score(2, 41);
+        assert_eq!(d.ub(&ub), 38 + 40 + 41);
+    }
+
+    #[test]
+    fn shared_ub_starts_infinite_and_stops_on_exhaustion() {
+        let ub = SharedUb::new(2);
+        assert!(!ub.ub_stop(u64::from(u32::MAX)), "2·MAX > MAX");
+        ub.set(0, 10);
+        ub.exhaust(1);
+        assert_eq!(ub.sum(), 10);
+        assert!(ub.ub_stop(10));
+        assert!(!ub.ub_stop(9));
+    }
+
+    #[test]
+    fn scaled_ub_discounts_unknown_terms_only() {
+        let ub = SharedUb::new(3);
+        ub.set(0, 100);
+        ub.set(1, 100);
+        ub.set(2, 100);
+        let d = DocType::new(1, 3);
+        d.set_score(0, 40);
+        // Known score counts fully; two unknowns at γ = 0.5.
+        assert_eq!(d.ub_scaled(&ub, 0.5), 40 + 50 + 50);
+        assert_eq!(d.ub_scaled(&ub, 1.0), d.ub(&ub));
+        assert_eq!(d.ub(&ub), 240);
+    }
+
+    #[test]
+    fn concurrent_owner_writes_are_visible() {
+        use std::sync::Arc;
+        let d = Arc::new(DocType::new(1, 4));
+        std::thread::scope(|s| {
+            for i in 0..4usize {
+                let d = Arc::clone(&d);
+                s.spawn(move || d.set_score(i, (i as u32 + 1) * 10));
+            }
+        });
+        assert_eq!(d.current_sum(), 10 + 20 + 30 + 40);
+    }
+}

@@ -1,0 +1,503 @@
+//! Sparta — Scalable PARallel Threshold Algorithm (Algorithm 1).
+//!
+//! Sparta parallelizes NRA across the query's m posting lists with
+//! three locality/synchronization optimizations (§4):
+//!
+//! 1. **Segmented traversal with lazy UB updates** — posting lists are
+//!    traversed in segments allocated through a job queue; the shared
+//!    `UB[i]` is written once per segment, not per posting.
+//! 2. **A cleaner task** — once `UBStop` (Eq. 1) first holds, no new
+//!    document can enter the top-k, so the shared `docMap` stops
+//!    growing; a background task repeatedly rebuilds it without dead
+//!    candidates (`UB(D) ≤ Θ`) and publishes the pruned map with a
+//!    single pointer swing. It also detects termination: Eq. 2 holds
+//!    exactly when `|docMap| = |docHeap|`, and the Δ-timeout implements
+//!    the approximate variant.
+//! 3. **Term-local map replicas** — when `|docMap|` drops below Φ, the
+//!    worker owning a posting list copies the entries still missing its
+//!    term's score into a thread-local `termMap` that fits in cache,
+//!    eliminating shared-map reads entirely.
+//!
+//! Deviation from the pseudocode, documented: Algorithm 1's *main
+//! thread* waits for `UBStop` and then enqueues CLEANER (lines 4–5).
+//! We have no dedicated main thread per query (the same code must run
+//! on a shared pool in throughput mode), so the first worker that
+//! observes `UBStop` enqueues the cleaner instead — same trigger, same
+//! once-only semantics. Likewise, the cleaner prunes on every pass
+//! rather than only while `|docMap| > Φ`; pruning below Φ is required
+//! for the exact variant's `|docMap| = |docHeap|` condition to become
+//! true, and is exactly what shrinks `termMap`-eligible copies.
+
+pub mod doc_type;
+pub mod heap;
+
+pub use doc_type::{DocType, SharedUb};
+pub use heap::SpartaHeap;
+
+use crate::config::SearchConfig;
+use crate::result::{TopKResult, WorkStats};
+use crate::trace::TraceSink;
+use crate::Algorithm;
+use sparta_collections::{ShardedCounter, StripedMap, SwapCell};
+use sparta_corpus::types::{DocId, Query, TermId};
+use sparta_exec::{Executor, JobQueue};
+use sparta_index::{Index, ScoreCursor};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The Sparta algorithm.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Sparta;
+
+/// Shared per-query state (Table 1).
+struct State {
+    m: usize,
+    cfg: SearchConfig,
+    ub: SharedUb,
+    heap: SpartaHeap,
+    doc_map: SwapCell<StripedMap<DocId, Arc<DocType>>>,
+    done: AtomicBool,
+    cleaner_scheduled: AtomicBool,
+    trace: TraceSink,
+    postings: ShardedCounter,
+    docmap_peak: AtomicU64,
+    cleaner_passes: AtomicU64,
+}
+
+impl State {
+    fn new(m: usize, cfg: SearchConfig) -> Self {
+        Self {
+            m,
+            cfg,
+            ub: SharedUb::new(m),
+            heap: SpartaHeap::new(cfg.k),
+            doc_map: SwapCell::new(StripedMap::new()),
+            done: AtomicBool::new(false),
+            cleaner_scheduled: AtomicBool::new(false),
+            trace: TraceSink::new(cfg.trace),
+            postings: ShardedCounter::new(),
+            docmap_peak: AtomicU64::new(0),
+            cleaner_passes: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn ub_stop(&self) -> bool {
+        self.ub.ub_stop(self.heap.theta())
+    }
+
+    #[inline]
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Enqueues the cleaner the first time `UBStop` is observed
+    /// (Alg. 1 lines 4–5, worker-triggered; see module docs).
+    fn maybe_schedule_cleaner(self: &Arc<Self>, queue: &Arc<JobQueue>) {
+        if self.ub_stop() && !self.cleaner_scheduled.swap(true, Ordering::AcqRel) {
+            let state = Arc::clone(self);
+            let q = Arc::clone(queue);
+            queue.push(Box::new(move || cleaner(state, q)));
+        }
+    }
+}
+
+/// A worker's thread-local replica of `docMap` restricted to one term
+/// (§4.3). Owned by whichever job currently processes the term, handed
+/// to the continuation job — "every posting list is accessed by at
+/// most one worker at any given time, [so] no synchronization is
+/// required".
+type TermMap = HashMap<DocId, Arc<DocType>>;
+
+/// PROCESSTERM(i) (Alg. 1 lines 8–25): traverses one segment of term
+/// i's posting list, then re-enqueues itself.
+fn process_term(
+    state: Arc<State>,
+    queue: Arc<JobQueue>,
+    i: usize,
+    mut cursor: Box<dyn ScoreCursor>,
+    mut term_map: Option<TermMap>,
+) {
+    if state.is_done() {
+        return;
+    }
+    // Lines 9–12: once the shrinking docMap is small, build the local
+    // replica of the entries still missing this term's score.
+    if term_map.is_none() && state.ub_stop() {
+        let map = state.doc_map.load();
+        if map.len() < state.cfg.phi {
+            let mut local = TermMap::with_capacity(map.len());
+            map.for_each(|id, d| {
+                if d.score(i) == 0 {
+                    local.insert(*id, Arc::clone(d));
+                }
+            });
+            term_map = Some(local);
+        }
+    }
+    // Workers not yet on a local map take one snapshot per segment;
+    // before UBStop the map is never swapped (single instance), and
+    // after UBStop a stale snapshot can only contain already-dead
+    // entries, so updating through it is harmless.
+    let snapshot = if term_map.is_none() {
+        Some(state.doc_map.load())
+    } else {
+        None
+    };
+
+    let mut last_score: Option<u32> = None;
+    let mut exhausted = false;
+    for _ in 0..state.cfg.seg_size {
+        if state.is_done() {
+            return; // line 14
+        }
+        let Some(p) = cursor.next() else {
+            exhausted = true;
+            break;
+        };
+        state.postings.incr();
+        last_score = Some(p.score);
+        // Lines 16–21: locate (or admit) the document's record.
+        let d = match (&term_map, &snapshot) {
+            (Some(local), _) => local.get(&p.doc).cloned(),
+            (None, Some(map)) => map.get_or_try_insert_with(p.doc, !state.ub_stop(), || {
+                Arc::new(DocType::new(p.doc, state.m))
+            }),
+            _ => unreachable!("exactly one of term_map/snapshot is set"),
+        };
+        if let Some(d) = d {
+            d.set_score(i, p.score); // line 22
+            if d.current_sum() > state.heap.theta() {
+                state.heap.update(&d, &state.trace); // line 23
+            }
+        }
+    }
+    // Line 24: publish the term's upper bound once per segment.
+    if let Some(s) = last_score {
+        state.ub.set(i, s);
+    }
+    if exhausted {
+        // Nothing untraversed remains: the bound drops to zero (the
+        // pseudocode leaves list exhaustion implicit).
+        state.ub.exhaust(i);
+    }
+    if let Some(map) = &snapshot {
+        state
+            .docmap_peak
+            .fetch_max(map.len() as u64, Ordering::Relaxed);
+    }
+    state.maybe_schedule_cleaner(&queue);
+    if !exhausted && !state.is_done() {
+        // Line 25: enqueue the next segment of the same list.
+        let q = Arc::clone(&queue);
+        queue.push(Box::new(move || process_term(state, q, i, cursor, term_map)));
+    }
+}
+
+/// CLEANER (Alg. 1 lines 39–48).
+fn cleaner(state: Arc<State>, queue: Arc<JobQueue>) {
+    if state.is_done() {
+        return;
+    }
+    state.cleaner_passes.fetch_add(1, Ordering::Relaxed);
+    let cur = state.doc_map.load();
+    let theta = state.heap.theta();
+    let members = state.heap.members_snapshot();
+    state
+        .docmap_peak
+        .fetch_max(cur.len() as u64, Ordering::Relaxed);
+    // Lines 41–45: rebuild into tmpDocMap, keeping entries whose upper
+    // bound still exceeds Θ, plus all heap members (whose bounds may
+    // equal Θ), then swing the global pointer. With the probabilistic
+    // extension (γ < 1), "upper bound" becomes the γ-scaled estimate —
+    // candidates merely *unlikely* to reach Θ are dropped too.
+    //
+    // `stragglers` counts retained non-members: the pseudocode's
+    // `|docMap| = |docHeap|` stopping test assumes docHeap ⊆ docMap
+    // and is exactly `stragglers == 0` then. We check stragglers
+    // directly because with γ < 1 a pruned candidate can later re-grow
+    // and re-enter the heap through a worker's termMap, breaking the
+    // ⊆ invariant (a size-equality check would then never fire and the
+    // query would degrade to a full scan).
+    let gamma = state.cfg.prune_gamma.unwrap_or(1.0);
+    let tmp: StripedMap<DocId, Arc<DocType>> = StripedMap::new();
+    let mut stragglers = 0usize;
+    cur.for_each(|id, d| {
+        let member = members.contains(id);
+        if member || d.ub_scaled(&state.ub, gamma) > theta {
+            if !member {
+                stragglers += 1;
+            }
+            tmp.insert(*id, Arc::clone(d));
+        }
+    });
+    if tmp.len() < cur.len() {
+        state.doc_map.swap(Arc::new(tmp));
+    }
+    // Line 46: stopping conditions — Eq. 2 (no candidate outside the
+    // heap can still qualify), or the Δ timeout (exact: Δ = ∞).
+    if std::env::var_os("SPARTA_DEBUG_CLEANER").is_some() {
+        eprintln!(
+            "cleaner: map={} heap={} stragglers={stragglers} theta={} ubsum={}",
+            state.doc_map.load().len(),
+            state.heap.len(),
+            state.heap.theta(),
+            state.ub.sum()
+        );
+    }
+    let eq2 = stragglers == 0;
+    let timed_out = state
+        .cfg
+        .delta
+        .is_some_and(|d| state.heap.since_last_update() >= d);
+    if eq2 || timed_out {
+        state.done.store(true, Ordering::Release); // line 47
+    } else {
+        let q = Arc::clone(&queue);
+        queue.push(Box::new(move || cleaner(state, q))); // line 48
+    }
+}
+
+impl Algorithm for Sparta {
+    fn name(&self) -> &'static str {
+        "sparta"
+    }
+
+    fn search(
+        &self,
+        index: &Arc<dyn Index>,
+        query: &Query,
+        cfg: &SearchConfig,
+        exec: &dyn Executor,
+    ) -> TopKResult {
+        let start = Instant::now();
+        let m = query.terms.len();
+        if m == 0 {
+            return TopKResult {
+                hits: Vec::new(),
+                elapsed: start.elapsed(),
+                work: WorkStats::default(),
+                trace: cfg.trace.then(Vec::new),
+            };
+        }
+        let state = Arc::new(State::new(m, *cfg));
+        let queue = JobQueue::new();
+        for (i, &t) in query.terms.iter().enumerate() {
+            let cursor = open_cursor(index, t);
+            let st = Arc::clone(&state);
+            let q = Arc::clone(&queue);
+            queue.push(Box::new(move || process_term(st, q, i, cursor, None)));
+        }
+        exec.run(Arc::clone(&queue));
+
+        let mut hits = state.heap.sorted_hits();
+        hits.truncate(cfg.k);
+        let work = WorkStats {
+            postings_scanned: state.postings.get(),
+            random_accesses: 0,
+            heap_updates: state.heap.update_count(),
+            docmap_peak: state.docmap_peak.load(Ordering::Relaxed),
+            cleaner_passes: state.cleaner_passes.load(Ordering::Relaxed),
+        };
+        let state = Arc::into_inner(state).expect("all jobs drained");
+        TopKResult {
+            hits,
+            elapsed: start.elapsed(),
+            work,
+            trace: state.trace.into_events(),
+        }
+    }
+}
+
+/// Opens an owning score cursor for `term`.
+pub(crate) fn open_cursor(index: &Arc<dyn Index>, term: TermId) -> Box<dyn ScoreCursor> {
+    Arc::clone(index).score_cursor_arc(term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use sparta_exec::DedicatedExecutor;
+    use sparta_index::{InMemoryIndex, Posting};
+
+    fn pseudo_index(n: u32, m: usize, seed: u32) -> Arc<dyn Index> {
+        let lists: Vec<Vec<Posting>> = (0..m as u32)
+            .map(|t| {
+                (0..n)
+                    .map(|d| {
+                        let x = d
+                            .wrapping_mul(2654435761)
+                            .wrapping_add(t * 97 + seed)
+                            .wrapping_mul(2246822519);
+                        Posting::new(d, x % 10_000 + 1)
+                    })
+                    .collect()
+            })
+            .collect();
+        Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(n)))
+    }
+
+    fn check_exact(n: u32, m: usize, k: usize, threads: usize, seed: u32) {
+        let ix = pseudo_index(n, m, seed);
+        let q = Query::new((0..m as u32).collect());
+        let cfg = SearchConfig::exact(k).with_seg_size(64).with_phi(256);
+        let oracle = Oracle::compute(ix.as_ref(), &q, k);
+        let r = Sparta.search(&ix, &q, &cfg, &DedicatedExecutor::new(threads));
+        assert_eq!(
+            oracle.recall(&r.docs()),
+            1.0,
+            "n={n} m={m} k={k} t={threads}: got {:?}",
+            r.docs()
+        );
+    }
+
+    #[test]
+    fn exact_single_thread() {
+        check_exact(2000, 3, 10, 1, 1);
+    }
+
+    #[test]
+    fn exact_multi_thread() {
+        check_exact(2000, 3, 10, 3, 2);
+    }
+
+    #[test]
+    fn exact_more_threads_than_terms() {
+        check_exact(1000, 2, 5, 8, 3);
+    }
+
+    #[test]
+    fn exact_many_terms() {
+        check_exact(1500, 8, 20, 8, 4);
+    }
+
+    #[test]
+    fn exact_k_larger_than_matches() {
+        let t0 = vec![Posting::new(1, 10), Posting::new(5, 30)];
+        let ix: Arc<dyn Index> = Arc::new(InMemoryIndex::from_term_postings(vec![t0], 10));
+        let q = Query::new(vec![0]);
+        let cfg = SearchConfig::exact(100);
+        let r = Sparta.search(&ix, &q, &cfg, &DedicatedExecutor::new(2));
+        assert_eq!(r.docs(), vec![5, 1]);
+    }
+
+    #[test]
+    fn empty_query_returns_empty() {
+        let ix = pseudo_index(100, 2, 0);
+        let r = Sparta.search(
+            &ix,
+            &Query::new(vec![]),
+            &SearchConfig::exact(10),
+            &DedicatedExecutor::new(2),
+        );
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn cleaner_shrinks_docmap() {
+        let ix = pseudo_index(5000, 4, 7);
+        let q = Query::new(vec![0, 1, 2, 3]);
+        let cfg = SearchConfig::exact(10).with_seg_size(128).with_phi(512);
+        let r = Sparta.search(&ix, &q, &cfg, &DedicatedExecutor::new(4));
+        assert!(r.work.cleaner_passes > 0, "cleaner must have run");
+        assert!(r.work.docmap_peak > 10, "docMap grew beyond k");
+    }
+
+    #[test]
+    fn approximate_delta_stops_and_keeps_high_recall() {
+        let ix = pseudo_index(20_000, 4, 9);
+        let q = Query::new(vec![0, 1, 2, 3]);
+        let exact = SearchConfig::exact(50).with_seg_size(256);
+        let oracle = Oracle::compute(ix.as_ref(), &q, 50);
+        // A Δ far above the query's runtime must not harm exactness…
+        let generous = exact.with_delta(Some(std::time::Duration::from_secs(30)));
+        let r = Sparta.search(&ix, &q, &generous, &DedicatedExecutor::new(4));
+        assert_eq!(oracle.recall(&r.docs()), 1.0, "generous Δ stays exact");
+        // …while a tiny Δ must terminate promptly with a full (if
+        // imperfect) result set. Recall under a tiny Δ is timing
+        // dependent, so only structural properties are asserted.
+        let tiny = exact.with_delta(Some(std::time::Duration::from_micros(50)));
+        let r = Sparta.search(&ix, &q, &tiny, &DedicatedExecutor::new(4));
+        assert_eq!(r.hits.len(), 50, "still returns a full result set");
+        assert!(
+            r.hits.windows(2).all(|w| w[0].score >= w[1].score),
+            "rank order preserved"
+        );
+    }
+
+    #[test]
+    fn work_stats_populated() {
+        let ix = pseudo_index(3000, 3, 11);
+        let q = Query::new(vec![0, 1, 2]);
+        let cfg = SearchConfig::exact(10).with_seg_size(64).with_phi(128);
+        let r = Sparta.search(&ix, &q, &cfg, &DedicatedExecutor::new(3));
+        assert!(r.work.postings_scanned > 0);
+        assert!(r.work.heap_updates >= 10);
+        assert_eq!(r.work.random_accesses, 0, "Sparta never random-accesses");
+    }
+
+    #[test]
+    fn probabilistic_pruning_gamma_one_is_exact() {
+        let ix = pseudo_index(4000, 4, 17);
+        let q = Query::new(vec![0, 1, 2, 3]);
+        let cfg = SearchConfig::exact(20).with_prune_gamma(1.0);
+        let oracle = Oracle::compute(ix.as_ref(), &q, 20);
+        let r = Sparta.search(&ix, &q, &cfg, &DedicatedExecutor::new(4));
+        assert_eq!(oracle.recall(&r.docs()), 1.0, "γ = 1 must stay safe");
+    }
+
+    #[test]
+    fn probabilistic_pruning_trades_work_for_recall() {
+        let ix = pseudo_index(20_000, 4, 19);
+        let q = Query::new(vec![0, 1, 2, 3]);
+        let base = SearchConfig::exact(50).with_seg_size(256);
+        let oracle = Oracle::compute(ix.as_ref(), &q, 50);
+        // Single-threaded for a deterministic job schedule — posting
+        // counts are only comparable under identical interleavings.
+        let exact = Sparta.search(&ix, &q, &base, &DedicatedExecutor::new(1));
+        let prob = Sparta.search(
+            &ix,
+            &q,
+            &base.with_prune_gamma(0.9),
+            &DedicatedExecutor::new(1),
+        );
+        assert_eq!(oracle.recall(&exact.docs()), 1.0);
+        // γ = 0.9 prunes boundary candidates early: no more postings
+        // than the safe run at a small recall cost. (On this uniform
+        // synthetic index the recall-vs-γ curve is a cliff: boundary
+        // candidates all have similar estimated bounds, so γ ≲ 0.7
+        // drops the whole band at once — documented in EXPERIMENTS.md.)
+        assert!(
+            prob.work.postings_scanned <= exact.work.postings_scanned,
+            "prob {} > exact {}",
+            prob.work.postings_scanned,
+            exact.work.postings_scanned
+        );
+        let rec = oracle.recall(&prob.docs());
+        assert!(rec >= 0.9, "γ=0.9 recall collapsed to {rec}");
+        assert_eq!(prob.hits.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "γ must be in (0, 1]")]
+    fn invalid_gamma_rejected() {
+        let _ = SearchConfig::exact(10).with_prune_gamma(1.5);
+    }
+
+    #[test]
+    fn trace_events_cover_final_heap() {
+        let ix = pseudo_index(2000, 3, 13);
+        let q = Query::new(vec![0, 1, 2]);
+        let cfg = SearchConfig::exact(10).with_trace(true);
+        let r = Sparta.search(&ix, &q, &cfg, &DedicatedExecutor::new(3));
+        let trace = r.trace.expect("trace enabled");
+        let traced: std::collections::HashSet<DocId> =
+            trace.iter().map(|e| e.doc).collect();
+        for h in &r.hits {
+            assert!(traced.contains(&h.doc), "hit {} missing from trace", h.doc);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Query workload generation.
+//!
+//! The paper draws its latency/recall workloads from the AOL search
+//! log: "For each number of terms from 1 to 12, we independently
+//! sample 100 queries of this length uniformly at random" (§5.1); and
+//! its throughput workload (Table 4) from the voice-query length
+//! distribution of Guy [SIGIR'16]: "the average query length is 4.2
+//! with a standard deviation of 2.96. More than 5% of the queries have
+//! 10 or more terms" (§5.3).
+//!
+//! Without the AOL log we sample query terms from the corpus
+//! vocabulary itself, weighted by a sub-linear power of document
+//! frequency (`df^0.7`). This mimics real query logs, whose terms are
+//! skewed toward common words but less sharply than the document text
+//! distribution, and guarantees every query term actually has a
+//! posting list.
+
+use crate::sampling::normal_unit;
+use crate::types::{CorpusStats, Query, TermId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Discrete query-length distribution fit to the voice-search
+/// statistics of Guy [SIGIR'16] (mean 4.2, σ 2.96, P(len ≥ 10) > 5%).
+///
+/// Implemented as a rounded log-normal: a log-normal with matching
+/// mean/σ (μ = 1.2335, σ = 0.6351) rounded to the nearest integer ≥ 1.
+/// The moment match is verified by a statistical test in this module.
+#[derive(Debug, Clone, Copy)]
+pub struct VoiceLengthDistribution {
+    mu: f64,
+    sigma: f64,
+    /// Lengths are clamped to this maximum (the benchmark pools have
+    /// queries up to 12 terms, like the paper's AOL sample).
+    pub max_len: usize,
+}
+
+impl VoiceLengthDistribution {
+    /// The distribution from the paper's citation, clamped at `max_len`.
+    pub fn new(max_len: usize) -> Self {
+        // Derivation: cv² = (2.96/4.2)² = 0.4967,
+        // σ² = ln(1+cv²) = 0.4033, μ = ln(4.2) − σ²/2 = 1.2335.
+        Self {
+            mu: 1.2335,
+            sigma: 0.4033f64.sqrt(),
+            max_len,
+        }
+    }
+
+    /// Samples a query length in `1..=max_len`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let z = normal_unit(rng);
+        let x = (self.mu + self.sigma * z).exp();
+        (x.round() as usize).clamp(1, self.max_len)
+    }
+}
+
+/// A pool of generated queries, grouped by length, mirroring the
+/// paper's AOL sample (100 queries per length 1–12 = 1200 queries).
+#[derive(Debug, Clone)]
+pub struct QueryLog {
+    /// `by_length[m - 1]` holds the queries with exactly `m` terms.
+    by_length: Vec<Vec<Query>>,
+}
+
+impl QueryLog {
+    /// Generates `per_length` queries for every length `1..=max_len`.
+    ///
+    /// Terms are drawn without replacement within a query, with
+    /// probability ∝ `df(t)^0.7` over terms with `df ≥ min_df`.
+    pub fn generate(
+        stats: &CorpusStats,
+        per_length: usize,
+        max_len: usize,
+        seed: u64,
+    ) -> Self {
+        let min_df = 2u32;
+        let candidates: Vec<TermId> = (0..stats.vocab_size() as TermId)
+            .filter(|&t| stats.df(t) >= min_df)
+            .collect();
+        assert!(
+            candidates.len() >= max_len,
+            "vocabulary too small for {max_len}-term queries"
+        );
+        // Cumulative weights for binary-search sampling.
+        let mut cum = Vec::with_capacity(candidates.len());
+        let mut total = 0.0f64;
+        for &t in &candidates {
+            total += f64::from(stats.df(t)).powf(0.7);
+            cum.push(total);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut by_length = Vec::with_capacity(max_len);
+        for m in 1..=max_len {
+            let mut queries = Vec::with_capacity(per_length);
+            for _ in 0..per_length {
+                let mut terms: Vec<TermId> = Vec::with_capacity(m);
+                while terms.len() < m {
+                    let x = rng.gen::<f64>() * total;
+                    let idx = cum.partition_point(|&c| c < x).min(candidates.len() - 1);
+                    let t = candidates[idx];
+                    if !terms.contains(&t) {
+                        terms.push(t);
+                    }
+                }
+                queries.push(Query::new(terms));
+            }
+            by_length.push(queries);
+        }
+        Self { by_length }
+    }
+
+    /// Maximum query length available.
+    pub fn max_len(&self) -> usize {
+        self.by_length.len()
+    }
+
+    /// The queries of exactly `m` terms.
+    ///
+    /// # Panics
+    /// Panics if `m` is 0 or exceeds [`max_len`](Self::max_len).
+    pub fn of_length(&self, m: usize) -> &[Query] {
+        &self.by_length[m - 1]
+    }
+
+    /// All queries, flattened.
+    pub fn all(&self) -> impl Iterator<Item = &Query> {
+        self.by_length.iter().flatten()
+    }
+
+    /// Generates the Table 4 production mix: `n` queries whose lengths
+    /// follow [`VoiceLengthDistribution`], each chosen uniformly among
+    /// this log's queries of that length (§5.3: "we first sample a
+    /// query length ℓ … then select a query uniformly at random among
+    /// all the length-ℓ queries").
+    pub fn voice_mix(&self, n: usize, seed: u64) -> Vec<Query> {
+        let dist = VoiceLengthDistribution::new(self.max_len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let len = dist.sample(&mut rng);
+                let pool = self.of_length(len);
+                pool[rng.gen_range(0..pool.len())].clone()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{CorpusModel, SynthCorpus};
+
+    fn stats() -> CorpusStats {
+        SynthCorpus::build(CorpusModel::tiny(99)).stats().clone()
+    }
+
+    #[test]
+    fn voice_distribution_matches_cited_moments() {
+        let d = VoiceLengthDistribution::new(30);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<usize> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<usize>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let long = samples.iter().filter(|&&x| x >= 10).count() as f64 / n as f64;
+        assert!((mean - 4.2).abs() < 0.25, "mean {mean}, want ≈4.2");
+        assert!((var.sqrt() - 2.96).abs() < 0.45, "sd {}, want ≈2.96", var.sqrt());
+        assert!(long > 0.05, "P(len ≥ 10) = {long}, want > 5%");
+    }
+
+    #[test]
+    fn degenerate_max_len_one() {
+        let d = VoiceLengthDistribution::new(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn lengths_clamped_to_max() {
+        let d = VoiceLengthDistribution::new(12);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let l = d.sample(&mut rng);
+            assert!((1..=12).contains(&l));
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let s = stats();
+        let log = QueryLog::generate(&s, 10, 12, 3);
+        assert_eq!(log.max_len(), 12);
+        for m in 1..=12 {
+            let qs = log.of_length(m);
+            assert_eq!(qs.len(), 10);
+            for q in qs {
+                assert_eq!(q.len(), m);
+                // No duplicate terms within a query.
+                let mut t = q.terms.clone();
+                t.sort_unstable();
+                t.dedup();
+                assert_eq!(t.len(), m, "duplicate terms in {q:?}");
+                // Every term has at least one posting.
+                assert!(q.terms.iter().all(|&t| s.df(t) >= 2));
+            }
+        }
+        assert_eq!(log.all().count(), 120);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = stats();
+        let a = QueryLog::generate(&s, 5, 6, 42);
+        let b = QueryLog::generate(&s, 5, 6, 42);
+        for m in 1..=6 {
+            assert_eq!(a.of_length(m), b.of_length(m));
+        }
+    }
+
+    #[test]
+    fn voice_mix_draws_from_pools() {
+        let s = stats();
+        let log = QueryLog::generate(&s, 10, 12, 3);
+        let mix = log.voice_mix(500, 7);
+        assert_eq!(mix.len(), 500);
+        let mean = mix.iter().map(|q| q.len()).sum::<usize>() as f64 / 500.0;
+        assert!((2.5..6.0).contains(&mean), "mix mean length {mean}");
+        for q in &mix {
+            assert!(log.of_length(q.len()).contains(q));
+        }
+    }
+
+    #[test]
+    fn common_terms_are_preferred() {
+        let s = stats();
+        let log = QueryLog::generate(&s, 100, 3, 5);
+        // Average df of sampled terms should exceed the average df of
+        // the candidate pool (weighting by df^0.7 biases upward).
+        let pool_mean: f64 = {
+            let c: Vec<u32> = (0..s.vocab_size() as u32)
+                .map(|t| s.df(t))
+                .filter(|&d| d >= 2)
+                .collect();
+            c.iter().map(|&d| f64::from(d)).sum::<f64>() / c.len() as f64
+        };
+        let sampled: Vec<u32> = log.all().flat_map(|q| q.terms.iter().map(|&t| s.df(t))).collect();
+        let sampled_mean = sampled.iter().map(|&d| f64::from(d)).sum::<f64>() / sampled.len() as f64;
+        assert!(
+            sampled_mean > pool_mean,
+            "sampled mean df {sampled_mean} ≤ pool mean {pool_mean}"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Minimal text analysis chain.
+//!
+//! The paper delegates "text tokenization, posting list maintenance,
+//! and term statistics retrieval" to Lucene (§5.1). This module is the
+//! from-scratch stand-in: lowercasing, alphanumeric tokenization, a
+//! small English stop-word list, and a vocabulary that interns tokens
+//! to [`TermId`]s. It exists so the examples and tests can index real
+//! text; the large-scale experiments use the synthetic generator.
+
+use crate::types::{CorpusStats, DocBag, DocId, Query, TermId};
+use std::collections::HashMap;
+
+/// English stop words removed by the analyzer (Lucene's classic list).
+pub const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is", "it",
+    "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there", "these",
+    "they", "this", "to", "was", "will", "with",
+];
+
+/// Tokenizer + vocabulary. Feed documents through
+/// [`Tokenizer::add_document`]; it returns the interned [`DocBag`] and
+/// accumulates corpus statistics.
+pub struct Tokenizer {
+    vocab: HashMap<String, TermId>,
+    terms: Vec<String>,
+    stats: CorpusStats,
+    stop: std::collections::HashSet<&'static str>,
+}
+
+impl Tokenizer {
+    /// Creates an empty analyzer with the default stop-word list.
+    pub fn new() -> Self {
+        Self {
+            vocab: HashMap::new(),
+            terms: Vec::new(),
+            stats: CorpusStats::default(),
+            stop: STOP_WORDS.iter().copied().collect(),
+        }
+    }
+
+    /// Splits `text` into lowercase alphanumeric tokens, dropping stop
+    /// words and single-character tokens.
+    pub fn tokenize<'t>(&self, text: &'t str) -> Vec<String> {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| t.len() > 1)
+            .map(|t| t.to_lowercase())
+            .filter(|t| !self.stop.contains(t.as_str()))
+            .collect()
+    }
+
+    /// Interns a token, creating a new term id if needed.
+    pub fn intern(&mut self, token: &str) -> TermId {
+        if let Some(&id) = self.vocab.get(token) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.vocab.insert(token.to_string(), id);
+        self.terms.push(token.to_string());
+        self.stats.doc_freq.push(0);
+        id
+    }
+
+    /// Looks up a token without interning.
+    pub fn term_id(&self, token: &str) -> Option<TermId> {
+        self.vocab.get(token).copied()
+    }
+
+    /// The string for a term id.
+    pub fn term_str(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct terms seen.
+    pub fn vocab_size(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Analyzes a document: tokenizes, interns, counts term
+    /// frequencies, and updates document-length / document-frequency
+    /// statistics. Documents must be added in id order starting at 0.
+    pub fn add_document(&mut self, text: &str) -> DocBag {
+        let id = self.stats.doc_len.len() as DocId;
+        let tokens = self.tokenize(text);
+        let mut tf: HashMap<TermId, u32> = HashMap::new();
+        let mut len = 0u32;
+        for tok in &tokens {
+            let t = self.intern(tok);
+            *tf.entry(t).or_insert(0) += 1;
+            len += 1;
+        }
+        for &t in tf.keys() {
+            self.stats.doc_freq[t as usize] += 1;
+        }
+        self.stats.doc_len.push(len);
+        let mut terms: Vec<(TermId, u32)> = tf.into_iter().collect();
+        terms.sort_unstable_by_key(|&(t, _)| t);
+        DocBag { id, terms }
+    }
+
+    /// Finalizes and returns the accumulated statistics.
+    pub fn into_stats(mut self) -> CorpusStats {
+        self.stats.finalize();
+        self.stats
+    }
+
+    /// A snapshot of the statistics so far (finalized copy).
+    pub fn stats(&self) -> CorpusStats {
+        let mut s = self.stats.clone();
+        s.finalize();
+        s
+    }
+
+    /// Parses a free-text query against the current vocabulary,
+    /// dropping unknown terms.
+    pub fn query(&self, text: &str) -> Query {
+        let terms = self
+            .tokenize(text)
+            .iter()
+            .filter_map(|t| self.term_id(t))
+            .collect();
+        Query::new(terms)
+    }
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_strips() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.tokenize("The Quick-Brown FOX, jumped! 42 a"),
+            vec!["quick", "brown", "fox", "jumped", "42"]
+        );
+    }
+
+    #[test]
+    fn stop_words_removed() {
+        let t = Tokenizer::new();
+        assert!(t.tokenize("the and of").is_empty());
+    }
+
+    #[test]
+    fn add_document_counts_tf_and_df() {
+        let mut t = Tokenizer::new();
+        let d0 = t.add_document("rust rust parallel");
+        let d1 = t.add_document("parallel search");
+        assert_eq!(d0.id, 0);
+        assert_eq!(d1.id, 1);
+        let rust = t.term_id("rust").unwrap();
+        let parallel = t.term_id("parallel").unwrap();
+        assert_eq!(
+            d0.terms.iter().find(|&&(id, _)| id == rust).unwrap().1,
+            2,
+            "tf of 'rust' in d0"
+        );
+        let stats = t.into_stats();
+        assert_eq!(stats.df(rust), 1);
+        assert_eq!(stats.df(parallel), 2);
+        assert_eq!(stats.dl(0), 3);
+        assert_eq!(stats.dl(1), 2);
+        assert!((stats.avg_doc_len - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_drops_unknown_terms() {
+        let mut t = Tokenizer::new();
+        t.add_document("hello world");
+        let q = t.query("hello unseen world");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn unicode_tokens_are_preserved() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.tokenize("Café-naïve Über résumé"),
+            vec!["café", "naïve", "über", "résumé"]
+        );
+    }
+
+    #[test]
+    fn empty_and_symbol_only_text() {
+        let mut t = Tokenizer::new();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("!!! --- ???").is_empty());
+        let bag = t.add_document("€€€ !!!");
+        assert!(bag.terms.is_empty());
+        assert_eq!(t.stats().dl(0), 0);
+    }
+
+    #[test]
+    fn single_char_tokens_dropped() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("a b c xy"), vec!["xy"]);
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let mut t = Tokenizer::new();
+        let a = t.intern("abc");
+        let b = t.intern("abc");
+        assert_eq!(a, b);
+        assert_eq!(t.term_str(a), Some("abc"));
+        assert_eq!(t.vocab_size(), 1);
+    }
+}

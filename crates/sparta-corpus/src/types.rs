@@ -1,0 +1,144 @@
+//! Shared vocabulary of identifier and statistics types.
+
+/// Document identifier. The paper's corpora reach 500M documents; `u32`
+/// covers 4.29B and keeps postings at 8 bytes.
+pub type DocId = u32;
+
+/// Term (feature) identifier into the corpus vocabulary.
+pub type TermId = u32;
+
+/// A document represented as a bag of words: `(term, term frequency)`
+/// pairs with distinct terms. "The order is immaterial for our document
+/// scoring function" (§5.1), so a bag is all the indexer ever needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocBag {
+    /// The document's id.
+    pub id: DocId,
+    /// Distinct `(term, tf)` pairs, `tf >= 1`.
+    pub terms: Vec<(TermId, u32)>,
+}
+
+impl DocBag {
+    /// Total token count of the document (sum of term frequencies).
+    pub fn len_tokens(&self) -> u64 {
+        self.terms.iter().map(|&(_, tf)| u64::from(tf)).sum()
+    }
+}
+
+/// A query: a list of term ids (a bag of words after textual analysis,
+/// §6: "we consider the query as a bag of words given after textual
+/// analysis").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// Query terms. Duplicates are allowed in principle but the
+    /// generators never produce them.
+    pub terms: Vec<TermId>,
+}
+
+impl Query {
+    /// Builds a query from term ids.
+    pub fn new(terms: Vec<TermId>) -> Self {
+        Self { terms }
+    }
+
+    /// Number of terms m.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the query has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Global corpus statistics needed by scoring functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Total number of documents N.
+    pub num_docs: u64,
+    /// Average document length (in tokens).
+    pub avg_doc_len: f64,
+    /// Document frequency per term (number of documents containing it).
+    pub doc_freq: Vec<u32>,
+    /// Per-document length in tokens, indexed by `DocId`.
+    pub doc_len: Vec<u32>,
+}
+
+impl CorpusStats {
+    /// Document frequency of `term`, 0 for unknown terms.
+    pub fn df(&self, term: TermId) -> u32 {
+        self.doc_freq.get(term as usize).copied().unwrap_or(0)
+    }
+
+    /// Length in tokens of document `doc`, 0 for unknown docs.
+    pub fn dl(&self, doc: DocId) -> u32 {
+        self.doc_len.get(doc as usize).copied().unwrap_or(0)
+    }
+
+    /// Vocabulary size (number of known terms).
+    pub fn vocab_size(&self) -> usize {
+        self.doc_freq.len()
+    }
+
+    /// Recomputes `avg_doc_len` from `doc_len`; builders call this after
+    /// streaming in documents.
+    pub fn finalize(&mut self) {
+        self.num_docs = self.doc_len.len() as u64;
+        let total: u64 = self.doc_len.iter().map(|&l| u64::from(l)).sum();
+        self.avg_doc_len = if self.num_docs == 0 {
+            0.0
+        } else {
+            total as f64 / self.num_docs as f64
+        };
+    }
+}
+
+impl Default for CorpusStats {
+    fn default() -> Self {
+        Self {
+            num_docs: 0,
+            avg_doc_len: 0.0,
+            doc_freq: Vec::new(),
+            doc_len: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_bag_token_count() {
+        let d = DocBag {
+            id: 3,
+            terms: vec![(0, 2), (5, 1), (9, 4)],
+        };
+        assert_eq!(d.len_tokens(), 7);
+    }
+
+    #[test]
+    fn stats_finalize() {
+        let mut s = CorpusStats {
+            doc_len: vec![10, 20, 30],
+            doc_freq: vec![1, 2],
+            ..Default::default()
+        };
+        s.finalize();
+        assert_eq!(s.num_docs, 3);
+        assert!((s.avg_doc_len - 20.0).abs() < 1e-9);
+        assert_eq!(s.df(1), 2);
+        assert_eq!(s.df(99), 0);
+        assert_eq!(s.dl(2), 30);
+        assert_eq!(s.dl(99), 0);
+    }
+
+    #[test]
+    fn query_len() {
+        let q = Query::new(vec![1, 2, 3]);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        assert!(Query::new(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Zipf-distributed sampling over term ranks.
+//!
+//! Web-corpus vocabularies are famously Zipfian: the term of rank r
+//! appears with frequency ∝ 1/rˢ. The synthetic corpus generator uses
+//! this to assign every vocabulary term a "global frequency rate"
+//! F(tᵢ), which the paper's ClueWebX10 recipe then feeds into a
+//! geometric per-document occurrence model (§5.1).
+//!
+//! [`Zipf`] implements the rejection-inversion sampler of Hörmann &
+//! Derflinger ("Rejection-inversion to generate variates from monotone
+//! discrete distributions", 1996) — O(1) per sample with no setup
+//! tables, the same algorithm used by `rand_distr::Zipf`.
+
+use rand::Rng;
+
+/// Zipf distribution over `1..=n` with exponent `s > 0`.
+///
+/// ```
+/// use sparta_corpus::zipf::Zipf;
+/// use rand::SeedableRng;
+/// let zipf = Zipf::new(1_000, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let r = zipf.sample(&mut rng);
+/// assert!((1..=1_000).contains(&r));
+/// assert!(zipf.pmf(1) > zipf.pmf(2));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants of the rejection-inversion scheme
+    // (Hörmann & Derflinger 1996, as in the `zipf`/`rand_distr` crates).
+    h_x1: f64,
+    h_n: f64,
+    shift: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over ranks `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s <= 0` or `s` is not finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let mut z = Self {
+            n,
+            s,
+            h_x1: 0.0,
+            h_n: 0.0,
+            shift: 0.0,
+        };
+        z.h_x1 = z.h_integral(1.5) - 1.0;
+        z.h_n = z.h_integral(n as f64 + 0.5);
+        z.shift = 2.0 - z.h_integral_inv(z.h_integral(2.5) - z.h(2.0));
+        z
+    }
+
+    /// Support size n.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent s.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    // H(x) = ((x^(1-q)) - 1) / (1 - q), or ln(x) at q = 1.
+    fn h_integral(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - self.s) - 1.0) / (1.0 - self.s)
+        }
+    }
+
+    fn h_integral_inv(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (1.0 + (1.0 - self.s) * x).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        x.powf(-self.s)
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_integral_inv(u);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if k - x <= self.shift || u >= self.h_integral(k + 0.5) - self.h(k) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// The unnormalized weight of rank `r`, i.e. `r^-s`.
+    pub fn weight(&self, r: u64) -> f64 {
+        (r as f64).powf(-self.s)
+    }
+
+    /// The normalization constant Hₙ,ₛ = Σ_{r=1..n} r^-s, computed
+    /// exactly for small n and via the Euler–Maclaurin approximation
+    /// for large n (relative error < 1e-6 for n > 1000).
+    pub fn harmonic(&self) -> f64 {
+        if self.n <= 10_000 {
+            (1..=self.n).map(|r| self.weight(r)).sum()
+        } else {
+            let exact: f64 = (1..=10_000u64).map(|r| self.weight(r)).sum();
+            let a = 10_000.5f64;
+            let b = self.n as f64 + 0.5;
+            let tail = if (self.s - 1.0).abs() < 1e-9 {
+                (b / a).ln()
+            } else {
+                (b.powf(1.0 - self.s) - a.powf(1.0 - self.s)) / (1.0 - self.s)
+            };
+            exact + tail
+        }
+    }
+
+    /// Probability of rank `r` under the normalized distribution.
+    pub fn pmf(&self, r: u64) -> f64 {
+        self.weight(r) / self.harmonic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_support() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 4];
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            let r = z.sample(&mut rng);
+            if r <= 4 {
+                counts[(r - 1) as usize] += 1;
+            }
+        }
+        // Empirical frequencies must be monotone decreasing and close
+        // to the theoretical pmf.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]);
+        let p1 = f64::from(counts[0]) / f64::from(N);
+        let want = z.pmf(1);
+        assert!(
+            (p1 - want).abs() < 0.01,
+            "empirical {p1:.4} vs theoretical {want:.4}"
+        );
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(500, 0.9);
+        let total: f64 = (1..=500).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_approximation_matches_exact() {
+        // Compare the Euler–Maclaurin tail against brute force on a
+        // size just above the exact cutoff.
+        let z = Zipf::new(50_000, 1.0);
+        let brute: f64 = (1..=50_000u64).map(|r| z.weight(r)).sum();
+        let approx = z.harmonic();
+        assert!(
+            ((brute - approx) / brute).abs() < 1e-5,
+            "brute {brute} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn degenerate_single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 1);
+        assert!((z.pmf(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_exponent_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

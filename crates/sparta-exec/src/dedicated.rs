@@ -1,0 +1,84 @@
+//! Latency-mode executor: one query owns the whole thread pool.
+
+use crate::{Executor, JobQueue};
+use std::sync::Arc;
+
+/// Spawns `threads` scoped worker threads for each query ("When
+/// testing latency, the entire thread pool is used by a single query",
+/// §5.1). With `threads == 1` the query runs on the calling thread —
+/// the sequential baselines of Figures 3h/3i.
+#[derive(Debug, Clone, Copy)]
+pub struct DedicatedExecutor {
+    threads: usize,
+}
+
+impl DedicatedExecutor {
+    /// Creates an executor with `threads ≥ 1` workers per query.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1);
+        Self { threads }
+    }
+}
+
+impl Executor for DedicatedExecutor {
+    fn run(&self, queue: Arc<JobQueue>) {
+        if self.threads == 1 {
+            queue.run_worker();
+            return;
+        }
+        std::thread::scope(|s| {
+            for _ in 0..self.threads {
+                let q = Arc::clone(&queue);
+                s.spawn(move || q.run_worker());
+            }
+        });
+    }
+
+    fn parallelism(&self) -> usize {
+        self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let q = JobQueue::new();
+        let tid = std::thread::current().id();
+        let same = Arc::new(AtomicUsize::new(0));
+        {
+            let same = Arc::clone(&same);
+            q.push(Box::new(move || {
+                if std::thread::current().id() == tid {
+                    same.store(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        DedicatedExecutor::new(1).run(Arc::clone(&q));
+        assert_eq!(same.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn multi_thread_completes_all() {
+        let q = JobQueue::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..500 {
+            let n = Arc::clone(&n);
+            q.push(Box::new(move || {
+                n.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        DedicatedExecutor::new(4).run(Arc::clone(&q));
+        assert_eq!(n.load(Ordering::Relaxed), 500);
+        assert!(q.is_complete());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        let _ = DedicatedExecutor::new(0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The per-query job queue.
+//!
+//! Sparta (Alg. 1) "divide[s] posting list traversals to segments …
+//! and use[s] a job queue to allocate posting list segments to
+//! threads". Jobs are self-scheduling closures: a job that finishes a
+//! segment pushes the follow-up job for the next segment. The queue
+//! tracks an *outstanding* count (queued + currently running jobs);
+//! when it reaches zero the query is complete and all waiters wake.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A unit of work. Jobs re-enqueue their own continuations via the
+/// `Arc<JobQueue>` they capture.
+pub type Job = Box<dyn FnOnce() + Send>;
+
+/// A FIFO queue of self-scheduling jobs with completion tracking.
+pub struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    /// Jobs queued or currently executing.
+    outstanding: AtomicUsize,
+    /// Jobs executed in total (statistics).
+    executed: AtomicUsize,
+}
+
+impl JobQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            jobs: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            outstanding: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+        })
+    }
+
+    /// Enqueues a job.
+    pub fn push(&self, job: Job) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.jobs.lock().push_back(job);
+        self.cv.notify_one();
+    }
+
+    /// Number of jobs queued or running.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Total jobs executed so far.
+    pub fn executed(&self) -> usize {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Whether all work has completed (nothing queued or running).
+    /// Meaningful only after at least one job has been pushed.
+    pub fn is_complete(&self) -> bool {
+        self.outstanding() == 0
+    }
+
+    /// Pops a job without blocking. Used by the shared pool, which
+    /// multiplexes several queues per thread.
+    pub fn try_pop(&self) -> Option<Job> {
+        self.jobs.lock().pop_front()
+    }
+
+    /// Runs one popped job and performs completion bookkeeping. The
+    /// caller must have obtained `job` from this queue.
+    pub fn run_job(&self, job: Job) {
+        job();
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last outstanding job: wake completion waiters (and any
+            // workers blocked waiting for more jobs).
+            self.cv.notify_all();
+        }
+    }
+
+    /// Worker loop: pop and run jobs until the queue completes.
+    /// Multiple threads may run this concurrently.
+    pub fn run_worker(&self) {
+        loop {
+            let mut guard = self.jobs.lock();
+            loop {
+                if let Some(job) = guard.pop_front() {
+                    drop(guard);
+                    self.run_job(job);
+                    break;
+                }
+                if self.is_complete() {
+                    return;
+                }
+                self.cv.wait(&mut guard);
+            }
+        }
+    }
+
+    /// Blocks until all work completes.
+    pub fn wait_complete(&self) {
+        let mut guard = self.jobs.lock();
+        while !self.is_complete() {
+            self.cv.wait(&mut guard);
+        }
+    }
+
+    /// Blocks until `pred()` holds. The predicate is re-evaluated after
+    /// every job completion or push. Used by orchestration steps such
+    /// as Sparta's "wait until UBStop" (Alg. 1 line 4); completion also
+    /// wakes the waiter so it never sleeps past the end of the query.
+    pub fn wait_until<F: FnMut() -> bool>(&self, mut pred: F) {
+        let mut guard = self.jobs.lock();
+        while !pred() && !self.is_complete() {
+            // Re-check periodically as well: predicates like UBStop
+            // flip due to worker-side writes that do not notify.
+            self.cv.wait_for(&mut guard, std::time::Duration::from_micros(200));
+        }
+    }
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        Self {
+            jobs: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            outstanding: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_jobs_single_thread() {
+        let q = JobQueue::new();
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=10u64 {
+            let sum = Arc::clone(&sum);
+            q.push(Box::new(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }));
+        }
+        q.run_worker();
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+        assert!(q.is_complete());
+        assert_eq!(q.executed(), 10);
+    }
+
+    #[test]
+    fn self_scheduling_jobs_chain() {
+        // A job chain that counts down by re-enqueuing itself.
+        let q = JobQueue::new();
+        let count = Arc::new(AtomicU64::new(0));
+        fn step(q: Arc<JobQueue>, count: Arc<AtomicU64>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            let q2 = Arc::clone(&q);
+            q.push(Box::new(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+                step(Arc::clone(&q2), count, left - 1);
+            }));
+        }
+        step(Arc::clone(&q), Arc::clone(&count), 100);
+        q.run_worker();
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn multiple_workers_drain_queue() {
+        let q = JobQueue::new();
+        let count = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let count = Arc::clone(&count);
+            q.push(Box::new(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                s.spawn(move || q.run_worker());
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert!(q.is_complete());
+    }
+
+    #[test]
+    fn wait_complete_blocks_until_done() {
+        let q = JobQueue::new();
+        let done = Arc::new(AtomicU64::new(0));
+        {
+            let done = Arc::clone(&done);
+            q.push(Box::new(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                done.store(1, Ordering::Relaxed);
+            }));
+        }
+        std::thread::scope(|s| {
+            let q2 = Arc::clone(&q);
+            s.spawn(move || q2.run_worker());
+            q.wait_complete();
+            assert_eq!(done.load(Ordering::Relaxed), 1);
+        });
+    }
+
+    #[test]
+    fn wait_until_observes_worker_writes() {
+        let q = JobQueue::new();
+        let flag = Arc::new(AtomicU64::new(0));
+        {
+            let flag = Arc::clone(&flag);
+            q.push(Box::new(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                flag.store(7, Ordering::Release);
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }));
+        }
+        std::thread::scope(|s| {
+            let q2 = Arc::clone(&q);
+            s.spawn(move || q2.run_worker());
+            let flag2 = Arc::clone(&flag);
+            q.wait_until(move || flag2.load(Ordering::Acquire) == 7);
+            // The job is still sleeping: outstanding is nonzero, the
+            // predicate fired.
+            assert_eq!(flag.load(Ordering::Acquire), 7);
+        });
+    }
+
+    #[test]
+    fn wait_until_returns_on_completion_even_if_pred_never_true() {
+        let q = JobQueue::new();
+        q.push(Box::new(|| {}));
+        std::thread::scope(|s| {
+            let q2 = Arc::clone(&q);
+            s.spawn(move || q2.run_worker());
+            q.wait_until(|| false);
+        });
+        assert!(q.is_complete());
+    }
+}

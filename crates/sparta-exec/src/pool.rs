@@ -1,0 +1,252 @@
+//! Throughput-mode shared worker pool with FCFS query admission.
+//!
+//! §5.1: "queries are scheduled first-come-first-served, and a new
+//! query is scheduled for execution (i.e., assigned threads) once
+//! there are idle threads with no outstanding work from currently
+//! executing queries. All queries scheduled for execution equally
+//! share the thread pool."
+//!
+//! Implementation: `threads` persistent workers multiplex over the set
+//! of *active* query queues round-robin (equal sharing). A worker that
+//! sweeps all active queues without finding a runnable job is idle; it
+//! then admits the next *pending* query (FCFS). Completed queues
+//! (outstanding == 0) are retired during the sweep.
+
+use crate::{Executor, JobQueue};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct Shared {
+    /// Queries currently sharing the pool.
+    active: Mutex<Vec<Arc<JobQueue>>>,
+    /// FCFS backlog.
+    pending: Mutex<VecDeque<Arc<JobQueue>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    rr: AtomicUsize,
+}
+
+/// A persistent pool of worker threads shared by many queries.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    parallelism: usize,
+}
+
+impl WorkerPool {
+    /// Starts `threads` persistent workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1);
+        let shared = Arc::new(Shared {
+            active: Mutex::new(Vec::new()),
+            pending: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            rr: AtomicUsize::new(0),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        Self {
+            shared,
+            threads: handles,
+            parallelism: threads,
+        }
+    }
+
+    /// Submits a query's job queue to the FCFS backlog. Returns
+    /// immediately; pair with [`JobQueue::wait_complete`].
+    pub fn submit(&self, queue: Arc<JobQueue>) {
+        self.shared.pending.lock().push_back(queue);
+        self.shared.cv.notify_all();
+    }
+
+    /// Number of queries currently executing (sharing the pool).
+    pub fn active_queries(&self) -> usize {
+        self.shared.active.lock().len()
+    }
+
+    /// Number of queries waiting for admission.
+    pub fn pending_queries(&self) -> usize {
+        self.shared.pending.lock().len()
+    }
+}
+
+impl Executor for WorkerPool {
+    /// Submits and blocks until the query completes — the algorithm
+    /// code is identical in latency and throughput modes.
+    fn run(&self, queue: Arc<JobQueue>) {
+        // Guard against waiting on a queue that never had jobs.
+        if queue.outstanding() == 0 {
+            return;
+        }
+        self.submit(Arc::clone(&queue));
+        queue.wait_complete();
+    }
+
+    fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared) {
+    loop {
+        if sh.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Sweep active queues round-robin for a runnable job.
+        let mut ran = false;
+        {
+            let mut active = sh.active.lock();
+            // Retire completed queries.
+            active.retain(|q| !q.is_complete());
+            let n = active.len();
+            if n > 0 {
+                let start = sh.rr.fetch_add(1, Ordering::Relaxed) % n;
+                for i in 0..n {
+                    let q = Arc::clone(&active[(start + i) % n]);
+                    if let Some(job) = q.try_pop() {
+                        drop(active);
+                        q.run_job(job);
+                        sh.cv.notify_all();
+                        ran = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if ran {
+            continue;
+        }
+        // Idle: no runnable work among active queries — admit the next
+        // pending query (FCFS), if any.
+        let admitted = {
+            let next = sh.pending.lock().pop_front();
+            match next {
+                Some(q) => {
+                    sh.active.lock().push(q);
+                    sh.cv.notify_all();
+                    true
+                }
+                None => false,
+            }
+        };
+        if admitted {
+            continue;
+        }
+        // Nothing to do: wait for a push/submission/completion.
+        let mut guard = sh.pending.lock();
+        if guard.is_empty() && !sh.shutdown.load(Ordering::Acquire) {
+            sh.cv.wait_for(&mut guard, std::time::Duration::from_micros(200));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn make_query(jobs: usize, counter: &Arc<AtomicU64>) -> Arc<JobQueue> {
+        let q = JobQueue::new();
+        for _ in 0..jobs {
+            let c = Arc::clone(counter);
+            q.push(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        q
+    }
+
+    #[test]
+    fn pool_completes_single_query() {
+        let pool = WorkerPool::new(2);
+        let c = Arc::new(AtomicU64::new(0));
+        let q = make_query(100, &c);
+        pool.run(Arc::clone(&q));
+        assert_eq!(c.load(Ordering::Relaxed), 100);
+        assert!(q.is_complete());
+    }
+
+    #[test]
+    fn pool_runs_many_queries_fcfs() {
+        let pool = WorkerPool::new(3);
+        let c = Arc::new(AtomicU64::new(0));
+        let queues: Vec<_> = (0..20).map(|_| make_query(50, &c)).collect();
+        for q in &queues {
+            pool.submit(Arc::clone(q));
+        }
+        for q in &queues {
+            q.wait_complete();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 20 * 50);
+    }
+
+    #[test]
+    fn pool_handles_self_scheduling_jobs() {
+        let pool = WorkerPool::new(2);
+        let q = JobQueue::new();
+        let count = Arc::new(AtomicU64::new(0));
+        fn chain(q: Arc<JobQueue>, count: Arc<AtomicU64>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            let q2 = Arc::clone(&q);
+            q.push(Box::new(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+                chain(Arc::clone(&q2), count, left - 1);
+            }));
+        }
+        chain(Arc::clone(&q), Arc::clone(&count), 64);
+        pool.run(Arc::clone(&q));
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let c = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let pool = Arc::clone(&pool);
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let q = make_query(20, &c);
+                        pool.run(q);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 6 * 5 * 20);
+    }
+
+    #[test]
+    fn empty_query_returns_immediately() {
+        let pool = WorkerPool::new(1);
+        let q = JobQueue::new();
+        pool.run(q); // must not hang
+    }
+
+    #[test]
+    fn drop_shuts_down_threads() {
+        let pool = WorkerPool::new(2);
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,183 @@
+//! Index construction from corpora.
+//!
+//! This is the preprocessing stage the paper delegates to Lucene
+//! (§5.1): converting a corpus into scored posting lists. Raw `(doc,
+//! tf)` postings are turned into `(doc, integer term score)` postings
+//! by a [`Scorer`], then assembled into an [`InMemoryIndex`] or
+//! streamed to an on-disk index.
+
+use crate::memory::InMemoryIndex;
+use crate::posting::{Posting, DEFAULT_BLOCK_SIZE};
+use crate::storage::writer::IndexWriter;
+use sparta_corpus::scoring::Scorer;
+use sparta_corpus::synth::SynthCorpus;
+use sparta_corpus::types::{CorpusStats, DocBag, TermId};
+use std::io;
+use std::path::Path;
+
+/// Builds indexes from corpora using a pluggable scoring function.
+pub struct IndexBuilder<S> {
+    scorer: S,
+    block_size: usize,
+}
+
+impl<S: Scorer> IndexBuilder<S> {
+    /// Creates a builder with the paper's block size (64).
+    pub fn new(scorer: S) -> Self {
+        Self {
+            scorer,
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    }
+
+    /// Overrides the block-max block size.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        assert!(block_size > 0);
+        self.block_size = block_size;
+        self
+    }
+
+    /// Scores one term's raw postings into index postings.
+    pub fn score_term(
+        &self,
+        term: TermId,
+        raw: &[(u32, u32)],
+        stats: &CorpusStats,
+    ) -> Vec<Posting> {
+        raw.iter()
+            .map(|&(doc, tf)| Posting::new(doc, self.scorer.term_score(tf, doc, term, stats)))
+            .collect()
+    }
+
+    /// Builds a RAM-resident index from a synthetic corpus.
+    pub fn build_memory(&self, corpus: &SynthCorpus) -> InMemoryIndex {
+        let stats = corpus.stats();
+        let mut terms = Vec::with_capacity(stats.vocab_size());
+        corpus.for_each_term(|t, raw| {
+            terms.push(self.score_term(t, raw, stats));
+        });
+        InMemoryIndex::with_block_size(terms, stats.num_docs, self.block_size)
+    }
+
+    /// Builds a RAM-resident index from tokenized documents (the
+    /// "real text" path used by examples; see
+    /// [`sparta_corpus::tokenizer::Tokenizer`]).
+    pub fn build_memory_from_bags(&self, bags: &[DocBag], stats: &CorpusStats) -> InMemoryIndex {
+        let num_terms = stats.vocab_size();
+        let mut raw: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_terms];
+        for bag in bags {
+            for &(t, tf) in &bag.terms {
+                raw[t as usize].push((bag.id, tf));
+            }
+        }
+        let terms = raw
+            .iter()
+            .enumerate()
+            .map(|(t, r)| self.score_term(t as TermId, r, stats))
+            .collect();
+        InMemoryIndex::with_block_size(terms, stats.num_docs, self.block_size)
+    }
+
+    /// Streams a synthetic corpus to an on-disk index at `dir`,
+    /// holding only one posting list in memory at a time.
+    pub fn write_disk(&self, corpus: &SynthCorpus, dir: impl AsRef<Path>) -> io::Result<()> {
+        let stats = corpus.stats();
+        let mut writer = IndexWriter::create(
+            dir,
+            stats.num_docs,
+            stats.vocab_size() as u32,
+            self.block_size,
+        )?;
+        let mut failed = None;
+        corpus.for_each_term(|t, raw| {
+            if failed.is_none() {
+                if let Err(e) = writer.add_term(self.score_term(t, raw, stats)) {
+                    failed = Some(e);
+                }
+            }
+        });
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        writer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iostats::IoModel;
+    use crate::storage::reader::DiskIndex;
+    use crate::Index;
+    use sparta_corpus::scoring::TfIdfScorer;
+    use sparta_corpus::synth::CorpusModel;
+    use sparta_corpus::tokenizer::Tokenizer;
+
+    #[test]
+    fn memory_index_matches_corpus_shape() {
+        let corpus = SynthCorpus::build(CorpusModel::tiny(21));
+        let ix = IndexBuilder::new(TfIdfScorer).build_memory(&corpus);
+        assert_eq!(ix.num_docs(), corpus.stats().num_docs);
+        assert_eq!(ix.num_terms() as usize, corpus.stats().vocab_size());
+        for t in [0u32, 10, 100] {
+            assert_eq!(ix.doc_freq(t), u64::from(corpus.stats().df(t)));
+        }
+    }
+
+    #[test]
+    fn disk_and_memory_builds_agree() {
+        let corpus = SynthCorpus::build(CorpusModel::tiny(22));
+        let b = IndexBuilder::new(TfIdfScorer);
+        let mem = b.build_memory(&corpus);
+        let dir = std::env::temp_dir().join(format!("sparta-builder-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        b.write_disk(&corpus, &dir).unwrap();
+        let disk = DiskIndex::open(&dir, IoModel::free()).unwrap();
+        assert_eq!(disk.num_terms(), mem.num_terms());
+        for t in (0..mem.num_terms()).step_by(37) {
+            let mut a = mem.score_cursor(t);
+            let mut d = disk.score_cursor(t);
+            loop {
+                let (x, y) = (a.next(), d.next());
+                assert_eq!(x, y, "term {t}");
+                if x.is_none() {
+                    break;
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bags_path_builds_consistent_index() {
+        let mut tok = Tokenizer::new();
+        let texts = [
+            "parallel threshold algorithm for retrieval",
+            "retrieval retrieval retrieval",
+            "threshold tuning in parallel systems",
+        ];
+        let bags: Vec<DocBag> = texts.iter().map(|t| tok.add_document(t)).collect();
+        let stats = tok.stats();
+        let ix = IndexBuilder::new(TfIdfScorer).build_memory_from_bags(&bags, &stats);
+        let retrieval = tok.term_id("retrieval").unwrap();
+        assert_eq!(ix.doc_freq(retrieval), 2);
+        // Doc 1 has tf=3 for "retrieval" and a short length: it should
+        // outscore doc 0's single occurrence.
+        let ra = ix.random_access().unwrap();
+        assert!(ra.term_score(retrieval, 1) > ra.term_score(retrieval, 0));
+    }
+
+    #[test]
+    fn scores_are_applied_per_posting() {
+        let corpus = SynthCorpus::build(CorpusModel::tiny(23));
+        let b = IndexBuilder::new(TfIdfScorer);
+        let stats = corpus.stats();
+        let raw = corpus.term_postings(5);
+        let scored = b.score_term(5, &raw, stats);
+        assert_eq!(scored.len(), raw.len());
+        for (p, &(d, tf)) in scored.iter().zip(raw.iter()) {
+            assert_eq!(p.doc, d);
+            assert_eq!(p.score, TfIdfScorer.term_score(tf, d, 5, stats));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Inverted index substrate for Sparta.
+//!
+//! Search algorithms "use a preprocessed inverted index of the corpus.
+//! The index is organized according to terms and holds a posting list
+//! of all documents associated with each term" (§3.1). This crate
+//! provides:
+//!
+//! * [`Posting`] / posting-list invariants ([`posting`]);
+//! * the [`Index`] trait unifying the three access paths the paper's
+//!   algorithm families need:
+//!   * **score-order cursors** (TA family, JASS) — postings sorted by
+//!     decreasing term score,
+//!   * **doc-order cursors with block-max metadata** (WAND, BMW,
+//!     MaxScore) — postings sorted by document id, with per-block
+//!     maximum scores for skipping [Ding & Suel 2011],
+//!   * **random access** (RA) — `ts(D, t)` lookups by document id via
+//!     a secondary index;
+//! * [`memory::InMemoryIndex`] — RAM-resident implementation;
+//! * [`storage`] — an uncompressed binary on-disk format ("stored on
+//!   disk uncompressed as a collection of binary files", §5.1) read in
+//!   fixed-size blocks through an I/O layer that counts block fetches
+//!   and can charge a configurable latency per sequential block and
+//!   per random access, standing in for the paper's SSD with a flushed
+//!   page cache;
+//! * [`builder::IndexBuilder`] — builds either representation from a
+//!   corpus + scorer.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod compress;
+pub mod cursor;
+pub mod iostats;
+pub mod memory;
+pub mod posting;
+pub mod storage;
+
+pub use builder::IndexBuilder;
+pub use cursor::{DocCursor, RandomAccess, ScoreCursor};
+pub use iostats::{IoModel, IoStats};
+pub use memory::InMemoryIndex;
+pub use posting::{BlockMeta, Posting, DEFAULT_BLOCK_SIZE};
+pub use storage::reader::DiskIndex;
+
+use sparta_corpus::types::TermId;
+use std::sync::Arc;
+
+/// A queryable inverted index.
+///
+/// All methods take `&self` and implementations are `Sync`: one index
+/// serves many concurrent queries, and one query opens independent
+/// cursors from multiple worker threads.
+pub trait Index: Send + Sync {
+    /// Total number of documents N in the corpus.
+    fn num_docs(&self) -> u64;
+
+    /// Number of terms in the dictionary.
+    fn num_terms(&self) -> u32;
+
+    /// Length of `term`'s posting list (0 for unknown terms).
+    fn doc_freq(&self, term: TermId) -> u64;
+
+    /// The maximum term score in `term`'s posting list (0 if empty) —
+    /// the list-wide upper bound used by WAND/MaxScore and available
+    /// from the dictionary without touching postings.
+    fn max_score(&self, term: TermId) -> u32;
+
+    /// Opens a cursor over `term`'s postings in decreasing-score order.
+    fn score_cursor(&self, term: TermId) -> Box<dyn ScoreCursor + '_>;
+
+    /// Opens a cursor over `term`'s postings in increasing-doc-id
+    /// order, with block-max metadata.
+    fn doc_cursor(&self, term: TermId) -> Box<dyn DocCursor + '_>;
+
+    /// Owning variant of [`score_cursor`](Self::score_cursor): the
+    /// cursor keeps the index alive via `Arc`, so it can be moved into
+    /// `'static` jobs running on persistent worker-pool threads.
+    fn score_cursor_arc(self: Arc<Self>, term: TermId) -> Box<dyn ScoreCursor>;
+
+    /// Owning variant of [`doc_cursor`](Self::doc_cursor).
+    fn doc_cursor_arc(self: Arc<Self>, term: TermId) -> Box<dyn DocCursor>;
+
+    /// Random access: the secondary index mapping `(term, doc)` to the
+    /// term score, if this index maintains one. RA-family algorithms
+    /// require it; NRA-family ones must not use it.
+    fn random_access(&self) -> Option<&dyn RandomAccess>;
+
+    /// I/O statistics accumulated by this index's cursors, if it
+    /// performs (simulated) I/O. In-memory indexes return `None`.
+    fn io_stats(&self) -> Option<&IoStats>;
+}

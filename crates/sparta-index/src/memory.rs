@@ -1,0 +1,440 @@
+//! RAM-resident index implementation.
+//!
+//! Posting lists are plain contiguous arrays ("Posting lists are
+//! stored as contiguous uncompressed arrays", §5.2) in both score
+//! order and doc order, plus block-max metadata. Random access is a
+//! binary search over the doc-ordered list — the in-memory analogue of
+//! the paper's secondary docid→position index.
+
+use crate::cursor::{DocCursor, RandomAccess, ScoreCursor, SliceScoreCursor};
+use crate::posting::{self, BlockMeta, Posting, DEFAULT_BLOCK_SIZE};
+use crate::{Index, IoStats};
+use sparta_corpus::types::{DocId, TermId};
+use std::sync::Arc;
+
+/// Per-term data: both orders plus block metadata.
+#[derive(Debug, Clone)]
+pub struct TermData {
+    /// Postings in decreasing-score order.
+    pub score_order: Arc<Vec<Posting>>,
+    /// Postings in increasing-doc order.
+    pub doc_order: Arc<Vec<Posting>>,
+    /// Block-max metadata over `doc_order`.
+    pub blocks: Arc<Vec<BlockMeta>>,
+    /// List-wide maximum score.
+    pub max_score: u32,
+}
+
+impl TermData {
+    /// Builds per-term data from postings in any order.
+    pub fn from_postings(mut postings: Vec<Posting>, block_size: usize) -> Self {
+        posting::sort_doc_order(&mut postings);
+        let blocks = posting::build_blocks(&postings, block_size);
+        let max_score = postings.iter().map(|p| p.score).max().unwrap_or(0);
+        let mut score_order = postings.clone();
+        posting::sort_score_order(&mut score_order);
+        Self {
+            score_order: Arc::new(score_order),
+            doc_order: Arc::new(postings),
+            blocks: Arc::new(blocks),
+            max_score,
+        }
+    }
+
+}
+
+/// An entirely RAM-resident [`Index`].
+pub struct InMemoryIndex {
+    terms: Vec<TermData>,
+    num_docs: u64,
+    block_size: usize,
+}
+
+impl InMemoryIndex {
+    /// Assembles an index from per-term posting vectors (any order).
+    /// `terms[t]` becomes the posting list of term `t`.
+    pub fn from_term_postings(terms: Vec<Vec<Posting>>, num_docs: u64) -> Self {
+        Self::with_block_size(terms, num_docs, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// As [`from_term_postings`](Self::from_term_postings) with an
+    /// explicit block size.
+    pub fn with_block_size(terms: Vec<Vec<Posting>>, num_docs: u64, block_size: usize) -> Self {
+        let terms = terms
+            .into_iter()
+            .map(|p| TermData::from_postings(p, block_size))
+            .collect();
+        Self {
+            terms,
+            num_docs,
+            block_size,
+        }
+    }
+
+    /// Block size used for block-max metadata.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Direct access to a term's data (empty static data for unknown
+    /// terms is not provided here; use [`Index`] methods for safety).
+    pub fn term_data(&self, term: TermId) -> Option<&TermData> {
+        self.terms.get(term as usize)
+    }
+
+    /// Materializes a doc-id-sharded view for shared-nothing
+    /// parallelization (sNRA, §5.2.2): shard `i` of `n` receives the
+    /// postings of documents `d` with `d % n == i`, in both orders.
+    /// Only the given `terms` are materialized (a query touches m
+    /// lists, so this is O(Σ df(tᵢ)) — the paper pre-builds shards
+    /// offline; we exclude this cost from measured query latency).
+    pub fn shard_for_terms(&self, terms: &[TermId], shards: usize) -> Vec<InMemoryIndex> {
+        assert!(shards > 0);
+        let max_term = terms.iter().map(|&t| t as usize + 1).max().unwrap_or(0);
+        let mut per_shard: Vec<Vec<Vec<Posting>>> =
+            (0..shards).map(|_| vec![Vec::new(); max_term]).collect();
+        for &t in terms {
+            if let Some(td) = self.term_data(t) {
+                for &p in td.doc_order.iter() {
+                    per_shard[(p.doc as usize) % shards][t as usize].push(p);
+                }
+            }
+        }
+        per_shard
+            .into_iter()
+            .map(|term_postings| {
+                InMemoryIndex::with_block_size(term_postings, self.num_docs, self.block_size)
+            })
+            .collect()
+    }
+}
+
+impl Index for InMemoryIndex {
+    fn num_docs(&self) -> u64 {
+        self.num_docs
+    }
+
+    fn num_terms(&self) -> u32 {
+        self.terms.len() as u32
+    }
+
+    fn doc_freq(&self, term: TermId) -> u64 {
+        self.term_data(term).map_or(0, |t| t.doc_order.len() as u64)
+    }
+
+    fn max_score(&self, term: TermId) -> u32 {
+        self.term_data(term).map_or(0, |t| t.max_score)
+    }
+
+    fn score_cursor(&self, term: TermId) -> Box<dyn ScoreCursor + '_> {
+        match self.term_data(term) {
+            Some(t) => Box::new(SliceScoreCursor::new(t.score_order.as_slice())),
+            None => Box::new(SliceScoreCursor::new(&[])),
+        }
+    }
+
+    fn doc_cursor(&self, term: TermId) -> Box<dyn DocCursor + '_> {
+        static EMPTY: (Vec<Posting>, Vec<BlockMeta>) = (Vec::new(), Vec::new());
+        match self.term_data(term) {
+            Some(t) => Box::new(SliceDocCursor::new(
+                t.doc_order.as_slice(),
+                t.blocks.as_slice(),
+                self.block_size,
+                t.max_score,
+            )),
+            None => Box::new(SliceDocCursor::new(&EMPTY.0, &EMPTY.1, self.block_size, 0)),
+        }
+    }
+
+    fn score_cursor_arc(self: Arc<Self>, term: TermId) -> Box<dyn ScoreCursor> {
+        match self.term_data(term) {
+            Some(t) => Box::new(SliceScoreCursor::new(ArcPostings(Arc::clone(&t.score_order)))),
+            None => Box::new(SliceScoreCursor::new(ArcPostings(Arc::new(Vec::new())))),
+        }
+    }
+
+    fn doc_cursor_arc(self: Arc<Self>, term: TermId) -> Box<dyn DocCursor> {
+        match self.term_data(term) {
+            Some(t) => Box::new(SliceDocCursor::new(
+                ArcPostings(Arc::clone(&t.doc_order)),
+                ArcBlocks(Arc::clone(&t.blocks)),
+                self.block_size,
+                t.max_score,
+            )),
+            None => Box::new(SliceDocCursor::new(
+                ArcPostings(Arc::new(Vec::new())),
+                ArcBlocks(Arc::new(Vec::new())),
+                self.block_size,
+                0,
+            )),
+        }
+    }
+
+    fn random_access(&self) -> Option<&dyn RandomAccess> {
+        Some(self)
+    }
+
+    fn io_stats(&self) -> Option<&IoStats> {
+        None
+    }
+}
+
+/// `AsRef<[Posting]>` adapter over a shared posting vector.
+pub struct ArcPostings(pub Arc<Vec<Posting>>);
+
+impl AsRef<[Posting]> for ArcPostings {
+    fn as_ref(&self) -> &[Posting] {
+        self.0.as_slice()
+    }
+}
+
+/// `AsRef<[BlockMeta]>` adapter over shared block metadata.
+pub struct ArcBlocks(pub Arc<Vec<BlockMeta>>);
+
+impl AsRef<[BlockMeta]> for ArcBlocks {
+    fn as_ref(&self) -> &[BlockMeta] {
+        self.0.as_slice()
+    }
+}
+
+impl RandomAccess for InMemoryIndex {
+    fn term_score(&self, term: TermId, doc: DocId) -> u32 {
+        match self.term_data(term) {
+            Some(t) => match t.doc_order.binary_search_by_key(&doc, |p| p.doc) {
+                Ok(i) => t.doc_order[i].score,
+                Err(_) => 0,
+            },
+            None => 0,
+        }
+    }
+}
+
+/// A [`DocCursor`] over any holders of doc-ordered postings + block
+/// metadata (`&[…]` for borrowed use, `Arc<Vec<…>>` for owning use).
+pub struct SliceDocCursor<P, B> {
+    postings: P,
+    blocks: B,
+    block_size: usize,
+    max_score: u32,
+    pos: usize,
+}
+
+impl<P: AsRef<[Posting]>, B: AsRef<[BlockMeta]>> SliceDocCursor<P, B> {
+    /// Wraps doc-ordered postings and their block metadata.
+    pub fn new(postings: P, blocks: B, block_size: usize, max_score: u32) -> Self {
+        debug_assert!(posting::is_doc_ordered(postings.as_ref()));
+        debug_assert_eq!(
+            blocks.as_ref().len(),
+            postings.as_ref().len().div_ceil(block_size)
+        );
+        Self {
+            postings,
+            blocks,
+            block_size,
+            max_score,
+            pos: 0,
+        }
+    }
+
+    #[inline]
+    fn ps(&self) -> &[Posting] {
+        self.postings.as_ref()
+    }
+
+    #[inline]
+    fn bs(&self) -> &[BlockMeta] {
+        self.blocks.as_ref()
+    }
+
+    #[inline]
+    fn block_idx(&self) -> usize {
+        self.pos / self.block_size
+    }
+}
+
+impl<P: AsRef<[Posting]> + Send, B: AsRef<[BlockMeta]> + Send> DocCursor
+    for SliceDocCursor<P, B>
+{
+    #[inline]
+    fn doc(&self) -> Option<DocId> {
+        self.ps().get(self.pos).map(|p| p.doc)
+    }
+
+    #[inline]
+    fn score(&self) -> u32 {
+        self.ps().get(self.pos).map_or(0, |p| p.score)
+    }
+
+    fn advance(&mut self) -> Option<DocId> {
+        if self.pos < self.ps().len() {
+            self.pos += 1;
+        }
+        self.doc()
+    }
+
+    fn seek(&mut self, target: DocId) -> Option<DocId> {
+        if let Some(d) = self.doc() {
+            if d >= target {
+                return Some(d);
+            }
+        } else {
+            return None;
+        }
+        // Use block metadata to find the block, then binary search in it.
+        let bi = self.bs()[self.block_idx()..].partition_point(|b| b.last_doc < target)
+            + self.block_idx();
+        if bi >= self.bs().len() {
+            self.pos = self.ps().len();
+            return None;
+        }
+        let start = (bi * self.block_size).max(self.pos);
+        let end = ((bi + 1) * self.block_size).min(self.ps().len());
+        let inner = self.ps()[start..end].partition_point(|p| p.doc < target);
+        self.pos = start + inner;
+        debug_assert!(self.pos < self.ps().len());
+        self.doc()
+    }
+
+    fn block_at(&self, target: DocId) -> Option<(DocId, u32)> {
+        if self.pos >= self.ps().len() {
+            return None;
+        }
+        let from = self.block_idx();
+        let bi = from + self.bs()[from..].partition_point(|b| b.last_doc < target);
+        self.bs().get(bi).map(|b| (b.last_doc, b.max_score))
+    }
+
+    fn block_max_score(&self) -> u32 {
+        if self.pos >= self.ps().len() {
+            return 0;
+        }
+        self.bs().get(self.block_idx()).map_or(0, |b| b.max_score)
+    }
+
+    fn block_last_doc(&self) -> Option<DocId> {
+        if self.pos >= self.ps().len() {
+            return None;
+        }
+        self.bs().get(self.block_idx()).map(|b| b.last_doc)
+    }
+
+    fn skip_block(&mut self) -> Option<DocId> {
+        let next = (self.block_idx() + 1) * self.block_size;
+        self.pos = next.min(self.ps().len());
+        self.doc()
+    }
+
+    fn max_score(&self) -> u32 {
+        self.max_score
+    }
+
+    fn len(&self) -> u64 {
+        self.ps().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> InMemoryIndex {
+        // term 0: docs 0,2,4,...,18 score = 100 - doc
+        // term 1: docs 0..5 score = 10*doc+1
+        let t0: Vec<Posting> = (0..10u32).map(|i| Posting::new(2 * i, 100 - 2 * i)).collect();
+        let t1: Vec<Posting> = (0..5u32).map(|i| Posting::new(i, 10 * i + 1)).collect();
+        InMemoryIndex::with_block_size(vec![t0, t1], 20, 4)
+    }
+
+    #[test]
+    fn dictionary_stats() {
+        let ix = index();
+        assert_eq!(ix.num_docs(), 20);
+        assert_eq!(ix.num_terms(), 2);
+        assert_eq!(ix.doc_freq(0), 10);
+        assert_eq!(ix.doc_freq(1), 5);
+        assert_eq!(ix.doc_freq(7), 0, "unknown term");
+        assert_eq!(ix.max_score(0), 100);
+        assert_eq!(ix.max_score(1), 41);
+    }
+
+    #[test]
+    fn score_cursor_is_descending() {
+        let ix = index();
+        let mut c = ix.score_cursor(1);
+        let mut last = u32::MAX;
+        while let Some(p) = c.next() {
+            assert!(p.score <= last);
+            last = p.score;
+        }
+        assert_eq!(last, 1);
+    }
+
+    #[test]
+    fn doc_cursor_advance_and_seek() {
+        let ix = index();
+        let mut c = ix.doc_cursor(0);
+        assert_eq!(c.doc(), Some(0));
+        assert_eq!(c.advance(), Some(2));
+        assert_eq!(c.seek(9), Some(10));
+        assert_eq!(c.score(), 90);
+        assert_eq!(c.seek(10), Some(10), "seek to current is a no-op");
+        assert_eq!(c.seek(18), Some(18));
+        assert_eq!(c.seek(19), None, "past the end");
+        assert_eq!(c.doc(), None);
+    }
+
+    #[test]
+    fn doc_cursor_block_metadata() {
+        let ix = index();
+        let mut c = ix.doc_cursor(0);
+        // Block size 4: docs [0,2,4,6][8,10,12,14][16,18].
+        assert_eq!(c.block_last_doc(), Some(6));
+        assert_eq!(c.block_max_score(), 100);
+        assert_eq!(c.skip_block(), Some(8));
+        assert_eq!(c.block_last_doc(), Some(14));
+        assert_eq!(c.block_max_score(), 100 - 8);
+        assert_eq!(c.skip_block(), Some(16));
+        assert_eq!(c.skip_block(), None);
+    }
+
+    #[test]
+    fn random_access_lookup() {
+        let ix = index();
+        let ra = ix.random_access().unwrap();
+        assert_eq!(ra.term_score(0, 4), 96);
+        assert_eq!(ra.term_score(0, 5), 0, "doc absent from list");
+        assert_eq!(ra.term_score(1, 3), 31);
+        assert_eq!(ra.term_score(9, 3), 0, "unknown term");
+        assert_eq!(ra.full_score(&[0, 1], 4), 96 + 41);
+        assert_eq!(ra.full_score(&[0, 1], 3), 0 + 31);
+    }
+
+    #[test]
+    fn sharding_partitions_postings() {
+        let ix = index();
+        let shards = ix.shard_for_terms(&[0, 1], 3);
+        assert_eq!(shards.len(), 3);
+        let total: u64 = shards.iter().map(|s| s.doc_freq(0)).sum();
+        assert_eq!(total, ix.doc_freq(0));
+        for (i, s) in shards.iter().enumerate() {
+            let mut c = s.doc_cursor(0);
+            while let Some(d) = c.doc() {
+                assert_eq!(d as usize % 3, i, "doc {d} in wrong shard");
+                c.advance();
+            }
+        }
+    }
+
+    #[test]
+    fn empty_term_cursors_are_safe() {
+        let ix = index();
+        let mut sc = ix.score_cursor(9);
+        assert_eq!(sc.next(), None);
+        assert!(sc.is_empty());
+        let mut dc = ix.doc_cursor(9);
+        assert_eq!(dc.doc(), None);
+        assert_eq!(dc.advance(), None);
+        assert_eq!(dc.seek(5), None);
+        assert_eq!(dc.skip_block(), None);
+    }
+}

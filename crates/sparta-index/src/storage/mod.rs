@@ -1,0 +1,178 @@
+//! Uncompressed binary on-disk index format.
+//!
+//! "The appropriate index … is pre-built offline and stored on disk
+//! uncompressed as a collection of binary files" (§5.1). We follow
+//! that design and deliberately skip compression: "given
+//! state-of-the-art compression techniques, the impact of
+//! decompression on end-to-end performance is marginal" (§5,
+//! citing Lin & Trotman 2017).
+//!
+//! Layout (one directory per index, all integers little-endian):
+//!
+//! ```text
+//! meta.bin    magic "SPARTAIX", version, num_docs, num_terms, block_size
+//! dict.bin    per term: offsets/lengths into the data files + max score
+//! score.bin   all score-ordered posting lists, concatenated
+//! doc.bin     all doc-ordered posting lists, concatenated
+//! blocks.bin  block-max metadata for doc.bin
+//! ```
+//!
+//! The dictionary and block metadata are small (40 bytes/term and
+//! 8 bytes per 64 postings) and are held in RAM by the reader, like
+//! any production engine; posting data is fetched in fixed-size blocks
+//! through the [`crate::iostats`] layer.
+
+pub mod format;
+pub mod reader;
+pub mod writer;
+
+pub use format::{DictEntry, Meta, FORMAT_VERSION, MAGIC};
+pub use reader::DiskIndex;
+pub use writer::IndexWriter;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryIndex;
+    use crate::posting::Posting;
+    use crate::{Index, IoModel};
+    use sparta_corpus::types::TermId;
+
+    fn sample_lists() -> Vec<Vec<Posting>> {
+        vec![
+            (0..300u32).map(|i| Posting::new(3 * i, 1000 - i)).collect(),
+            (0..40u32).map(|i| Posting::new(7 * i, 10 + (i * 13) % 90)).collect(),
+            Vec::new(),
+            vec![Posting::new(5, 42)],
+        ]
+    }
+
+    fn write_sample(dir: &std::path::Path) {
+        let lists = sample_lists();
+        let mut w = IndexWriter::create(dir, 900, lists.len() as u32, 64).unwrap();
+        for l in &lists {
+            w.add_term(l.clone()).unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn round_trip_matches_memory_index() {
+        let dir = tempdir("round_trip");
+        write_sample(&dir);
+        let disk = DiskIndex::open(&dir, IoModel::free()).unwrap();
+        let mem = InMemoryIndex::from_term_postings(sample_lists(), 900);
+
+        assert_eq!(disk.num_docs(), 900);
+        assert_eq!(disk.num_terms(), 4);
+        for t in 0..4 as TermId {
+            assert_eq!(disk.doc_freq(t), mem.doc_freq(t), "df term {t}");
+            assert_eq!(disk.max_score(t), mem.max_score(t), "max term {t}");
+            // Score order identical.
+            let mut a = disk.score_cursor(t);
+            let mut b = mem.score_cursor(t);
+            loop {
+                let (x, y) = (a.next(), b.next());
+                assert_eq!(x, y, "score cursor term {t}");
+                if x.is_none() {
+                    break;
+                }
+            }
+            // Doc order identical.
+            let mut a = disk.doc_cursor(t);
+            let mut b = mem.doc_cursor(t);
+            loop {
+                let (x, y) = (a.doc(), b.doc());
+                assert_eq!(x, y, "doc cursor term {t}");
+                assert_eq!(a.score(), b.score());
+                if x.is_none() {
+                    break;
+                }
+                a.advance();
+                b.advance();
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_seek_and_blockmax_match_memory() {
+        let dir = tempdir("seek");
+        write_sample(&dir);
+        let disk = DiskIndex::open(&dir, IoModel::free()).unwrap();
+        let mem = InMemoryIndex::from_term_postings(sample_lists(), 900);
+        let mut a = disk.doc_cursor(0);
+        let mut b = mem.doc_cursor(0);
+        for target in [0u32, 5, 100, 101, 450, 897, 898] {
+            assert_eq!(a.seek(target), b.seek(target), "seek {target}");
+            assert_eq!(a.block_max_score(), b.block_max_score());
+            assert_eq!(a.block_last_doc(), b.block_last_doc());
+        }
+        assert_eq!(a.skip_block(), b.skip_block());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_random_access_matches_memory() {
+        let dir = tempdir("ra");
+        write_sample(&dir);
+        let disk = DiskIndex::open(&dir, IoModel::free()).unwrap();
+        let mem = InMemoryIndex::from_term_postings(sample_lists(), 900);
+        let dra = disk.random_access().unwrap();
+        let mra = mem.random_access().unwrap();
+        for t in 0..4 as TermId {
+            for d in (0..900u32).step_by(17) {
+                assert_eq!(dra.term_score(t, d), mra.term_score(t, d), "t={t} d={d}");
+            }
+        }
+        // Random accesses were counted.
+        assert!(disk.io_stats().unwrap().random_accesses() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn io_stats_count_sequential_blocks() {
+        let dir = tempdir("iostats");
+        write_sample(&dir);
+        let disk = DiskIndex::open(&dir, IoModel::free()).unwrap();
+        let stats = disk.io_stats().unwrap();
+        stats.reset();
+        let mut c = disk.score_cursor(0);
+        while c.next().is_some() {}
+        let (seq, _, bytes) = stats.snapshot();
+        assert!(seq >= 1);
+        assert_eq!(bytes, 300 * 8, "read exactly the list bytes");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_corrupt_magic() {
+        let dir = tempdir("corrupt");
+        write_sample(&dir);
+        let meta = dir.join("meta.bin");
+        let mut bytes = std::fs::read(&meta).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&meta, bytes).unwrap();
+        assert!(DiskIndex::open(&dir, IoModel::free()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_enforces_term_count() {
+        let dir = tempdir("count");
+        let mut w = IndexWriter::create(&dir, 10, 2, 64).unwrap();
+        w.add_term(vec![Posting::new(1, 5)]).unwrap();
+        assert!(w.finish().is_err(), "missing terms must be an error");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "sparta-index-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+}

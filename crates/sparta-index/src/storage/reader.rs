@@ -1,0 +1,424 @@
+//! Disk-resident index reader with block-granular, accounted I/O.
+
+use super::format::{self, DictEntry, Meta};
+use crate::cursor::{DocCursor, RandomAccess, ScoreCursor};
+use crate::iostats::{IoModel, IoStats};
+use crate::posting::{BlockMeta, Posting};
+use crate::Index;
+use sparta_corpus::types::{DocId, TermId};
+use std::borrow::Borrow;
+use std::fs::File;
+use std::io::{self, Read};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Bytes fetched per sequential read (the paper memory-maps files and
+/// relies on the OS read-ahead; 64KB models one read-ahead unit).
+pub const IO_BLOCK_BYTES: usize = 64 * 1024;
+
+/// A disk-resident [`Index`]. The dictionary and block-max metadata
+/// are RAM-resident; posting data is fetched on demand through the
+/// [`IoStats`]/[`IoModel`] accounting layer.
+pub struct DiskIndex {
+    meta: Meta,
+    dict: Vec<DictEntry>,
+    blocks: Vec<BlockMeta>,
+    score_file: File,
+    doc_file: File,
+    io: IoStats,
+    model: IoModel,
+}
+
+impl DiskIndex {
+    /// Opens an index directory written by
+    /// [`super::writer::IndexWriter`].
+    pub fn open(dir: impl AsRef<Path>, model: IoModel) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        let mut meta_file = File::open(dir.join("meta.bin"))?;
+        let meta = Meta::read_from(&mut meta_file)?;
+
+        let mut dict_bytes = Vec::new();
+        File::open(dir.join("dict.bin"))?.read_to_end(&mut dict_bytes)?;
+        if dict_bytes.len() != meta.num_terms as usize * DictEntry::SIZE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "dict.bin size does not match num_terms",
+            ));
+        }
+        let mut dict = Vec::with_capacity(meta.num_terms as usize);
+        let mut slice = dict_bytes.as_slice();
+        for _ in 0..meta.num_terms {
+            dict.push(DictEntry::read_from(&mut slice)?);
+        }
+
+        let mut block_bytes = Vec::new();
+        File::open(dir.join("blocks.bin"))?.read_to_end(&mut block_bytes)?;
+        let blocks = format::decode_blocks(&block_bytes);
+
+        Ok(Self {
+            meta,
+            dict,
+            blocks,
+            score_file: File::open(dir.join("score.bin"))?,
+            doc_file: File::open(dir.join("doc.bin"))?,
+            io: IoStats::new(),
+            model,
+        })
+    }
+
+    /// The latency model in effect.
+    pub fn model(&self) -> IoModel {
+        self.model
+    }
+
+    /// Replaces the latency model (e.g. to switch an opened index
+    /// between counting-only and SSD-simulation modes).
+    pub fn set_model(&mut self, model: IoModel) {
+        self.model = model;
+    }
+
+    /// Block size (postings per block-max block).
+    pub fn block_size(&self) -> usize {
+        self.meta.block_size as usize
+    }
+
+    fn entry(&self, term: TermId) -> Option<&DictEntry> {
+        self.dict.get(term as usize).filter(|e| e.len > 0)
+    }
+
+    fn term_blocks(&self, e: &DictEntry) -> &[BlockMeta] {
+        &self.blocks[e.block_off as usize..e.block_off as usize + e.num_blocks as usize]
+    }
+
+    /// Reads `buf.len()` bytes at `off` from `file`, charging it as a
+    /// sequential fetch when `seq`, else as a random access.
+    fn read_at(&self, file: &File, off: u64, buf: &mut [u8], seq: bool) -> io::Result<()> {
+        file.read_exact_at(buf, off)?;
+        if seq {
+            self.io.record_seq(buf.len() as u64);
+            self.model.charge_seq();
+        } else {
+            self.io.record_random(buf.len() as u64);
+            self.model.charge_random();
+        }
+        Ok(())
+    }
+}
+
+impl Index for DiskIndex {
+    fn num_docs(&self) -> u64 {
+        self.meta.num_docs
+    }
+
+    fn num_terms(&self) -> u32 {
+        self.meta.num_terms
+    }
+
+    fn doc_freq(&self, term: TermId) -> u64 {
+        self.dict.get(term as usize).map_or(0, |e| e.len)
+    }
+
+    fn max_score(&self, term: TermId) -> u32 {
+        self.dict.get(term as usize).map_or(0, |e| e.max_score)
+    }
+
+    fn score_cursor(&self, term: TermId) -> Box<dyn ScoreCursor + '_> {
+        Box::new(DiskScoreCursor::new(self, term))
+    }
+
+    fn doc_cursor(&self, term: TermId) -> Box<dyn DocCursor + '_> {
+        Box::new(DiskDocCursor::new(self, term))
+    }
+
+    fn score_cursor_arc(self: Arc<Self>, term: TermId) -> Box<dyn ScoreCursor> {
+        Box::new(DiskScoreCursor::new(self, term))
+    }
+
+    fn doc_cursor_arc(self: Arc<Self>, term: TermId) -> Box<dyn DocCursor> {
+        Box::new(DiskDocCursor::new(self, term))
+    }
+
+    fn random_access(&self) -> Option<&dyn RandomAccess> {
+        Some(self)
+    }
+
+    fn io_stats(&self) -> Option<&IoStats> {
+        Some(&self.io)
+    }
+}
+
+impl RandomAccess for DiskIndex {
+    /// One lookup = one RAM binary search over block metadata + one
+    /// random block fetch, modelling the paper's secondary index (one
+    /// I/O request and cache miss per access, §3.2).
+    fn term_score(&self, term: TermId, doc: DocId) -> u32 {
+        let Some(e) = self.entry(term) else { return 0 };
+        let blocks = self.term_blocks(e);
+        let bi = blocks.partition_point(|b| b.last_doc < doc);
+        if bi >= blocks.len() {
+            return 0;
+        }
+        let bs = self.meta.block_size as usize;
+        let start = bi * bs;
+        let count = (e.len as usize - start).min(bs);
+        let mut buf = vec![0u8; count * 8];
+        if self
+            .read_at(&self.doc_file, e.doc_off + (start * 8) as u64, &mut buf, false)
+            .is_err()
+        {
+            return 0;
+        }
+        let mut postings = Vec::new();
+        format::decode_postings(&buf, &mut postings);
+        match postings.binary_search_by_key(&doc, |p| p.doc) {
+            Ok(i) => postings[i].score,
+            Err(_) => 0,
+        }
+    }
+}
+
+/// Sequential score-order cursor reading [`IO_BLOCK_BYTES`] at a time.
+/// Generic over the index holder: `&DiskIndex` for borrowed cursors,
+/// `Arc<DiskIndex>` for owning cursors movable into `'static` jobs.
+struct DiskScoreCursor<R> {
+    ix: R,
+    entry: DictEntry,
+    buf: Vec<Posting>,
+    /// Absolute posting index of `buf[0]`.
+    buf_start: u64,
+    /// Absolute posting index of the next posting to return.
+    pos: u64,
+    bytes: Vec<u8>,
+}
+
+impl<R: Borrow<DiskIndex>> DiskScoreCursor<R> {
+    fn new(ix: R, term: TermId) -> Self {
+        let entry = ix.borrow().dict.get(term as usize).copied().unwrap_or_default();
+        Self {
+            ix,
+            entry,
+            buf: Vec::new(),
+            buf_start: 0,
+            pos: 0,
+            bytes: Vec::new(),
+        }
+    }
+
+    fn fill(&mut self) -> bool {
+        if self.pos >= self.entry.len {
+            return false;
+        }
+        let count = ((self.entry.len - self.pos) * 8).min(IO_BLOCK_BYTES as u64) as usize;
+        self.bytes.resize(count, 0);
+        let off = self.entry.score_off + self.pos * 8;
+        let ix = self.ix.borrow();
+        if ix.read_at(&ix.score_file, off, &mut self.bytes, true).is_err() {
+            return false;
+        }
+        format::decode_postings(&self.bytes, &mut self.buf);
+        self.buf_start = self.pos;
+        true
+    }
+}
+
+impl<R: Borrow<DiskIndex> + Send> ScoreCursor for DiskScoreCursor<R> {
+    fn next(&mut self) -> Option<Posting> {
+        if self.pos >= self.entry.len {
+            return None;
+        }
+        let rel = (self.pos - self.buf_start) as usize;
+        if self.buf.is_empty() || rel >= self.buf.len() {
+            if !self.fill() {
+                return None;
+            }
+        }
+        let rel = (self.pos - self.buf_start) as usize;
+        let p = self.buf[rel];
+        self.pos += 1;
+        Some(p)
+    }
+
+    fn remaining(&self) -> u64 {
+        self.entry.len - self.pos
+    }
+
+    fn len(&self) -> u64 {
+        self.entry.len
+    }
+}
+
+/// Doc-order cursor that loads one block-max block at a time, using
+/// the RAM block metadata for seeks and BMW-style block skips.
+struct DiskDocCursor<R> {
+    ix: R,
+    entry: DictEntry,
+    /// Local (term-relative) index of the loaded block; usize::MAX if
+    /// nothing is loaded yet.
+    cur_block: usize,
+    block: Vec<Posting>,
+    /// Position within `block`.
+    rel: usize,
+    /// Exhausted flag.
+    done: bool,
+    /// File offset a sequential continuation would read next.
+    next_seq_off: u64,
+    bytes: Vec<u8>,
+}
+
+impl<R: Borrow<DiskIndex>> DiskDocCursor<R> {
+    fn new(ix: R, term: TermId) -> Self {
+        let entry = ix.borrow().dict.get(term as usize).copied().unwrap_or_default();
+        let done = entry.len == 0;
+        let mut c = Self {
+            ix,
+            entry,
+            cur_block: usize::MAX,
+            block: Vec::new(),
+            rel: 0,
+            done,
+            next_seq_off: entry.doc_off,
+            bytes: Vec::new(),
+        };
+        if !c.done {
+            c.load_block(0);
+        }
+        c
+    }
+
+    fn blocks(&self) -> &[BlockMeta] {
+        let s = self.entry.block_off as usize;
+        &self.ix.borrow().blocks[s..s + self.entry.num_blocks as usize]
+    }
+
+    fn load_block(&mut self, bi: usize) {
+        if bi >= self.entry.num_blocks as usize {
+            self.done = true;
+            self.block.clear();
+            return;
+        }
+        let bs = self.ix.borrow().meta.block_size as usize;
+        let start = bi * bs;
+        let count = (self.entry.len as usize - start).min(bs);
+        let off = self.entry.doc_off + (start * 8) as u64;
+        self.bytes.resize(count * 8, 0);
+        let seq = off == self.next_seq_off;
+        let ok = {
+            let ix = self.ix.borrow();
+            ix.read_at(&ix.doc_file, off, &mut self.bytes, seq).is_ok()
+        };
+        if !ok {
+            self.done = true;
+            return;
+        }
+        self.next_seq_off = off + (count * 8) as u64;
+        format::decode_postings(&self.bytes, &mut self.block);
+        self.cur_block = bi;
+        self.rel = 0;
+    }
+}
+
+impl<R: Borrow<DiskIndex> + Send> DocCursor for DiskDocCursor<R> {
+    fn doc(&self) -> Option<DocId> {
+        if self.done {
+            None
+        } else {
+            self.block.get(self.rel).map(|p| p.doc)
+        }
+    }
+
+    fn score(&self) -> u32 {
+        if self.done {
+            0
+        } else {
+            self.block.get(self.rel).map_or(0, |p| p.score)
+        }
+    }
+
+    fn advance(&mut self) -> Option<DocId> {
+        if self.done {
+            return None;
+        }
+        self.rel += 1;
+        if self.rel >= self.block.len() {
+            let next = self.cur_block + 1;
+            self.load_block(next);
+        }
+        self.doc()
+    }
+
+    fn seek(&mut self, target: DocId) -> Option<DocId> {
+        if self.done {
+            return None;
+        }
+        if let Some(d) = self.doc() {
+            if d >= target {
+                return Some(d);
+            }
+        }
+        let (bi, nblocks) = {
+            let blocks = self.blocks();
+            (
+                self.cur_block
+                    + blocks[self.cur_block..].partition_point(|b| b.last_doc < target),
+                blocks.len(),
+            )
+        };
+        if bi >= nblocks {
+            self.done = true;
+            return None;
+        }
+        if bi != self.cur_block {
+            self.load_block(bi);
+            if self.done {
+                return None;
+            }
+        }
+        self.rel += self.block[self.rel..].partition_point(|p| p.doc < target);
+        debug_assert!(self.rel < self.block.len());
+        self.doc()
+    }
+
+    fn block_at(&self, target: DocId) -> Option<(DocId, u32)> {
+        if self.done {
+            return None;
+        }
+        let blocks = self.blocks();
+        let bi = self.cur_block
+            + blocks[self.cur_block..].partition_point(|b| b.last_doc < target);
+        blocks.get(bi).map(|b| (b.last_doc, b.max_score))
+    }
+
+    fn block_max_score(&self) -> u32 {
+        if self.done {
+            0
+        } else {
+            self.blocks()[self.cur_block].max_score
+        }
+    }
+
+    fn block_last_doc(&self) -> Option<DocId> {
+        if self.done {
+            None
+        } else {
+            Some(self.blocks()[self.cur_block].last_doc)
+        }
+    }
+
+    fn skip_block(&mut self) -> Option<DocId> {
+        if self.done {
+            return None;
+        }
+        let next = self.cur_block + 1;
+        self.load_block(next);
+        self.doc()
+    }
+
+    fn max_score(&self) -> u32 {
+        self.entry.max_score
+    }
+
+    fn len(&self) -> u64 {
+        self.entry.len
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for cursor semantics: `seek` must agree with a
+//! linear-scan reference, block metadata must bound its block, and
+//! random access must agree with the doc-ordered list, over arbitrary
+//! posting lists and block sizes — on both index backends.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sparta_index::storage::IndexWriter;
+use sparta_index::{DiskIndex, Index, InMemoryIndex, IoModel, Posting};
+
+fn arb_list() -> impl Strategy<Value = Vec<Posting>> {
+    vec((0u32..2000, 1u32..100_000), 0..300).prop_map(|mut ps| {
+        ps.sort_by_key(|&(d, _)| d);
+        ps.dedup_by_key(|&mut (d, _)| d);
+        ps.into_iter().map(|(d, s)| Posting::new(d, s)).collect()
+    })
+}
+
+/// Reference: first posting with doc >= target, by linear scan.
+fn ref_seek(list: &[Posting], from: usize, target: u32) -> Option<(usize, Posting)> {
+    list.iter()
+        .enumerate()
+        .skip(from)
+        .find(|(_, p)| p.doc >= target)
+        .map(|(i, p)| (i, *p))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn seek_matches_linear_reference(
+        list in arb_list(),
+        targets in vec(0u32..2100, 0..20),
+        block_size in 1usize..100
+    ) {
+        let ix = InMemoryIndex::with_block_size(vec![list.clone()], 2000, block_size);
+        let mut cursor = ix.doc_cursor(0);
+        let mut targets = targets;
+        targets.sort_unstable(); // cursors only move forward
+        let mut pos = 0usize;
+        for t in targets {
+            let got = cursor.seek(t);
+            let want = ref_seek(&list, pos, t);
+            prop_assert_eq!(got, want.map(|(_, p)| p.doc), "seek({})", t);
+            if let Some((i, p)) = want {
+                pos = i;
+                prop_assert_eq!(cursor.score(), p.score);
+            } else {
+                prop_assert_eq!(cursor.doc(), None);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn block_metadata_bounds_hold(list in arb_list(), block_size in 1usize..64) {
+        let ix = InMemoryIndex::with_block_size(vec![list.clone()], 2000, block_size);
+        let mut c = ix.doc_cursor(0);
+        let mut idx = 0usize;
+        while let Some(d) = c.doc() {
+            let block = idx / block_size;
+            let chunk = &list[block * block_size..((block + 1) * block_size).min(list.len())];
+            let want_last = chunk.last().unwrap().doc;
+            let want_max = chunk.iter().map(|p| p.score).max().unwrap();
+            prop_assert_eq!(c.block_last_doc(), Some(want_last), "at doc {}", d);
+            prop_assert_eq!(c.block_max_score(), want_max);
+            // block_at on the current doc describes the current block.
+            prop_assert_eq!(c.block_at(d), Some((want_last, want_max)));
+            c.advance();
+            idx += 1;
+        }
+    }
+
+    #[test]
+    fn random_access_matches_list(list in arb_list(), probes in vec(0u32..2100, 1..30)) {
+        let ix = InMemoryIndex::from_term_postings(vec![list.clone()], 2000);
+        let ra = ix.random_access().unwrap();
+        for d in probes {
+            let want = list.iter().find(|p| p.doc == d).map_or(0, |p| p.score);
+            prop_assert_eq!(ra.term_score(0, d), want, "doc {}", d);
+        }
+    }
+
+    #[test]
+    fn disk_cursor_seek_matches_memory(
+        list in arb_list(),
+        targets in vec(0u32..2100, 0..12)
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "sparta-cursor-prop-{}-{}",
+            std::process::id(),
+            list.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut w = IndexWriter::create(&dir, 2000, 1, 16).unwrap();
+            w.add_term(list.clone()).unwrap();
+            w.finish().unwrap();
+        }
+        let disk = DiskIndex::open(&dir, IoModel::free()).unwrap();
+        let mem = InMemoryIndex::with_block_size(vec![list], 2000, 16);
+        let mut a = disk.doc_cursor(0);
+        let mut b = mem.doc_cursor(0);
+        let mut targets = targets;
+        targets.sort_unstable();
+        for t in targets {
+            prop_assert_eq!(a.seek(t), b.seek(t), "seek({})", t);
+            prop_assert_eq!(a.score(), b.score());
+            prop_assert_eq!(a.block_at(t), b.block_at(t));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

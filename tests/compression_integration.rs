@@ -1,0 +1,55 @@
+//! Compression integration: the varint codec must round-trip every
+//! posting list of a real synthetic corpus and achieve a meaningful
+//! size reduction (the context for the paper's §5 decision to
+//! benchmark uncompressed indexes).
+
+use sparta::index::{compress, posting, Index, IndexBuilder, Posting};
+use sparta::prelude::*;
+
+#[test]
+fn corpus_lists_round_trip_and_shrink() {
+    let corpus = SynthCorpus::build(CorpusModel::tiny(77));
+    let ix = IndexBuilder::new(TfIdfScorer).build_memory(&corpus);
+    let mut raw_bytes = 0usize;
+    let mut compressed_bytes = 0usize;
+    for t in 0..ix.num_terms() {
+        let td = ix.term_data(t).unwrap();
+        // Doc-ordered codec.
+        let doc_list: Vec<Posting> = td.doc_order.as_ref().clone();
+        let buf = compress::compress_doc_ordered(&doc_list);
+        assert_eq!(
+            compress::decompress_doc_ordered(&buf, doc_list.len()).unwrap(),
+            doc_list,
+            "term {t} doc-ordered"
+        );
+        // Score-ordered codec (+ streaming decoder).
+        let score_list: Vec<Posting> = td.score_order.as_ref().clone();
+        let sbuf = compress::compress_score_ordered(&score_list);
+        let streamed: Vec<Posting> =
+            compress::ScoreOrderedDecoder::new(&sbuf, score_list.len()).collect();
+        assert_eq!(streamed, score_list, "term {t} score-ordered");
+        raw_bytes += doc_list.len() * 8;
+        compressed_bytes += buf.len();
+    }
+    assert!(raw_bytes > 0);
+    let ratio = raw_bytes as f64 / compressed_bytes as f64;
+    assert!(
+        ratio > 1.3,
+        "compression ratio {ratio:.2} too low ({compressed_bytes} of {raw_bytes} bytes)"
+    );
+}
+
+#[test]
+fn decoded_lists_preserve_order_invariants() {
+    let corpus = SynthCorpus::build(CorpusModel::tiny(78));
+    let ix = IndexBuilder::new(TfIdfScorer).build_memory(&corpus);
+    for t in (0..ix.num_terms()).step_by(29) {
+        let td = ix.term_data(t).unwrap();
+        let buf = compress::compress_doc_ordered(&td.doc_order);
+        let decoded = compress::decompress_doc_ordered(&buf, td.doc_order.len()).unwrap();
+        assert!(posting::is_doc_ordered(&decoded));
+        let sbuf = compress::compress_score_ordered(&td.score_order);
+        let decoded = compress::decompress_score_ordered(&sbuf, td.score_order.len()).unwrap();
+        assert!(posting::is_score_ordered(&decoded));
+    }
+}

@@ -1,0 +1,86 @@
+//! Throughput-mode integration: the same algorithm code must produce
+//! identical results when its jobs run on the shared FCFS worker pool
+//! (§5.1's throughput evaluation mode) instead of dedicated threads,
+//! including with many queries in flight concurrently.
+
+use sparta::prelude::*;
+use std::sync::Arc;
+
+fn build(seed: u64) -> (Arc<dyn Index>, SynthCorpus) {
+    let corpus = SynthCorpus::build(CorpusModel::tiny(seed));
+    let ix: Arc<dyn Index> = Arc::new(IndexBuilder::new(TfIdfScorer).build_memory(&corpus));
+    (ix, corpus)
+}
+
+#[test]
+fn pool_results_match_dedicated() {
+    let (ix, corpus) = build(31);
+    let log = QueryLog::generate(corpus.stats(), 2, 4, 5);
+    let cfg = SearchConfig::exact(15).with_seg_size(64).with_phi(256);
+    let pool = WorkerPool::new(3);
+    let dedicated = DedicatedExecutor::new(3);
+    for q in log.all() {
+        for algo in sparta::core::registry::case_study_algorithms() {
+            let a = algo.search(&ix, q, &cfg, &dedicated);
+            let b = algo.search(&ix, q, &cfg, &pool);
+            assert_eq!(
+                a.scores(),
+                b.scores(),
+                "{} differs on the shared pool for {:?}",
+                algo.name(),
+                q.terms
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_queries_share_pool_correctly() {
+    let (ix, corpus) = build(32);
+    let log = QueryLog::generate(corpus.stats(), 4, 3, 6);
+    let cfg = SearchConfig::exact(10).with_seg_size(64);
+    let pool = Arc::new(WorkerPool::new(4));
+    let queries: Vec<Query> = log.all().cloned().collect();
+    // Expected results, computed serially.
+    let expected: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| Sparta.search(&ix, q, &cfg, &DedicatedExecutor::new(1)).scores())
+        .collect();
+    // Submit all queries concurrently from several driver threads.
+    std::thread::scope(|s| {
+        for (q, want) in queries.iter().zip(&expected) {
+            let ix = Arc::clone(&ix);
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                let got = Sparta.search(&ix, q, &cfg, pool.as_ref()).scores();
+                assert_eq!(&got, want, "concurrent result diverged for {:?}", q.terms);
+            });
+        }
+    });
+}
+
+#[test]
+fn pool_survives_many_sequential_queries() {
+    let (ix, corpus) = build(33);
+    let log = QueryLog::generate(corpus.stats(), 1, 6, 7);
+    let cfg = SearchConfig::exact(10);
+    let pool = WorkerPool::new(2);
+    let oracle_recall_one = |q: &Query| {
+        let oracle = Oracle::compute(ix.as_ref(), q, 10);
+        let r = PJass.search(&ix, q, &cfg, &pool);
+        oracle.recall(&r.docs())
+    };
+    for m in 1..=6 {
+        for q in log.of_length(m) {
+            assert_eq!(oracle_recall_one(q), 1.0, "query {:?}", q.terms);
+        }
+    }
+    assert_eq!(pool.pending_queries(), 0);
+    // Completed queues are retired lazily during worker sweeps; give
+    // the pool a moment to notice.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while pool.active_queries() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(pool.active_queries(), 0);
+}
