@@ -115,5 +115,10 @@ fn bench_swap_cell(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_striped_vs_mutex, bench_heap_offers, bench_swap_cell);
+criterion_group!(
+    benches,
+    bench_striped_vs_mutex,
+    bench_heap_offers,
+    bench_swap_cell
+);
 criterion_main!(benches);

@@ -31,7 +31,9 @@ fn bench_disk_access(c: &mut Criterion) {
     let (free, _dir) = disk_index(IoModel::free());
     let (ssd, _dir) = disk_index(IoModel::ssd());
     // A head term with a long list.
-    let term = (0..free.num_terms()).max_by_key(|&t| free.doc_freq(t)).unwrap();
+    let term = (0..free.num_terms())
+        .max_by_key(|&t| free.doc_freq(t))
+        .unwrap();
     let len = free.doc_freq(term);
 
     let mut g = c.benchmark_group("disk_io");

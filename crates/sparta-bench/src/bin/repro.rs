@@ -194,9 +194,30 @@ fn fig3_low(scale: Scale, p95: bool, tag: &str) {
         "terms", "sparta-high", "pbmw-low", "pjass-low"
     );
     for m in [1usize, 2, 4, 6, 8, 10, 12] {
-        let sh = cell(ds, "sparta", m, &VariantParams::high(), m.min(threads()), false);
-        let bl = cell(ds, "pbmw", m, &VariantParams::low(), m.min(threads()), false);
-        let jl = cell(ds, "pjass", m, &VariantParams::low(), m.min(threads()), false);
+        let sh = cell(
+            ds,
+            "sparta",
+            m,
+            &VariantParams::high(),
+            m.min(threads()),
+            false,
+        );
+        let bl = cell(
+            ds,
+            "pbmw",
+            m,
+            &VariantParams::low(),
+            m.min(threads()),
+            false,
+        );
+        let jl = cell(
+            ds,
+            "pjass",
+            m,
+            &VariantParams::low(),
+            m.min(threads()),
+            false,
+        );
         let v = |s: &LatencyStats| if p95 { s.percentile(0.95) } else { s.mean() };
         println!(
             "{m:>6} {:>12} {:>9} {:>9}",
@@ -256,9 +277,7 @@ fn fig3_dynamics(scale: Scale, tag: &str) {
             100.0 * oracle.recall(&r.docs())
         );
     }
-    println!(
-        "( ' '<10% '.'<30% 'o'<60% 'O'<90% '#'>=90%, {samples} samples over each run )"
-    );
+    println!("( ' '<10% '.'<30% 'o'<60% 'O'<90% '#'>=90%, {samples} samples over each run )");
 }
 
 /// Figures 3h/3i: latency vs intra-query parallelism, 12-term queries.
@@ -270,7 +289,9 @@ fn fig3_parallelism(scale: Scale, tag: &str) {
     );
     println!(
         "  [note: this host has {} hardware core(s) — thread-count scaling measures",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     println!("   scheduling overhead here, not hardware parallelism; see EXPERIMENTS.md]");
     let names = ["sparta", "pra", "pbmw", "pjass"];
@@ -325,29 +346,29 @@ fn ablations() {
     let m = 12;
     let t = threads();
     let qs: Vec<_> = ds.queries_of_length(m, queries_per_cell()).to_vec();
-    let run = |label: &str,
-               cfg_fn: &dyn Fn(sparta_core::SearchConfig) -> sparta_core::SearchConfig| {
-        let exec = DedicatedExecutor::new(t);
-        let base = VariantParams::exact().config(ds.k);
-        let cfg = cfg_fn(base);
-        let mut times = Vec::new();
-        let mut postings = 0u64;
-        let mut peak = 0u64;
-        for q in &qs {
-            let t0 = std::time::Instant::now();
-            let r = algo("sparta").search(&ds.index, q, &cfg, &exec);
-            times.push(t0.elapsed());
-            postings += r.work.postings_scanned;
-            peak = peak.max(r.work.docmap_peak);
-        }
-        times.sort();
-        println!(
-            "{label:>30}: mean {:>8}ms  postings/q {:>10}  docmap-peak {:>8}",
-            fmt_ms(times.iter().sum::<Duration>() / times.len() as u32),
-            postings / qs.len() as u64,
-            peak
-        );
-    };
+    let run =
+        |label: &str, cfg_fn: &dyn Fn(sparta_core::SearchConfig) -> sparta_core::SearchConfig| {
+            let exec = DedicatedExecutor::new(t);
+            let base = VariantParams::exact().config(ds.k);
+            let cfg = cfg_fn(base);
+            let mut times = Vec::new();
+            let mut postings = 0u64;
+            let mut peak = 0u64;
+            for q in &qs {
+                let t0 = std::time::Instant::now();
+                let r = algo("sparta").search(&ds.index, q, &cfg, &exec);
+                times.push(t0.elapsed());
+                postings += r.work.postings_scanned;
+                peak = peak.max(r.work.docmap_peak);
+            }
+            times.sort();
+            println!(
+                "{label:>30}: mean {:>8}ms  postings/q {:>10}  docmap-peak {:>8}",
+                fmt_ms(times.iter().sum::<Duration>() / times.len() as u32),
+                postings / qs.len() as u64,
+                peak
+            );
+        };
     println!("== Ablations: Sparta design choices, 12-term queries, exact ==");
     run("baseline (Φ=10k, seg=1024)", &|c| c);
     run("no term-local maps (Φ=0)", &|c| c.with_phi(0));

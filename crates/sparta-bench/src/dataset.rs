@@ -69,8 +69,7 @@ impl Dataset {
         };
         debug_assert_eq!(model.num_docs, docs);
         let corpus = SynthCorpus::build(model);
-        let index: Arc<dyn Index> =
-            Arc::new(IndexBuilder::new(TfIdfScorer).build_memory(&corpus));
+        let index: Arc<dyn Index> = Arc::new(IndexBuilder::new(TfIdfScorer).build_memory(&corpus));
         // Queries always come from the *base* corpus statistics (the
         // paper samples AOL queries once and runs them on both
         // corpora; our X10 shares the dictionary so term ids carry

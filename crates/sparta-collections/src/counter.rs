@@ -63,10 +63,7 @@ impl ShardedCounter {
 
     /// Sums all slots.
     pub fn get(&self) -> u64 {
-        self.slots
-            .iter()
-            .map(|s| s.load(Ordering::Relaxed))
-            .sum()
+        self.slots.iter().map(|s| s.load(Ordering::Relaxed)).sum()
     }
 
     /// Resets all slots to zero. Only meaningful while writers are

@@ -147,7 +147,14 @@ mod tests {
     #[test]
     fn tie_break_matches_bounded_topk() {
         use crate::BoundedTopK;
-        let items = [(100u64, 5u32), (100, 1), (100, 9), (100, 7), (100, 3), (100, 8)];
+        let items = [
+            (100u64, 5u32),
+            (100, 1),
+            (100, 9),
+            (100, 7),
+            (100, 3),
+            (100, 8),
+        ];
         let mut a = MutableTopK::new(3);
         let mut b = BoundedTopK::new(3);
         for &(s, i) in &items {
@@ -155,7 +162,11 @@ mod tests {
             b.offer(s, i);
         }
         let av: Vec<(u64, u32)> = a.sorted();
-        let bv: Vec<(u64, u32)> = b.sorted_entries().iter().map(|e| (e.score, e.item)).collect();
+        let bv: Vec<(u64, u32)> = b
+            .sorted_entries()
+            .iter()
+            .map(|e| (e.score, e.item))
+            .collect();
         assert_eq!(av, bv);
     }
 
@@ -167,13 +178,19 @@ mod tests {
         let mut b = BoundedTopK::new(10);
         let mut x = 12345u64;
         for i in 0..1000u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = x % 500;
             a.offer(s, i);
             b.offer(s, i);
         }
         let av: Vec<(u64, u32)> = a.sorted();
-        let bv: Vec<(u64, u32)> = b.sorted_entries().iter().map(|e| (e.score, e.item)).collect();
+        let bv: Vec<(u64, u32)> = b
+            .sorted_entries()
+            .iter()
+            .map(|e| (e.score, e.item))
+            .collect();
         assert_eq!(av, bv);
     }
 }

@@ -281,10 +281,7 @@ mod tests {
         h.offer(1, 1u32);
         h.rebuild([(4u64, 10u32), (2, 11), (9, 12)]);
         let v = h.into_sorted_vec();
-        assert_eq!(
-            v.iter().map(|e| e.item).collect::<Vec<_>>(),
-            vec![12, 10]
-        );
+        assert_eq!(v.iter().map(|e| e.item).collect::<Vec<_>>(), vec![12, 10]);
     }
 
     #[test]
@@ -302,7 +299,10 @@ mod tests {
         }
         assert_eq!(a.sorted_entries(), b.sorted_entries());
         assert_eq!(
-            a.sorted_entries().iter().map(|e| e.item).collect::<Vec<_>>(),
+            a.sorted_entries()
+                .iter()
+                .map(|e| e.item)
+                .collect::<Vec<_>>(),
             vec![9, 8, 7]
         );
     }

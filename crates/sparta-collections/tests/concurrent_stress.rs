@@ -1,0 +1,180 @@
+//! Focused stress tests for the concurrent collections (ISSUE
+//! satellite): threshold monotonicity under random interleavings,
+//! multi-thread StripedMap consistency, SwapCell publish visibility,
+//! and ShardedCounter sum consistency.
+//!
+//! Randomized tests derive their RNG from `SPARTA_TEST_SEED` (default
+//! 0) so any failure is replayable with the printed seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparta_collections::{BoundedTopK, MutableTopK, ShardedCounter, StripedMap, SwapCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn test_seed() -> u64 {
+    std::env::var("SPARTA_TEST_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// The top-k threshold (Θ) must be monotonically non-decreasing no
+/// matter the order offers arrive in — Sparta's pruning correctness
+/// rests on Θ only ever rising (a candidate pruned against Θ can never
+/// become viable again).
+#[test]
+fn bounded_topk_threshold_monotone_under_random_interleavings() {
+    let base = test_seed();
+    for round in 0..32u64 {
+        let seed = base.wrapping_add(round);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut heap: BoundedTopK<u32> = BoundedTopK::new(8);
+        let mut last = 0u64;
+        for i in 0..500u32 {
+            let score: u64 = rng.gen_range(1..10_000);
+            heap.offer(score, i);
+            let theta = heap.threshold();
+            assert!(
+                theta >= last,
+                "seed {seed}: threshold fell {last} -> {theta} (replay with \
+                 SPARTA_TEST_SEED={seed})"
+            );
+            last = theta;
+        }
+    }
+}
+
+/// Same monotonicity contract for the mutable heap, including under
+/// score *updates* to existing members (the operation BoundedTopK
+/// doesn't support).
+#[test]
+fn mutable_topk_threshold_monotone_under_updates() {
+    let base = test_seed();
+    for round in 0..32u64 {
+        let seed = base.wrapping_add(round ^ 0xA5A5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut heap: MutableTopK<u32> = MutableTopK::new(8);
+        let mut last = 0u64;
+        for _ in 0..500 {
+            let item: u32 = rng.gen_range(0..64); // duplicates = updates
+            let score: u64 = rng.gen_range(1..10_000);
+            heap.offer(score, item);
+            let theta = heap.threshold();
+            assert!(
+                theta >= last,
+                "seed {seed}: threshold fell {last} -> {theta} (replay with \
+                 SPARTA_TEST_SEED={seed})"
+            );
+            last = theta;
+        }
+    }
+}
+
+/// Concurrent stress: threads hammer disjoint key ranges (for a
+/// checkable end state) while also reading each other's ranges. The
+/// final contents must be exactly the surviving inserts.
+#[test]
+fn striped_map_concurrent_stress() {
+    const THREADS: u32 = 8;
+    const PER_THREAD: u32 = 2_000;
+    let map: Arc<StripedMap<u32, u32>> = Arc::new(StripedMap::with_stripes(16));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let map = Arc::clone(&map);
+            s.spawn(move || {
+                let lo = t * PER_THREAD;
+                for k in lo..lo + PER_THREAD {
+                    map.insert(k, k.wrapping_mul(31));
+                    // Cross-thread reads must never observe torn state.
+                    let foreign = (k.wrapping_mul(2654435761)) % (THREADS * PER_THREAD);
+                    if let Some(v) = map.get(&foreign) {
+                        assert_eq!(v, foreign.wrapping_mul(31), "torn read of {foreign}");
+                    }
+                }
+                // Remove the odd half of our own range.
+                for k in (lo..lo + PER_THREAD).filter(|k| k % 2 == 1) {
+                    assert_eq!(map.remove(&k), Some(k.wrapping_mul(31)));
+                }
+            });
+        }
+    });
+    assert_eq!(map.len(), (THREADS * PER_THREAD / 2) as usize);
+    let mut got = map.collect();
+    got.sort_unstable();
+    let want: Vec<(u32, u32)> = (0..THREADS * PER_THREAD)
+        .filter(|k| k % 2 == 0)
+        .map(|k| (k, k.wrapping_mul(31)))
+        .collect();
+    assert_eq!(got, want);
+}
+
+/// SwapCell's pointer swing must publish fully-built values: readers
+/// racing with a writer may see the old or the new map, never a
+/// half-initialized one, and the version they observe must be
+/// monotone per reader (swaps happen in order from one writer).
+#[test]
+fn swap_cell_publishes_fully_built_values() {
+    const VERSIONS: u64 = 2_000;
+    // A value whose internal consistency is checkable: v.1 must always
+    // equal v.0 * 2 + 1, which only holds if the whole tuple was
+    // visible before the pointer swing.
+    let cell = Arc::new(SwapCell::new((0u64, 1u64)));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let v = cell.load();
+                    assert_eq!(v.1, v.0 * 2 + 1, "torn publication of version {}", v.0);
+                    assert!(v.0 >= last, "version went backwards: {last} -> {}", v.0);
+                    last = v.0;
+                }
+            });
+        }
+        for ver in 1..=VERSIONS {
+            cell.swap(Arc::new((ver, ver * 2 + 1)));
+        }
+        stop.store(true, Ordering::Release);
+    });
+    assert_eq!(cell.load().0, VERSIONS);
+}
+
+/// The sharded counter must never lose increments: concurrent adds
+/// from many threads sum exactly, and `get` during the run is always
+/// ≤ the true total (monotone, no phantom counts).
+#[test]
+fn sharded_counter_sum_consistency() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 100_000;
+    let c = Arc::new(ShardedCounter::new());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.incr();
+                }
+            });
+        }
+        // Concurrent observer: totals must never exceed the maximum.
+        let c2 = Arc::clone(&c);
+        s.spawn(move || {
+            let mut last = 0;
+            for _ in 0..1_000 {
+                let now = c2.get();
+                assert!(now >= last, "counter went backwards: {last} -> {now}");
+                assert!(now <= THREADS * PER_THREAD, "phantom increments: {now}");
+                last = now;
+            }
+        });
+    });
+    assert_eq!(c.get(), THREADS * PER_THREAD);
+    c.add(5);
+    assert_eq!(c.get(), THREADS * PER_THREAD + 5);
+    c.reset();
+    assert_eq!(c.get(), 0);
+}

@@ -52,7 +52,10 @@ impl Algorithm for SeqBmw {
         let hits = finalize_hits(
             heap.into_sorted_vec()
                 .into_iter()
-                .map(|e| SearchHit { doc: e.item, score: e.score })
+                .map(|e| SearchHit {
+                    doc: e.item,
+                    score: e.score,
+                })
                 .collect(),
             cfg.k,
         );
@@ -106,7 +109,12 @@ mod tests {
         let ix = crate::docorder::wand::tests::correlated_index(50_000, 4, 11);
         let q = Query::new(vec![0, 1, 2, 3]);
         let oracle = Oracle::compute(ix.as_ref(), &q, 100);
-        let exact = SeqBmw.search(&ix, &q, &SearchConfig::exact(100), &DedicatedExecutor::new(1));
+        let exact = SeqBmw.search(
+            &ix,
+            &q,
+            &SearchConfig::exact(100),
+            &DedicatedExecutor::new(1),
+        );
         let high = SeqBmw.search(
             &ix,
             &q,

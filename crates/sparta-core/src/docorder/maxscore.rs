@@ -109,7 +109,10 @@ impl Algorithm for MaxScore {
         let hits = finalize_hits(
             heap.into_sorted_vec()
                 .into_iter()
-                .map(|e| SearchHit { doc: e.item, score: e.score })
+                .map(|e| SearchHit {
+                    doc: e.item,
+                    score: e.score,
+                })
                 .collect(),
             cfg.k,
         );
@@ -135,7 +138,12 @@ mod tests {
             let ix = pseudo_index(4000, 4, seed);
             let q = Query::new(vec![0, 1, 2, 3]);
             let oracle = Oracle::compute(ix.as_ref(), &q, 10);
-            let r = MaxScore.search(&ix, &q, &SearchConfig::exact(10), &DedicatedExecutor::new(1));
+            let r = MaxScore.search(
+                &ix,
+                &q,
+                &SearchConfig::exact(10),
+                &DedicatedExecutor::new(1),
+            );
             assert_eq!(oracle.recall(&r.docs()), 1.0, "seed {seed}: {:?}", r.docs());
         }
     }
@@ -146,7 +154,12 @@ mod tests {
         // list's max, its postings are only probed by seek.
         let ix = pseudo_index(50_000, 3, 21);
         let q = Query::new(vec![0, 1, 2]);
-        let r = MaxScore.search(&ix, &q, &SearchConfig::exact(10), &DedicatedExecutor::new(1));
+        let r = MaxScore.search(
+            &ix,
+            &q,
+            &SearchConfig::exact(10),
+            &DedicatedExecutor::new(1),
+        );
         let total: u64 = (0..3u32).map(|t| ix.doc_freq(t)).sum();
         assert!(r.work.postings_scanned < total);
         let oracle = Oracle::compute(ix.as_ref(), &q, 10);

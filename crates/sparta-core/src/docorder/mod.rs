@@ -49,7 +49,7 @@ pub(crate) fn find_pivot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparta_index::{Index, InMemoryIndex, Posting};
+    use sparta_index::{InMemoryIndex, Index, Posting};
 
     fn cursors() -> (InMemoryIndex, Vec<usize>) {
         let t0 = vec![Posting::new(5, 10)];

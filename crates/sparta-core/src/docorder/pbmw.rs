@@ -93,7 +93,10 @@ impl Algorithm for PBmw {
                 .lock()
                 .sorted_entries()
                 .iter()
-                .map(|e| SearchHit { doc: e.item, score: e.score })
+                .map(|e| SearchHit {
+                    doc: e.item,
+                    score: e.score,
+                })
                 .collect(),
             cfg.k,
         );
@@ -148,9 +151,7 @@ fn run_range(
         for e in local.sorted_entries() {
             merged.offer(e.score, e.item);
         }
-        shared
-            .theta
-            .fetch_max(merged.threshold(), Ordering::AcqRel);
+        shared.theta.fetch_max(merged.threshold(), Ordering::AcqRel);
     }
     let mut w = shared.work.lock();
     w.postings_scanned += work.postings_scanned;

@@ -97,10 +97,10 @@ pub(crate) fn wand_range(
             // All lists up to the pivot are aligned: fully score the
             // pivot document.
             let mut score = 0u64;
-            for i in 0..m {
-                if cursors[i].doc() == Some(pivot_doc) {
-                    score += u64::from(cursors[i].score());
-                    cursors[i].advance();
+            for cursor in cursors.iter_mut() {
+                if cursor.doc() == Some(pivot_doc) {
+                    score += u64::from(cursor.score());
+                    cursor.advance();
                     work.postings_scanned += 1;
                 }
             }
@@ -156,7 +156,10 @@ impl Algorithm for Wand {
         let hits = finalize_hits(
             heap.into_sorted_vec()
                 .into_iter()
-                .map(|e| SearchHit { doc: e.item, score: e.score })
+                .map(|e| SearchHit {
+                    doc: e.item,
+                    score: e.score,
+                })
                 .collect(),
             cfg.k,
         );
@@ -222,9 +225,7 @@ pub(crate) mod tests {
                     // Sparse lists (~40% density, different docs per
                     // term): skipping requires that low-quality docs
                     // appear in few lists.
-                    .filter(|d| {
-                        d.wrapping_mul(2246822519).wrapping_add(t * 977) % 5 < 2
-                    })
+                    .filter(|d| d.wrapping_mul(2246822519).wrapping_add(t * 977) % 5 < 2)
                     .map(|d| {
                         let base = d.wrapping_mul(2654435761).wrapping_add(seed) % 500;
                         let noise = d
@@ -244,7 +245,12 @@ pub(crate) mod tests {
     fn wand_scores_fewer_postings_than_exhaustive() {
         let ix = correlated_index(50_000, 3, 4);
         let q = Query::new(vec![0, 1, 2]);
-        let r = Wand.search(&ix, &q, &SearchConfig::exact(10), &DedicatedExecutor::new(1));
+        let r = Wand.search(
+            &ix,
+            &q,
+            &SearchConfig::exact(10),
+            &DedicatedExecutor::new(1),
+        );
         let total: u64 = (0..3u32).map(|t| ix.doc_freq(t)).sum();
         assert!(
             r.work.postings_scanned < total / 2,
@@ -261,8 +267,7 @@ pub(crate) mod tests {
         // (top-k is disjunctive, not conjunctive).
         let t0 = vec![Posting::new(1, 100)];
         let t1 = vec![Posting::new(2, 90)];
-        let ix: Arc<dyn Index> =
-            Arc::new(InMemoryIndex::from_term_postings(vec![t0, t1], 5));
+        let ix: Arc<dyn Index> = Arc::new(InMemoryIndex::from_term_postings(vec![t0, t1], 5));
         let q = Query::new(vec![0, 1]);
         let r = Wand.search(&ix, &q, &SearchConfig::exact(2), &DedicatedExecutor::new(1));
         assert_eq!(r.docs(), vec![1, 2]);
@@ -272,7 +277,12 @@ pub(crate) mod tests {
     fn relaxed_f_prunes_more() {
         let ix = pseudo_index(30_000, 3, 5);
         let q = Query::new(vec![0, 1, 2]);
-        let exact = Wand.search(&ix, &q, &SearchConfig::exact(100), &DedicatedExecutor::new(1));
+        let exact = Wand.search(
+            &ix,
+            &q,
+            &SearchConfig::exact(100),
+            &DedicatedExecutor::new(1),
+        );
         let relaxed = Wand.search(
             &ix,
             &q,

@@ -44,11 +44,7 @@ impl Algorithm for Jass {
     ) -> TopKResult {
         let start = Instant::now();
         let trace = TraceSink::new(cfg.trace);
-        let mut cursors: Vec<_> = query
-            .terms
-            .iter()
-            .map(|&t| index.score_cursor(t))
-            .collect();
+        let mut cursors: Vec<_> = query.terms.iter().map(|&t| index.score_cursor(t)).collect();
         let total: u64 = cursors.iter().map(|c| c.len()).sum();
         let budget = posting_budget(total, cfg.jass_p);
 
@@ -88,7 +84,10 @@ impl Algorithm for Jass {
         let hits = finalize_hits(
             heap.into_sorted_vec()
                 .into_iter()
-                .map(|e| SearchHit { doc: e.item, score: e.score })
+                .map(|e| SearchHit {
+                    doc: e.item,
+                    score: e.score,
+                })
                 .collect(),
             cfg.k,
         );
@@ -130,7 +129,12 @@ mod tests {
         let ix = pseudo_index(3000, 3, 1);
         let q = Query::new(vec![0, 1, 2]);
         let oracle = Oracle::compute(ix.as_ref(), &q, 10);
-        let r = Jass.search(&ix, &q, &SearchConfig::exact(10), &DedicatedExecutor::new(1));
+        let r = Jass.search(
+            &ix,
+            &q,
+            &SearchConfig::exact(10),
+            &DedicatedExecutor::new(1),
+        );
         assert_eq!(oracle.recall(&r.docs()), 1.0);
         for h in &r.hits {
             assert_eq!(h.score, oracle.score(h.doc), "p=1 scores are exact");
@@ -146,8 +150,7 @@ mod tests {
         // With p = tiny, only the highest-impact postings are seen.
         let t0 = vec![Posting::new(0, 100), Posting::new(1, 1)];
         let t1 = vec![Posting::new(2, 50), Posting::new(3, 2)];
-        let ix: Arc<dyn Index> =
-            Arc::new(InMemoryIndex::from_term_postings(vec![t0, t1], 5));
+        let ix: Arc<dyn Index> = Arc::new(InMemoryIndex::from_term_postings(vec![t0, t1], 5));
         let q = Query::new(vec![0, 1]);
         let cfg = SearchConfig::exact(4).with_jass_p(0.5); // budget = 2 of 4
         let r = Jass.search(&ix, &q, &cfg, &DedicatedExecutor::new(1));
@@ -177,7 +180,12 @@ mod tests {
         // accumulator count is the number of distinct docs seen.
         let ix = pseudo_index(5000, 3, 3);
         let q = Query::new(vec![0, 1, 2]);
-        let r = Jass.search(&ix, &q, &SearchConfig::exact(10), &DedicatedExecutor::new(1));
+        let r = Jass.search(
+            &ix,
+            &q,
+            &SearchConfig::exact(10),
+            &DedicatedExecutor::new(1),
+        );
         assert_eq!(r.work.docmap_peak, 5000);
     }
 }

@@ -45,7 +45,7 @@ pub mod trace;
 pub use config::{SearchConfig, Variant};
 pub use oracle::Oracle;
 pub use recall::recall_of_docs;
-pub use registry::{all_algorithms, algorithm_by_name};
+pub use registry::{algorithm_by_name, all_algorithms};
 pub use result::{SearchHit, TopKResult, WorkStats};
 pub use trace::{TraceEvent, TraceSink};
 

@@ -42,7 +42,10 @@ impl Oracle {
         let topk = finalize_hits(
             heap.into_sorted_vec()
                 .into_iter()
-                .map(|e| SearchHit { doc: e.item, score: e.score })
+                .map(|e| SearchHit {
+                    doc: e.item,
+                    score: e.score,
+                })
                 .collect(),
             k,
         );
@@ -99,8 +102,7 @@ impl Oracle {
         if self.topk.is_empty() {
             return 1.0;
         }
-        let truth: std::collections::HashSet<DocId> =
-            self.topk.iter().map(|h| h.doc).collect();
+        let truth: std::collections::HashSet<DocId> = self.topk.iter().map(|h| h.doc).collect();
         let hit = docs.iter().filter(|d| truth.contains(d)).count();
         hit as f64 / truth.len() as f64
     }
@@ -126,7 +128,10 @@ mod tests {
         let o = Oracle::compute(ix.as_ref(), &Query::new(vec![0, 1]), 2);
         assert_eq!(
             o.topk(),
-            &[SearchHit { doc: 1, score: 20 }, SearchHit { doc: 0, score: 15 }]
+            &[
+                SearchHit { doc: 1, score: 20 },
+                SearchHit { doc: 0, score: 15 }
+            ]
         );
         assert_eq!(o.kth_score(), 15);
         assert_eq!(o.score(2), 14);
@@ -146,7 +151,11 @@ mod tests {
     #[test]
     fn recall_is_tie_aware() {
         // Two docs tied at the k-th score: either counts.
-        let t0 = vec![Posting::new(0, 10), Posting::new(1, 10), Posting::new(2, 30)];
+        let t0 = vec![
+            Posting::new(0, 10),
+            Posting::new(1, 10),
+            Posting::new(2, 30),
+        ];
         let ix = InMemoryIndex::from_term_postings(vec![t0], 5);
         let o = Oracle::compute(&ix, &Query::new(vec![0]), 2);
         // Truth keeps {2, one of 0/1}; both {2,0} and {2,1} are perfect.

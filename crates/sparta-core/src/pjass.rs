@@ -115,19 +115,20 @@ impl Algorithm for PJass {
             let q = Arc::clone(&queue);
             queue.push(Box::new(move || process_term(st, q, cursor)));
         }
-        exec.run(queue);
+        exec.run(Arc::clone(&queue));
 
         // Final selection over the accumulator table.
         let mut heap = BoundedTopK::new(cfg.k.max(1));
-        state
-            .acc
-            .for_each(|&d, s| {
-                heap.offer(s.load(Ordering::Acquire), d);
-            });
+        state.acc.for_each(|&d, s| {
+            heap.offer(s.load(Ordering::Acquire), d);
+        });
         let hits = finalize_hits(
             heap.into_sorted_vec()
                 .into_iter()
-                .map(|e| SearchHit { doc: e.item, score: e.score })
+                .map(|e| SearchHit {
+                    doc: e.item,
+                    score: e.score,
+                })
                 .collect(),
             cfg.k,
         );
@@ -137,6 +138,9 @@ impl Algorithm for PJass {
             heap_updates: hits.len() as u64,
             docmap_peak: state.acc.len() as u64,
             cleaner_passes: 0,
+            jobs_panicked: queue.panicked() as u64,
+            docmap_final: state.acc.len() as u64,
+            timeout_stops: 0,
         };
         let state = Arc::into_inner(state).expect("all jobs drained");
         TopKResult {
@@ -179,7 +183,12 @@ mod tests {
             let ix = pseudo_index(3000, 3, 1);
             let q = Query::new(vec![0, 1, 2]);
             let oracle = Oracle::compute(ix.as_ref(), &q, 10);
-            let r = PJass.search(&ix, &q, &SearchConfig::exact(10), &DedicatedExecutor::new(threads));
+            let r = PJass.search(
+                &ix,
+                &q,
+                &SearchConfig::exact(10),
+                &DedicatedExecutor::new(threads),
+            );
             assert_eq!(oracle.recall(&r.docs()), 1.0, "threads={threads}");
         }
     }
@@ -212,7 +221,12 @@ mod tests {
     fn accumulators_never_pruned() {
         let ix = pseudo_index(4000, 3, 4);
         let q = Query::new(vec![0, 1, 2]);
-        let r = PJass.search(&ix, &q, &SearchConfig::exact(10), &DedicatedExecutor::new(2));
+        let r = PJass.search(
+            &ix,
+            &q,
+            &SearchConfig::exact(10),
+            &DedicatedExecutor::new(2),
+        );
         assert_eq!(r.work.docmap_peak, 4000, "every doc accumulated");
     }
 

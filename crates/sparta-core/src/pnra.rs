@@ -107,7 +107,11 @@ fn stop_checker(state: Arc<State>, queue: Arc<JobQueue>) {
         .cfg
         .delta
         .is_some_and(|d| state.heap.since_last_update() >= d);
-    let mut stop = timed_out;
+    // Starvation guard: if this checker is the only outstanding job,
+    // all traversal jobs are gone (exhausted or lost to a fault); no
+    // further updates can arrive, so spinning is futile. See the same
+    // guard in Sparta's cleaner.
+    let mut stop = timed_out || queue.outstanding() <= 1;
     if !stop && state.ub_stop() {
         // Equation 2: every traversed non-heap candidate has
         // UB(D) ≤ Θ. Without cleaning, this is a full scan.
@@ -187,6 +191,9 @@ impl Algorithm for PNra {
                 .load(Ordering::Relaxed)
                 .max(state.doc_map.len() as u64),
             cleaner_passes: 0,
+            jobs_panicked: queue.panicked() as u64,
+            docmap_final: state.doc_map.len() as u64,
+            timeout_stops: 0,
         };
         let state = Arc::into_inner(state).expect("all jobs drained");
         TopKResult {

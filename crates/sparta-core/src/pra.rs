@@ -152,7 +152,7 @@ impl Algorithm for PRa {
             let q = Arc::clone(&queue);
             queue.push(Box::new(move || process_term(st, q, i, cursor)));
         }
-        exec.run(queue);
+        exec.run(Arc::clone(&queue));
 
         let hits = finalize_hits(
             state
@@ -169,6 +169,9 @@ impl Algorithm for PRa {
             heap_updates: state.heap.update_count(),
             docmap_peak: state.seen.len() as u64,
             cleaner_passes: 0,
+            jobs_panicked: queue.panicked() as u64,
+            docmap_final: state.seen.len() as u64,
+            timeout_stops: 0,
         };
         let state = Arc::into_inner(state).expect("all jobs drained");
         TopKResult {

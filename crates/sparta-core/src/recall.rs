@@ -46,9 +46,21 @@ mod tests {
         let ix = InMemoryIndex::from_term_postings(vec![t0], 5);
         let oracle = Oracle::compute(&ix, &Query::new(vec![0]), 2);
         let events = vec![
-            TraceEvent { at: Duration::from_millis(1), doc: 2, score: 10 },
-            TraceEvent { at: Duration::from_millis(2), doc: 0, score: 30 },
-            TraceEvent { at: Duration::from_millis(6), doc: 1, score: 20 },
+            TraceEvent {
+                at: Duration::from_millis(1),
+                doc: 2,
+                score: 10,
+            },
+            TraceEvent {
+                at: Duration::from_millis(2),
+                doc: 0,
+                score: 30,
+            },
+            TraceEvent {
+                at: Duration::from_millis(6),
+                doc: 1,
+                score: 20,
+            },
         ];
         let curve = recall_dynamics(&events, &oracle, Duration::from_millis(10), 5);
         assert_eq!(curve.len(), 5);

@@ -35,6 +35,19 @@ pub struct WorkStats {
     pub docmap_peak: u64,
     /// Cleaner passes executed (Sparta only).
     pub cleaner_passes: u64,
+    /// Jobs whose closure panicked; the panic was caught by the job
+    /// queue and the query still completed (see `JobQueue::run_job`).
+    /// Nonzero only under fault injection or when something is wrong.
+    pub jobs_panicked: u64,
+    /// Size of the candidate map when the search stopped. For an exact
+    /// Sparta run this equals `hits.len()` — the Eq. 2 termination
+    /// condition `|docMap| == |docHeap|` — which tests assert across
+    /// schedules.
+    pub docmap_final: u64,
+    /// Number of times the search stopped due to the Δ time budget
+    /// rather than its exactness condition (0 or 1; approximate
+    /// variants only).
+    pub timeout_stops: u64,
 }
 
 /// The outcome of one top-k search.

@@ -149,7 +149,9 @@ mod tests {
         assert_eq!(got.len(), 50);
         // The true top-50 scores of the union stream.
         let mut all: Vec<(u64, u32)> = (0..4u32)
-            .flat_map(|w| (0..1000u32).map(move |i| (u64::from((w * 1000 + i) % 997), w * 1000 + i)))
+            .flat_map(|w| {
+                (0..1000u32).map(move |i| (u64::from((w * 1000 + i) % 997), w * 1000 + i))
+            })
             .collect();
         all.sort_by(|a, b| b.cmp(a));
         let want: Vec<(u64, u32)> = all.into_iter().take(50).collect();

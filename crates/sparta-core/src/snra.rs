@@ -90,6 +90,9 @@ impl AsRef<[Posting]> for ArcList {
     }
 }
 
+/// Per-shard partial hits plus that shard's work counters.
+type ShardResult = Mutex<(Vec<SearchHit>, WorkStats)>;
+
 impl Algorithm for SNra {
     fn name(&self) -> &'static str {
         "snra"
@@ -108,7 +111,7 @@ impl Algorithm for SNra {
         // measurement starts here, matching the paper's methodology.
         let start = Instant::now();
         let trace = Arc::new(TraceSink::new(cfg.trace));
-        let results: Arc<Vec<Mutex<(Vec<SearchHit>, WorkStats)>>> = Arc::new(
+        let results: Arc<Vec<ShardResult>> = Arc::new(
             (0..p)
                 .map(|_| Mutex::new((Vec::new(), WorkStats::default())))
                 .collect(),
@@ -145,7 +148,10 @@ impl Algorithm for SNra {
             merged
                 .into_sorted_vec()
                 .into_iter()
-                .map(|e| SearchHit { doc: e.item, score: e.score })
+                .map(|e| SearchHit {
+                    doc: e.item,
+                    score: e.score,
+                })
                 .collect(),
             cfg.k,
         );

@@ -109,7 +109,9 @@ impl SharedUb {
     /// term score exceeds it).
     pub fn new(m: usize) -> Self {
         Self {
-            ub: (0..m).map(|_| AtomicU64::new(u64::from(u32::MAX))).collect(),
+            ub: (0..m)
+                .map(|_| AtomicU64::new(u64::from(u32::MAX)))
+                .collect(),
         }
     }
 

@@ -256,7 +256,9 @@ mod tests {
         });
         let hits = h.sorted_hits();
         assert_eq!(hits.len(), 16);
-        let mut want: Vec<u64> = (0..2000u32).map(|id| u64::from((id * 7919) % 1000 + 1)).collect();
+        let mut want: Vec<u64> = (0..2000u32)
+            .map(|id| u64::from((id * 7919) % 1000 + 1))
+            .collect();
         want.sort_unstable_by(|a, b| b.cmp(a));
         let got: Vec<u64> = hits.iter().map(|h| h.score).collect();
         assert_eq!(got, want[..16].to_vec());

@@ -64,6 +64,7 @@ struct State {
     postings: ShardedCounter,
     docmap_peak: AtomicU64,
     cleaner_passes: AtomicU64,
+    timeout_stops: AtomicU64,
 }
 
 impl State {
@@ -80,6 +81,7 @@ impl State {
             postings: ShardedCounter::new(),
             docmap_peak: AtomicU64::new(0),
             cleaner_passes: AtomicU64::new(0),
+            timeout_stops: AtomicU64::new(0),
         }
     }
 
@@ -192,7 +194,9 @@ fn process_term(
     if !exhausted && !state.is_done() {
         // Line 25: enqueue the next segment of the same list.
         let q = Arc::clone(&queue);
-        queue.push(Box::new(move || process_term(state, q, i, cursor, term_map)));
+        queue.push(Box::new(move || {
+            process_term(state, q, i, cursor, term_map)
+        }));
     }
 }
 
@@ -252,7 +256,19 @@ fn cleaner(state: Arc<State>, queue: Arc<JobQueue>) {
         .cfg
         .delta
         .is_some_and(|d| state.heap.since_last_update() >= d);
-    if eq2 || timed_out {
+    // Starvation guard (found by the deterministic fault-injection
+    // harness): if the cleaner is the only outstanding job, every
+    // traversal job is gone — exhausted or lost to a fault — so no
+    // score update can ever arrive and re-enqueueing would loop
+    // forever. In a fault-free run this fires only when Eq. 2 already
+    // holds (exhausted lists zero their UB, which prunes every
+    // non-member), so it never changes exact results.
+    let starved = queue.outstanding() <= 1;
+    if eq2 || timed_out || starved {
+        if timed_out && !eq2 {
+            // The Δ budget (approximate variant) fired before Eq. 2.
+            state.timeout_stops.fetch_add(1, Ordering::Relaxed);
+        }
         state.done.store(true, Ordering::Release); // line 47
     } else {
         let q = Arc::clone(&queue);
@@ -300,6 +316,9 @@ impl Algorithm for Sparta {
             heap_updates: state.heap.update_count(),
             docmap_peak: state.docmap_peak.load(Ordering::Relaxed),
             cleaner_passes: state.cleaner_passes.load(Ordering::Relaxed),
+            jobs_panicked: queue.panicked() as u64,
+            docmap_final: state.doc_map.load().len() as u64,
+            timeout_stops: state.timeout_stops.load(Ordering::Relaxed),
         };
         let state = Arc::into_inner(state).expect("all jobs drained");
         TopKResult {
@@ -494,8 +513,7 @@ mod tests {
         let cfg = SearchConfig::exact(10).with_trace(true);
         let r = Sparta.search(&ix, &q, &cfg, &DedicatedExecutor::new(3));
         let trace = r.trace.expect("trace enabled");
-        let traced: std::collections::HashSet<DocId> =
-            trace.iter().map(|e| e.doc).collect();
+        let traced: std::collections::HashSet<DocId> = trace.iter().map(|e| e.doc).collect();
         for h in &r.hits {
             assert!(traced.contains(&h.doc), "hit {} missing from trace", h.doc);
         }

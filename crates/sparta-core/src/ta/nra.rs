@@ -97,9 +97,7 @@ pub fn run_nra(
                 if ub.ub_stop(theta) {
                     // Prune candidates that can no longer enter the
                     // heap (condition 2 bookkeeping).
-                    candidates.retain(|d, scores| {
-                        heap.contains(d) || ub.doc_ub(scores) > theta
-                    });
+                    candidates.retain(|d, scores| heap.contains(d) || ub.doc_ub(scores) > theta);
                     if candidates.len() == heap.len() {
                         break 'outer; // Equation 2 holds
                     }
@@ -137,11 +135,7 @@ impl Algorithm for SeqNra {
     ) -> TopKResult {
         let start = Instant::now();
         let trace = TraceSink::new(cfg.trace);
-        let cursors: Vec<_> = query
-            .terms
-            .iter()
-            .map(|&t| index.score_cursor(t))
-            .collect();
+        let cursors: Vec<_> = query.terms.iter().map(|&t| index.score_cursor(t)).collect();
         let (hits, work) = run_nra(cursors, cfg, &trace);
         TopKResult {
             hits,
@@ -190,8 +184,7 @@ mod tests {
     #[test]
     fn handles_fewer_matches_than_k() {
         let t0 = vec![Posting::new(3, 10), Posting::new(7, 20)];
-        let ix: Arc<dyn Index> =
-            Arc::new(InMemoryIndex::from_term_postings(vec![t0], 10));
+        let ix: Arc<dyn Index> = Arc::new(InMemoryIndex::from_term_postings(vec![t0], 10));
         let q = Query::new(vec![0]);
         let cfg = SearchConfig::exact(5);
         let r = SeqNra.search(&ix, &q, &cfg, &DedicatedExecutor::new(1));
@@ -223,8 +216,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let ix: Arc<dyn Index> =
-            Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(n)));
+        let ix: Arc<dyn Index> = Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(n)));
         let q = Query::new(vec![0, 1]);
         let cfg = SearchConfig::exact(1);
         let r = SeqNra.search(&ix, &q, &cfg, &DedicatedExecutor::new(1));

@@ -43,11 +43,7 @@ impl Algorithm for SeqRa {
             .random_access()
             .expect("RA requires an index with a secondary index");
         let m = query.terms.len();
-        let mut cursors: Vec<_> = query
-            .terms
-            .iter()
-            .map(|&t| index.score_cursor(t))
-            .collect();
+        let mut cursors: Vec<_> = query.terms.iter().map(|&t| index.score_cursor(t)).collect();
         let mut ub = UpperBounds::new(m);
         let mut heap: BoundedTopK<DocId> = BoundedTopK::new(cfg.k);
         let mut seen: HashSet<DocId> = HashSet::new();
@@ -56,11 +52,11 @@ impl Algorithm for SeqRa {
         let mut since_check = 0u64;
 
         'outer: while !ub.all_exhausted() {
-            for i in 0..m {
+            for (i, cursor) in cursors.iter_mut().enumerate() {
                 if ub.is_exhausted(i) {
                     continue;
                 }
-                let Some(p) = cursors[i].next() else {
+                let Some(p) = cursor.next() else {
                     ub.exhaust(i);
                     continue;
                 };
@@ -105,7 +101,10 @@ impl Algorithm for SeqRa {
         let hits = finalize_hits(
             heap.into_sorted_vec()
                 .into_iter()
-                .map(|e| SearchHit { doc: e.item, score: e.score })
+                .map(|e| SearchHit {
+                    doc: e.item,
+                    score: e.score,
+                })
                 .collect(),
             cfg.k,
         );
@@ -158,12 +157,20 @@ mod tests {
         let lists: Vec<Vec<Posting>> = (0..2)
             .map(|t| {
                 (0..n)
-                    .map(|d| Posting::new(d, if d < 5 { 1_000_000 - d } else { 1 + (d + t) % 40 }))
+                    .map(|d| {
+                        Posting::new(
+                            d,
+                            if d < 5 {
+                                1_000_000 - d
+                            } else {
+                                1 + (d + t) % 40
+                            },
+                        )
+                    })
                     .collect()
             })
             .collect();
-        let ix: Arc<dyn Index> =
-            Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(n)));
+        let ix: Arc<dyn Index> = Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(n)));
         let q = Query::new(vec![0, 1]);
         let r = SeqRa.search(&ix, &q, &SearchConfig::exact(5), &DedicatedExecutor::new(1));
         let oracle = Oracle::compute(ix.as_ref(), &q, 5);

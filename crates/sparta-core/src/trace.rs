@@ -131,10 +131,26 @@ mod tests {
     #[test]
     fn replay_builds_incremental_topk() {
         let events = vec![
-            TraceEvent { at: Duration::from_millis(1), doc: 1, score: 10 },
-            TraceEvent { at: Duration::from_millis(2), doc: 2, score: 30 },
-            TraceEvent { at: Duration::from_millis(8), doc: 3, score: 20 },
-            TraceEvent { at: Duration::from_millis(9), doc: 1, score: 50 },
+            TraceEvent {
+                at: Duration::from_millis(1),
+                doc: 1,
+                score: 10,
+            },
+            TraceEvent {
+                at: Duration::from_millis(2),
+                doc: 2,
+                score: 30,
+            },
+            TraceEvent {
+                at: Duration::from_millis(8),
+                doc: 3,
+                score: 20,
+            },
+            TraceEvent {
+                at: Duration::from_millis(9),
+                doc: 1,
+                score: 50,
+            },
         ];
         // f = fraction of {1, 2} present in the set.
         let truth = [1u32, 2];
@@ -150,9 +166,21 @@ mod tests {
     #[test]
     fn replay_respects_k() {
         let events = vec![
-            TraceEvent { at: Duration::from_millis(1), doc: 1, score: 10 },
-            TraceEvent { at: Duration::from_millis(1), doc: 2, score: 30 },
-            TraceEvent { at: Duration::from_millis(1), doc: 3, score: 20 },
+            TraceEvent {
+                at: Duration::from_millis(1),
+                doc: 1,
+                score: 10,
+            },
+            TraceEvent {
+                at: Duration::from_millis(1),
+                doc: 2,
+                score: 30,
+            },
+            TraceEvent {
+                at: Duration::from_millis(1),
+                doc: 3,
+                score: 20,
+            },
         ];
         let curve = replay(&events, 1, Duration::from_millis(2), 1, |docs| {
             assert_eq!(docs.len(), 1, "only top-1 kept");

@@ -68,12 +68,7 @@ impl QueryLog {
     ///
     /// Terms are drawn without replacement within a query, with
     /// probability ∝ `df(t)^0.7` over terms with `df ≥ min_df`.
-    pub fn generate(
-        stats: &CorpusStats,
-        per_length: usize,
-        max_len: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(stats: &CorpusStats, per_length: usize, max_len: usize, seed: u64) -> Self {
         let min_df = 2u32;
         let candidates: Vec<TermId> = (0..stats.vocab_size() as TermId)
             .filter(|&t| stats.df(t) >= min_df)
@@ -169,7 +164,11 @@ mod tests {
             / n as f64;
         let long = samples.iter().filter(|&&x| x >= 10).count() as f64 / n as f64;
         assert!((mean - 4.2).abs() < 0.25, "mean {mean}, want ≈4.2");
-        assert!((var.sqrt() - 2.96).abs() < 0.45, "sd {}, want ≈2.96", var.sqrt());
+        assert!(
+            (var.sqrt() - 2.96).abs() < 0.45,
+            "sd {}, want ≈2.96",
+            var.sqrt()
+        );
         assert!(long > 0.05, "P(len ≥ 10) = {long}, want > 5%");
     }
 
@@ -250,8 +249,12 @@ mod tests {
                 .collect();
             c.iter().map(|&d| f64::from(d)).sum::<f64>() / c.len() as f64
         };
-        let sampled: Vec<u32> = log.all().flat_map(|q| q.terms.iter().map(|&t| s.df(t))).collect();
-        let sampled_mean = sampled.iter().map(|&d| f64::from(d)).sum::<f64>() / sampled.len() as f64;
+        let sampled: Vec<u32> = log
+            .all()
+            .flat_map(|q| q.terms.iter().map(|&t| s.df(t)))
+            .collect();
+        let sampled_mean =
+            sampled.iter().map(|&d| f64::from(d)).sum::<f64>() / sampled.len() as f64;
         assert!(
             sampled_mean > pool_mean,
             "sampled mean df {sampled_mean} ≤ pool mean {pool_mean}"

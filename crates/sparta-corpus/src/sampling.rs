@@ -142,7 +142,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let p = 0.4;
         let n = 200_000;
-        let total: u64 = (0..n).map(|_| u64::from(geometric_extra(&mut rng, p))).sum();
+        let total: u64 = (0..n)
+            .map(|_| u64::from(geometric_extra(&mut rng, p)))
+            .sum();
         let mean = total as f64 / n as f64;
         let want = p / (1.0 - p);
         assert!((mean - want).abs() < 0.02, "mean {mean} want {want}");

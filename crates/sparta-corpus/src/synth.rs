@@ -278,11 +278,7 @@ mod tests {
         assert_eq!(stats.num_docs, 2_000);
         // df in stats must equal regenerated posting list length.
         for t in [0u32, 1, 10, 100, 499] {
-            assert_eq!(
-                stats.df(t) as usize,
-                c.term_postings(t).len(),
-                "term {t}"
-            );
+            assert_eq!(stats.df(t) as usize, c.term_postings(t).len(), "term {t}");
         }
         // Doc lengths must equal sum of tfs over regenerated postings.
         let mut dl = vec![0u64; 2_000];

@@ -40,7 +40,7 @@ impl Tokenizer {
 
     /// Splits `text` into lowercase alphanumeric tokens, dropping stop
     /// words and single-character tokens.
-    pub fn tokenize<'t>(&self, text: &'t str) -> Vec<String> {
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
         text.split(|c: char| !c.is_alphanumeric())
             .filter(|t| t.len() > 1)
             .map(|t| t.to_lowercase())

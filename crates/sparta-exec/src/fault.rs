@@ -1,0 +1,75 @@
+//! Fault-injection plans for schedule-exploration tests.
+//!
+//! A [`FaultPlan`] tells the [`DeterministicExecutor`](crate::DeterministicExecutor)
+//! to misbehave at specific *steps* of a run (a step = one scheduling
+//! decision). Because the executor is fully deterministic, a fault plan
+//! plus a seed exactly reproduces a failure: the same jobs panic, the
+//! same segments are delayed, the same continuations vanish.
+//!
+//! Three fault kinds model the concurrency hazards the Sparta stack
+//! must tolerate:
+//!
+//! * **Panic** — an extra job that panics is injected into the queue.
+//!   Exercises the panic-safe recovery path in
+//!   [`JobQueue::run_job`](crate::JobQueue::run_job): the query must
+//!   still terminate and later queries on the same pool must be
+//!   unaffected.
+//! * **Defer** — the job chosen at that step is re-enqueued at the back
+//!   instead of running ([`JobQueue::requeue`](crate::JobQueue::requeue)),
+//!   modelling a worker stalled mid-segment. Results must not change
+//!   (scores are order-independent) and termination must still happen.
+//! * **Drop** — the chosen job is discarded unrun
+//!   ([`JobQueue::discard`](crate::JobQueue::discard)), modelling a lost
+//!   continuation. The query must still *terminate* (no hang), though
+//!   results may be partial — tests assert liveness, not recall.
+
+use std::collections::BTreeSet;
+
+/// A deterministic schedule of injected faults, keyed by step number.
+///
+/// Steps count scheduling decisions made by the deterministic executor,
+/// starting at 0. A step listed in more than one set applies the faults
+/// in this order: panic injection first (it adds a job), then drop, then
+/// defer.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    /// Steps at which an extra panicking job is pushed onto the queue.
+    pub panic_steps: BTreeSet<u64>,
+    /// Steps whose chosen job is re-enqueued at the back (delayed).
+    pub defer_steps: BTreeSet<u64>,
+    /// Steps whose chosen job is discarded without running.
+    pub drop_steps: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Returns true if the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.panic_steps.is_empty() && self.defer_steps.is_empty() && self.drop_steps.is_empty()
+    }
+
+    /// Adds a step at which a panicking job is injected.
+    #[must_use]
+    pub fn panic_at(mut self, step: u64) -> Self {
+        self.panic_steps.insert(step);
+        self
+    }
+
+    /// Adds a step whose chosen job is delayed to the back of the queue.
+    #[must_use]
+    pub fn defer_at(mut self, step: u64) -> Self {
+        self.defer_steps.insert(step);
+        self
+    }
+
+    /// Adds a step whose chosen job is dropped without running.
+    #[must_use]
+    pub fn drop_at(mut self, step: u64) -> Self {
+        self.drop_steps.insert(step);
+        self
+    }
+}

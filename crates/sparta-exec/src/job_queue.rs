@@ -17,6 +17,12 @@ use std::sync::Arc;
 pub type Job = Box<dyn FnOnce() + Send>;
 
 /// A FIFO queue of self-scheduling jobs with completion tracking.
+///
+/// Jobs are run *panic-safely*: a job that panics is caught and
+/// recorded (see [`JobQueue::panicked`]) and completion bookkeeping
+/// still happens, so one poisoned job can neither wedge the query it
+/// belongs to nor kill the worker thread that ran it — essential for
+/// throughput mode, where workers are shared by many queries.
 pub struct JobQueue {
     jobs: Mutex<VecDeque<Job>>,
     cv: Condvar,
@@ -24,17 +30,16 @@ pub struct JobQueue {
     outstanding: AtomicUsize,
     /// Jobs executed in total (statistics).
     executed: AtomicUsize,
+    /// Jobs whose closure panicked (caught in [`JobQueue::run_job`]).
+    panicked: AtomicUsize,
+    /// Jobs discarded unrun via [`JobQueue::discard`] (fault injection).
+    dropped: AtomicUsize,
 }
 
 impl JobQueue {
     /// Creates an empty queue.
     pub fn new() -> Arc<Self> {
-        Arc::new(Self {
-            jobs: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
-            outstanding: AtomicUsize::new(0),
-            executed: AtomicUsize::new(0),
-        })
+        Arc::new(Self::default())
     }
 
     /// Enqueues a job.
@@ -54,6 +59,22 @@ impl JobQueue {
         self.executed.load(Ordering::Relaxed)
     }
 
+    /// Jobs whose closure panicked. The panics were caught; the queue
+    /// (and any pool running it) remains usable.
+    pub fn panicked(&self) -> usize {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Jobs discarded without running via [`JobQueue::discard`].
+    pub fn dropped(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs currently queued (excluding running jobs).
+    pub fn queued_len(&self) -> usize {
+        self.jobs.lock().len()
+    }
+
     /// Whether all work has completed (nothing queued or running).
     /// Meaningful only after at least one job has been pushed.
     pub fn is_complete(&self) -> bool {
@@ -66,16 +87,62 @@ impl JobQueue {
         self.jobs.lock().pop_front()
     }
 
+    /// Pops the `n`-th queued job (0 = front) without blocking.
+    /// `n` is taken modulo the current queue length, so any `usize`
+    /// selects *some* job when the queue is non-empty. This is the
+    /// [`DeterministicExecutor`](crate::DeterministicExecutor)'s hook
+    /// for exploring schedules: picking a pseudo-random position
+    /// simulates an arbitrary interleaving of worker threads.
+    pub fn try_pop_nth(&self, n: usize) -> Option<Job> {
+        let mut guard = self.jobs.lock();
+        let len = guard.len();
+        if len == 0 {
+            None
+        } else {
+            guard.remove(n % len)
+        }
+    }
+
     /// Runs one popped job and performs completion bookkeeping. The
     /// caller must have obtained `job` from this queue.
+    ///
+    /// A panic inside the job is caught and counted (see
+    /// [`JobQueue::panicked`]); bookkeeping still runs, so the query
+    /// completes and the calling worker thread survives.
     pub fn run_job(&self, job: Job) {
-        job();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if result.is_err() {
+            self.panicked.fetch_add(1, Ordering::Relaxed);
+        }
         self.executed.fetch_add(1, Ordering::Relaxed);
         if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last outstanding job: wake completion waiters (and any
             // workers blocked waiting for more jobs).
             self.cv.notify_all();
         }
+    }
+
+    /// Discards a popped job *without running it*, performing the same
+    /// completion bookkeeping as [`JobQueue::run_job`]. Fault-injection
+    /// hook: models a lost continuation (e.g. a worker dying between
+    /// popping a job and executing it). The query still terminates; the
+    /// loss is observable via [`JobQueue::dropped`].
+    pub fn discard(&self, job: Job) {
+        drop(job);
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Re-enqueues a popped job at the back of the queue without
+    /// touching the outstanding count (the job is already accounted
+    /// for). Fault-injection hook: models a delayed segment — the job
+    /// runs eventually, but later than the scheduler would naturally
+    /// have run it.
+    pub fn requeue(&self, job: Job) {
+        self.jobs.lock().push_back(job);
+        self.cv.notify_one();
     }
 
     /// Worker loop: pop and run jobs until the queue completes.
@@ -114,7 +181,8 @@ impl JobQueue {
         while !pred() && !self.is_complete() {
             // Re-check periodically as well: predicates like UBStop
             // flip due to worker-side writes that do not notify.
-            self.cv.wait_for(&mut guard, std::time::Duration::from_micros(200));
+            self.cv
+                .wait_for(&mut guard, std::time::Duration::from_micros(200));
         }
     }
 }
@@ -126,6 +194,8 @@ impl Default for JobQueue {
             cv: Condvar::new(),
             outstanding: AtomicUsize::new(0),
             executed: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
         }
     }
 }
@@ -231,6 +301,74 @@ mod tests {
             // predicate fired.
             assert_eq!(flag.load(Ordering::Acquire), 7);
         });
+    }
+
+    #[test]
+    fn panicking_job_is_caught_and_counted() {
+        let q = JobQueue::new();
+        let count = Arc::new(AtomicU64::new(0));
+        q.push(Box::new(|| panic!("injected fault")));
+        {
+            let count = Arc::clone(&count);
+            q.push(Box::new(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        q.run_worker();
+        assert!(q.is_complete());
+        assert_eq!(q.panicked(), 1);
+        assert_eq!(q.executed(), 2);
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn try_pop_nth_selects_by_index() {
+        let q = JobQueue::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..4u32 {
+            let log = Arc::clone(&log);
+            q.push(Box::new(move || log.lock().push(i)));
+        }
+        // Pop index 2 ("2"), then index 5 % 3 == 2 ("3"), then fronts.
+        for n in [2usize, 5, 0, 0] {
+            let job = q.try_pop_nth(n).expect("job available");
+            q.run_job(job);
+        }
+        assert!(q.try_pop_nth(0).is_none());
+        assert_eq!(*log.lock(), vec![2, 3, 0, 1]);
+        assert!(q.is_complete());
+    }
+
+    #[test]
+    fn discard_completes_bookkeeping_without_running() {
+        let q = JobQueue::new();
+        let ran = Arc::new(AtomicU64::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            q.push(Box::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let job = q.try_pop().unwrap();
+        q.discard(job);
+        assert!(q.is_complete());
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn requeue_moves_job_to_back_keeping_outstanding() {
+        let q = JobQueue::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2u32 {
+            let log = Arc::clone(&log);
+            q.push(Box::new(move || log.lock().push(i)));
+        }
+        let front = q.try_pop().unwrap();
+        q.requeue(front); // delay job 0 behind job 1
+        assert_eq!(q.outstanding(), 2);
+        q.run_worker();
+        assert_eq!(*log.lock(), vec![1, 0]);
     }
 
     #[test]

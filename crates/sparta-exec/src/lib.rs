@@ -22,10 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod dedicated;
+pub mod deterministic;
+pub mod fault;
 pub mod job_queue;
 pub mod pool;
 
 pub use dedicated::DedicatedExecutor;
+pub use deterministic::DeterministicExecutor;
+pub use fault::FaultPlan;
 pub use job_queue::{Job, JobQueue};
 pub use pool::WorkerPool;
 

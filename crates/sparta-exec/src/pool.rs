@@ -153,7 +153,8 @@ fn worker_loop(sh: &Shared) {
         // Nothing to do: wait for a push/submission/completion.
         let mut guard = sh.pending.lock();
         if guard.is_empty() && !sh.shutdown.load(Ordering::Acquire) {
-            sh.cv.wait_for(&mut guard, std::time::Duration::from_micros(200));
+            sh.cv
+                .wait_for(&mut guard, std::time::Duration::from_micros(200));
         }
     }
 }

@@ -81,7 +81,11 @@ pub fn decompress_doc_ordered(mut buf: &[u8], len: usize) -> Option<Vec<Posting>
         buf = &buf[n..];
         let (score, n) = read_varint(buf)?;
         buf = &buf[n..];
-        let doc = if i == 0 { gap } else { prev.checked_add(gap)?.checked_add(1)? };
+        let doc = if i == 0 {
+            gap
+        } else {
+            prev.checked_add(gap)?.checked_add(1)?
+        };
         out.push(Posting::new(doc, score));
         prev = doc;
     }
@@ -226,7 +230,9 @@ mod tests {
     fn dense_gaps_compress_well() {
         // Consecutive doc ids → gap 0 → 1 byte; 3-byte scores →
         // 4 bytes per posting: exactly 2× compression.
-        let ps: Vec<Posting> = (0..1000u32).map(|i| Posting::new(i, 50_000 + i % 100)).collect();
+        let ps: Vec<Posting> = (0..1000u32)
+            .map(|i| Posting::new(i, 50_000 + i % 100))
+            .collect();
         let buf = compress_doc_ordered(&ps);
         assert!(buf.len() * 2 <= ps.len() * 8, "{} bytes", buf.len());
     }

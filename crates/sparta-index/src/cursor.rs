@@ -165,7 +165,11 @@ mod tests {
 
     #[test]
     fn slice_cursor_traverses_in_order() {
-        let postings = vec![Posting::new(1, 30), Posting::new(2, 20), Posting::new(3, 10)];
+        let postings = vec![
+            Posting::new(1, 30),
+            Posting::new(2, 20),
+            Posting::new(3, 10),
+        ];
         let mut c = SliceScoreCursor::new(&postings);
         assert_eq!(c.len(), 3);
         assert_eq!(c.remaining(), 3);

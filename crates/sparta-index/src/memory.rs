@@ -40,7 +40,6 @@ impl TermData {
             max_score,
         }
     }
-
 }
 
 /// An entirely RAM-resident [`Index`].
@@ -148,7 +147,9 @@ impl Index for InMemoryIndex {
 
     fn score_cursor_arc(self: Arc<Self>, term: TermId) -> Box<dyn ScoreCursor> {
         match self.term_data(term) {
-            Some(t) => Box::new(SliceScoreCursor::new(ArcPostings(Arc::clone(&t.score_order)))),
+            Some(t) => Box::new(SliceScoreCursor::new(ArcPostings(Arc::clone(
+                &t.score_order,
+            )))),
             None => Box::new(SliceScoreCursor::new(ArcPostings(Arc::new(Vec::new())))),
         }
     }
@@ -252,9 +253,7 @@ impl<P: AsRef<[Posting]>, B: AsRef<[BlockMeta]>> SliceDocCursor<P, B> {
     }
 }
 
-impl<P: AsRef<[Posting]> + Send, B: AsRef<[BlockMeta]> + Send> DocCursor
-    for SliceDocCursor<P, B>
-{
+impl<P: AsRef<[Posting]> + Send, B: AsRef<[BlockMeta]> + Send> DocCursor for SliceDocCursor<P, B> {
     #[inline]
     fn doc(&self) -> Option<DocId> {
         self.ps().get(self.pos).map(|p| p.doc)
@@ -340,7 +339,9 @@ mod tests {
     fn index() -> InMemoryIndex {
         // term 0: docs 0,2,4,...,18 score = 100 - doc
         // term 1: docs 0..5 score = 10*doc+1
-        let t0: Vec<Posting> = (0..10u32).map(|i| Posting::new(2 * i, 100 - 2 * i)).collect();
+        let t0: Vec<Posting> = (0..10u32)
+            .map(|i| Posting::new(2 * i, 100 - 2 * i))
+            .collect();
         let t1: Vec<Posting> = (0..5u32).map(|i| Posting::new(i, 10 * i + 1)).collect();
         InMemoryIndex::with_block_size(vec![t0, t1], 20, 4)
     }

@@ -119,8 +119,20 @@ mod tests {
         sort_doc_order(&mut p);
         let blocks = build_blocks(&p, 3);
         assert_eq!(blocks.len(), 2);
-        assert_eq!(blocks[0], BlockMeta { last_doc: 5, max_score: 50 });
-        assert_eq!(blocks[1], BlockMeta { last_doc: 9, max_score: 30 });
+        assert_eq!(
+            blocks[0],
+            BlockMeta {
+                last_doc: 5,
+                max_score: 50
+            }
+        );
+        assert_eq!(
+            blocks[1],
+            BlockMeta {
+                last_doc: 9,
+                max_score: 30
+            }
+        );
     }
 
     #[test]

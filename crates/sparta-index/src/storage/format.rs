@@ -244,8 +244,14 @@ mod tests {
     #[test]
     fn blocks_round_trip() {
         let bs = vec![
-            BlockMeta { last_doc: 63, max_score: 12 },
-            BlockMeta { last_doc: 127, max_score: 99 },
+            BlockMeta {
+                last_doc: 63,
+                max_score: 12,
+            },
+            BlockMeta {
+                last_doc: 127,
+                max_score: 99,
+            },
         ];
         let mut bytes = Vec::new();
         encode_blocks(&bs, &mut bytes);

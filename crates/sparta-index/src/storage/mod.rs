@@ -41,7 +41,9 @@ mod tests {
     fn sample_lists() -> Vec<Vec<Posting>> {
         vec![
             (0..300u32).map(|i| Posting::new(3 * i, 1000 - i)).collect(),
-            (0..40u32).map(|i| Posting::new(7 * i, 10 + (i * 13) % 90)).collect(),
+            (0..40u32)
+                .map(|i| Posting::new(7 * i, 10 + (i * 13) % 90))
+                .collect(),
             Vec::new(),
             vec![Posting::new(5, 42)],
         ]
@@ -167,10 +169,8 @@ mod tests {
     }
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "sparta-index-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d =
+            std::env::temp_dir().join(format!("sparta-index-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         std::fs::create_dir_all(&d).unwrap();
         d

@@ -164,7 +164,12 @@ impl RandomAccess for DiskIndex {
         let count = (e.len as usize - start).min(bs);
         let mut buf = vec![0u8; count * 8];
         if self
-            .read_at(&self.doc_file, e.doc_off + (start * 8) as u64, &mut buf, false)
+            .read_at(
+                &self.doc_file,
+                e.doc_off + (start * 8) as u64,
+                &mut buf,
+                false,
+            )
             .is_err()
         {
             return 0;
@@ -194,7 +199,12 @@ struct DiskScoreCursor<R> {
 
 impl<R: Borrow<DiskIndex>> DiskScoreCursor<R> {
     fn new(ix: R, term: TermId) -> Self {
-        let entry = ix.borrow().dict.get(term as usize).copied().unwrap_or_default();
+        let entry = ix
+            .borrow()
+            .dict
+            .get(term as usize)
+            .copied()
+            .unwrap_or_default();
         Self {
             ix,
             entry,
@@ -213,7 +223,10 @@ impl<R: Borrow<DiskIndex>> DiskScoreCursor<R> {
         self.bytes.resize(count, 0);
         let off = self.entry.score_off + self.pos * 8;
         let ix = self.ix.borrow();
-        if ix.read_at(&ix.score_file, off, &mut self.bytes, true).is_err() {
+        if ix
+            .read_at(&ix.score_file, off, &mut self.bytes, true)
+            .is_err()
+        {
             return false;
         }
         format::decode_postings(&self.bytes, &mut self.buf);
@@ -228,10 +241,8 @@ impl<R: Borrow<DiskIndex> + Send> ScoreCursor for DiskScoreCursor<R> {
             return None;
         }
         let rel = (self.pos - self.buf_start) as usize;
-        if self.buf.is_empty() || rel >= self.buf.len() {
-            if !self.fill() {
-                return None;
-            }
+        if (self.buf.is_empty() || rel >= self.buf.len()) && !self.fill() {
+            return None;
         }
         let rel = (self.pos - self.buf_start) as usize;
         let p = self.buf[rel];
@@ -268,7 +279,12 @@ struct DiskDocCursor<R> {
 
 impl<R: Borrow<DiskIndex>> DiskDocCursor<R> {
     fn new(ix: R, term: TermId) -> Self {
-        let entry = ix.borrow().dict.get(term as usize).copied().unwrap_or_default();
+        let entry = ix
+            .borrow()
+            .dict
+            .get(term as usize)
+            .copied()
+            .unwrap_or_default();
         let done = entry.len == 0;
         let mut c = Self {
             ix,
@@ -359,8 +375,7 @@ impl<R: Borrow<DiskIndex> + Send> DocCursor for DiskDocCursor<R> {
         let (bi, nblocks) = {
             let blocks = self.blocks();
             (
-                self.cur_block
-                    + blocks[self.cur_block..].partition_point(|b| b.last_doc < target),
+                self.cur_block + blocks[self.cur_block..].partition_point(|b| b.last_doc < target),
                 blocks.len(),
             )
         };
@@ -384,8 +399,7 @@ impl<R: Borrow<DiskIndex> + Send> DocCursor for DiskDocCursor<R> {
             return None;
         }
         let blocks = self.blocks();
-        let bi = self.cur_block
-            + blocks[self.cur_block..].partition_point(|b| b.last_doc < target);
+        let bi = self.cur_block + blocks[self.cur_block..].partition_point(|b| b.last_doc < target);
         blocks.get(bi).map(|b| (b.last_doc, b.max_score))
     }
 

@@ -6,7 +6,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use sparta_index::storage::IndexWriter;
-use sparta_index::{DiskIndex, Index, InMemoryIndex, IoModel, Posting};
+use sparta_index::{DiskIndex, InMemoryIndex, Index, IoModel, Posting};
 
 fn arb_list() -> impl Strategy<Value = Vec<Posting>> {
     vec((0u32..2000, 1u32..100_000), 0..300).prop_map(|mut ps| {

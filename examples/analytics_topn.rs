@@ -38,7 +38,7 @@ fn main() {
         .map(|_| {
             (0..APPS)
                 .map(|app| {
-                    let noise = rng.gen_range(70..130);
+                    let noise: u64 = rng.gen_range(70..130);
                     let count = (base[app as usize] * noise / 100).clamp(1, u64::from(u32::MAX));
                     Posting::new(app, count as u32)
                 })
@@ -46,8 +46,7 @@ fn main() {
         })
         .collect();
 
-    let index: Arc<dyn Index> =
-        Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(APPS)));
+    let index: Arc<dyn Index> = Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(APPS)));
     // The 10-day TopN query: aggregate daily counts over all days.
     let query = Query::new((0..DAYS).collect());
     let k = 20;
@@ -60,7 +59,12 @@ fn main() {
 
     println!("top-{k} applications by {DAYS}-day access count (Sparta, {sparta_t:.1?}):");
     for (rank, hit) in top.hits.iter().take(10).enumerate() {
-        println!("  #{:<2} app-{:<7} {:>12} accesses", rank + 1, hit.doc, hit.score);
+        println!(
+            "  #{:<2} app-{:<7} {:>12} accesses",
+            rank + 1,
+            hit.doc,
+            hit.score
+        );
     }
     println!("  … plus {} more", top.hits.len().saturating_sub(10));
 

@@ -72,8 +72,7 @@ fn cmd_index(text_file: &str, out_dir: &str) -> Result<(), String> {
 
     // Persist the vocabulary (line number = term id).
     let mut vf = std::io::BufWriter::new(
-        std::fs::File::create(Path::new(out_dir).join("vocab.txt"))
-            .map_err(|e| e.to_string())?,
+        std::fs::File::create(Path::new(out_dir).join("vocab.txt")).map_err(|e| e.to_string())?,
     );
     for t in 0..mem.num_terms() {
         writeln!(vf, "{}", tok.term_str(t).unwrap_or("")).map_err(|e| e.to_string())?;
@@ -97,9 +96,19 @@ fn cmd_search(index_dir: &str, query_text: &str, flags: &[String]) -> Result<(),
     while let Some(f) = it.next() {
         match f.as_str() {
             "--algo" => algo_name = it.next().ok_or("--algo needs a value")?.clone(),
-            "--k" => k = it.next().ok_or("--k needs a value")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--k" => {
+                k = it
+                    .next()
+                    .ok_or("--k needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--k: {e}"))?
+            }
             "--threads" => {
-                threads = it.next().ok_or("--threads needs a value")?.parse().map_err(|e| format!("--threads: {e}"))?
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
             "--exact" => exact = true,
             "--approx" => exact = false,

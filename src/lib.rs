@@ -64,6 +64,8 @@ pub mod prelude {
     pub use sparta_corpus::synth::{CorpusModel, SynthCorpus};
     pub use sparta_corpus::tokenizer::Tokenizer;
     pub use sparta_corpus::types::{DocId, Query, TermId};
-    pub use sparta_exec::{DedicatedExecutor, Executor, WorkerPool};
-    pub use sparta_index::{DiskIndex, Index, IndexBuilder, InMemoryIndex, IoModel};
+    pub use sparta_exec::{
+        DedicatedExecutor, DeterministicExecutor, Executor, FaultPlan, WorkerPool,
+    };
+    pub use sparta_index::{DiskIndex, InMemoryIndex, Index, IndexBuilder, IoModel};
 }

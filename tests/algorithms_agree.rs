@@ -4,17 +4,11 @@
 //! counts; approximate variants must trade recall coherently.
 
 use sparta::prelude::*;
+use sparta_testkit::build_index as build;
 use std::sync::Arc;
 
-fn build(seed: u64) -> (Arc<dyn Index>, SynthCorpus) {
-    let corpus = SynthCorpus::build(CorpusModel::tiny(seed));
-    let ix: Arc<dyn Index> = Arc::new(IndexBuilder::new(TfIdfScorer).build_memory(&corpus));
-    (ix, corpus)
-}
-
 fn queries(corpus: &SynthCorpus, max_len: usize, seed: u64) -> Vec<Query> {
-    let log = QueryLog::generate(corpus.stats(), 3, max_len, seed);
-    (1..=max_len).flat_map(|m| log.of_length(m).to_vec()).collect()
+    sparta_testkit::queries(corpus, 3, max_len, seed)
 }
 
 #[test]
@@ -50,7 +44,9 @@ fn full_scoring_algorithms_report_exact_scores() {
     let oracle = Oracle::compute(ix.as_ref(), q, k);
     let cfg = SearchConfig::exact(k);
     let exec = DedicatedExecutor::new(4);
-    for name in ["ra", "pra", "bmw", "pbmw", "wand", "maxscore", "jass", "pjass"] {
+    for name in [
+        "ra", "pra", "bmw", "pbmw", "wand", "maxscore", "jass", "pjass",
+    ] {
         let algo = sparta::core::algorithm_by_name(name).unwrap();
         let r = algo.search(&ix, q, &cfg, &exec);
         for h in &r.hits {
@@ -92,13 +88,7 @@ fn sparta_delta_variants_order_recall() {
     // Tighter Δ ⇒ earlier stop ⇒ recall no higher (statistically;
     // we allow equality).
     let (ix, corpus) = build(5);
-    let q = Query::new(
-        queries(&corpus, 8, 11)
-            .into_iter()
-            .last()
-            .unwrap()
-            .terms,
-    );
+    let q = Query::new(queries(&corpus, 8, 11).into_iter().last().unwrap().terms);
     let k = 50;
     let oracle = Oracle::compute(ix.as_ref(), &q, k);
     let exec = DedicatedExecutor::new(4);
@@ -207,8 +197,7 @@ fn sparta_early_stops_on_skewed_lists() {
                 .collect()
         })
         .collect();
-    let ix: Arc<dyn Index> =
-        Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(n)));
+    let ix: Arc<dyn Index> = Arc::new(InMemoryIndex::from_term_postings(lists, u64::from(n)));
     let q = Query::new(vec![0, 1, 2]);
     let cfg = SearchConfig::exact(k as usize)
         .with_seg_size(512)

@@ -8,7 +8,7 @@ use sparta::prelude::*;
 
 #[test]
 fn corpus_lists_round_trip_and_shrink() {
-    let corpus = SynthCorpus::build(CorpusModel::tiny(77));
+    let corpus = sparta_testkit::build_corpus(77);
     let ix = IndexBuilder::new(TfIdfScorer).build_memory(&corpus);
     let mut raw_bytes = 0usize;
     let mut compressed_bytes = 0usize;

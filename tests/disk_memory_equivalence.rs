@@ -21,13 +21,9 @@ impl Drop for Fixture {
 }
 
 fn fixture(tag: &str, seed: u64) -> Fixture {
-    let corpus = SynthCorpus::build(CorpusModel::tiny(seed));
+    let (mem, corpus) = sparta_testkit::build_index(seed);
     let builder = IndexBuilder::new(TfIdfScorer);
-    let mem: Arc<dyn Index> = Arc::new(builder.build_memory(&corpus));
-    let dir = std::env::temp_dir().join(format!(
-        "sparta-it-{tag}-{}-{seed}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("sparta-it-{tag}-{}-{seed}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     builder.write_disk(&corpus, &dir).unwrap();
     let disk = Arc::new(DiskIndex::open(&dir, IoModel::free()).unwrap());
@@ -105,8 +101,7 @@ fn ssd_model_slows_down_queries() {
     // parallelism): the run must have taken at least the I/O charge
     // its own counters imply.
     let (seq, rnd, _) = ssd_ix.io_stats().unwrap().snapshot();
-    let charged = IoModel::ssd().seq_block * seq as u32
-        + IoModel::ssd().random_access * rnd as u32;
+    let charged = IoModel::ssd().seq_block * seq as u32 + IoModel::ssd().random_access * rnd as u32;
     assert!(seq > 0, "disk run must fetch blocks");
     // Charges on different worker threads overlap in wall-clock time,
     // so the bound is charged / threads.

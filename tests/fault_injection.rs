@@ -1,0 +1,121 @@
+//! Fault-injection tests: the execution stack must survive panicking
+//! jobs, delayed segments, and lost continuations — without wedging the
+//! query, poisoning the pool, or corrupting a *subsequent* query.
+
+use sparta::prelude::*;
+use sparta_testkit::{build_index, long_query, sweep_schedules};
+use std::sync::Arc;
+
+/// A panicking job injected mid-query is caught and surfaced in
+/// `WorkStats::jobs_panicked`; the query still terminates with perfect
+/// recall (the injected job carries no Sparta work).
+#[test]
+fn injected_panic_is_recorded_and_query_stays_exact() {
+    let (ix, corpus) = build_index(71);
+    let q = long_query(&corpus, 1);
+    let cfg = SearchConfig::exact(15).with_seg_size(64).with_phi(256);
+    let oracle = Oracle::compute(ix.as_ref(), &q, 15);
+    sweep_schedules(8, |seed, exec| {
+        let faulty = exec.clone().with_faults(FaultPlan::none().panic_at(3));
+        let r = Sparta.search(&ix, &q, &cfg, &faulty);
+        assert_eq!(r.work.jobs_panicked, 1, "seed {seed}: panic not recorded");
+        assert_eq!(
+            oracle.recall(&r.docs()),
+            1.0,
+            "seed {seed}: panic corrupted the result"
+        );
+    });
+}
+
+/// Delayed segments (jobs pushed to the back of the queue) must not
+/// change the result — Sparta's invariants are order-independent.
+#[test]
+fn deferred_segments_do_not_change_results() {
+    let (ix, corpus) = build_index(72);
+    let q = long_query(&corpus, 2);
+    let cfg = SearchConfig::exact(15).with_seg_size(64).with_phi(256);
+    let oracle = Oracle::compute(ix.as_ref(), &q, 15);
+    sweep_schedules(8, |seed, exec| {
+        let faults = FaultPlan::none().defer_at(1).defer_at(5).defer_at(9);
+        let faulty = exec.clone().with_faults(faults);
+        let r = Sparta.search(&ix, &q, &cfg, &faulty);
+        assert_eq!(
+            oracle.recall(&r.docs()),
+            1.0,
+            "seed {seed}: deferral changed the result"
+        );
+    });
+}
+
+/// Dropped continuations (a worker dying between pop and run) must not
+/// hang the query: completion bookkeeping still runs. Results may be
+/// partial — only liveness and structural validity are asserted.
+#[test]
+fn dropped_continuations_never_hang() {
+    let (ix, corpus) = build_index(73);
+    let q = long_query(&corpus, 3);
+    let cfg = SearchConfig::exact(15).with_seg_size(64).with_phi(256);
+    sweep_schedules(16, |seed, exec| {
+        let faults = FaultPlan::none().drop_at(2).drop_at(7);
+        let faulty = exec.clone().with_faults(faults);
+        // Terminates (the test harness itself would hang otherwise)…
+        let r = Sparta.search(&ix, &q, &cfg, &faulty);
+        // …with rank-ordered hits and honest lower-bound scores.
+        assert!(
+            r.hits.windows(2).all(|w| w[0].score >= w[1].score),
+            "seed {seed}: rank order broken after dropped jobs"
+        );
+    });
+}
+
+/// Acceptance scenario from the ISSUE: a panicking job on the *shared
+/// worker pool* neither kills pool workers nor corrupts the top-k of
+/// the next query on the same pool.
+#[test]
+fn pool_survives_panicking_job_and_serves_next_query() {
+    let (ix, corpus) = build_index(74);
+    let q = long_query(&corpus, 4);
+    let cfg = SearchConfig::exact(15).with_seg_size(64).with_phi(256);
+    let oracle = Oracle::compute(ix.as_ref(), &q, 15);
+    let pool = WorkerPool::new(3);
+
+    // A "query" consisting of panicking jobs — one per worker, so every
+    // worker thread exercises the catch_unwind path.
+    let poison = sparta::exec::JobQueue::new();
+    for _ in 0..3 {
+        poison.push(Box::new(|| panic!("injected fault: poison job")));
+    }
+    pool.run(Arc::clone(&poison));
+    assert!(poison.is_complete(), "poisoned queue must still complete");
+    assert_eq!(poison.panicked(), 3, "all panics caught and counted");
+
+    // The same pool must now serve real queries flawlessly.
+    for _ in 0..3 {
+        let r = Sparta.search(&ix, &q, &cfg, &pool);
+        assert_eq!(
+            oracle.recall(&r.docs()),
+            1.0,
+            "query after poison job lost recall"
+        );
+        assert_eq!(r.work.jobs_panicked, 0, "clean query reported panics");
+    }
+}
+
+/// Same scenario on a dedicated executor: a panicking job inside one
+/// query does not prevent later queries from succeeding.
+#[test]
+fn dedicated_executor_survives_poison_queue() {
+    let (ix, corpus) = build_index(75);
+    let q = long_query(&corpus, 5);
+    let cfg = SearchConfig::exact(10);
+    let exec = DedicatedExecutor::new(2);
+
+    let poison = sparta::exec::JobQueue::new();
+    poison.push(Box::new(|| panic!("injected fault: poison job")));
+    exec.run(Arc::clone(&poison));
+    assert_eq!(poison.panicked(), 1);
+
+    let oracle = Oracle::compute(ix.as_ref(), &q, 10);
+    let r = Sparta.search(&ix, &q, &cfg, &exec);
+    assert_eq!(oracle.recall(&r.docs()), 1.0);
+}

@@ -4,13 +4,8 @@
 //! including with many queries in flight concurrently.
 
 use sparta::prelude::*;
+use sparta_testkit::build_index as build;
 use std::sync::Arc;
-
-fn build(seed: u64) -> (Arc<dyn Index>, SynthCorpus) {
-    let corpus = SynthCorpus::build(CorpusModel::tiny(seed));
-    let ix: Arc<dyn Index> = Arc::new(IndexBuilder::new(TfIdfScorer).build_memory(&corpus));
-    (ix, corpus)
-}
 
 #[test]
 fn pool_results_match_dedicated() {
@@ -44,7 +39,11 @@ fn concurrent_queries_share_pool_correctly() {
     // Expected results, computed serially.
     let expected: Vec<Vec<u64>> = queries
         .iter()
-        .map(|q| Sparta.search(&ix, q, &cfg, &DedicatedExecutor::new(1)).scores())
+        .map(|q| {
+            Sparta
+                .search(&ix, q, &cfg, &DedicatedExecutor::new(1))
+                .scores()
+        })
         .collect();
     // Submit all queries concurrently from several driver threads.
     std::thread::scope(|s| {

@@ -3,18 +3,8 @@
 //! documented direction, and the exact settings must be safe.
 
 use sparta::prelude::*;
-use std::sync::Arc;
+use sparta_testkit::{build_index as build, long_query};
 use std::time::Duration;
-
-fn build(seed: u64) -> (Arc<dyn Index>, SynthCorpus) {
-    let corpus = SynthCorpus::build(CorpusModel::tiny(seed));
-    let ix: Arc<dyn Index> = Arc::new(IndexBuilder::new(TfIdfScorer).build_memory(&corpus));
-    (ix, corpus)
-}
-
-fn long_query(corpus: &SynthCorpus, seed: u64) -> Query {
-    QueryLog::generate(corpus.stats(), 1, 8, seed).of_length(8)[0].clone()
-}
 
 #[test]
 fn bmw_f_monotonically_prunes() {
