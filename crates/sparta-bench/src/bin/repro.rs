@@ -8,6 +8,13 @@
 //! Experiments: `table2 table3 table4 fig3a fig3b fig3c fig3d fig3e
 //! fig3f fig3g fig3h fig3i fig4 ablations ramdisk all`
 //!
+//! Machine-readable export (see DESIGN.md "Observability"):
+//!
+//! ```sh
+//! repro --emit-json <name>       # writes out/BENCH_<name>.json
+//! repro --validate-json <path>   # schema-checks an emitted document
+//! ```
+//!
 //! Environment:
 //! * `SPARTA_DOCS`    — base corpus size (default 20 000; CWX10 = 10×)
 //! * `SPARTA_QUERIES` — queries per cell   (default 20; paper uses 100)
@@ -433,8 +440,64 @@ fn ramdisk() {
     println!(" pRA pays one random access per document scored)");
 }
 
+/// `--emit-json <name>`: measures the case-study grid (every parallel
+/// algorithm × {exact, high} × {1, 2, SPARTA_THREADS} threads) and
+/// writes `out/BENCH_<name>.json`.
+fn emit_json(name: &str) {
+    let ds = Dataset::cached(Scale::Cw);
+    let algorithms = ["sparta", "pnra", "snra", "pra", "pbmw", "pjass"];
+    let variants = [VariantParams::exact(), VariantParams::high()];
+    let mut thread_counts = vec![1, 2, threads()];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let report = sparta_bench::export::build_report(
+        ds,
+        name,
+        &algorithms,
+        &variants,
+        &thread_counts,
+        queries_per_cell(),
+        6,
+    );
+    let path = report
+        .write_to(std::path::Path::new("out"))
+        .expect("write benchmark JSON");
+    println!(
+        "wrote {} ({} cells, {} recall curves)",
+        path.display(),
+        report.cells.len(),
+        report.recall_curves.len()
+    );
+}
+
+/// `--validate-json <path>`: parses an emitted document and checks the
+/// schema, exiting non-zero on any drift.
+fn validate_json(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    match sparta_bench::validate_bench_json(&text) {
+        Ok(()) => println!("{path}: schema ok"),
+        Err(e) => {
+            eprintln!("{path}: schema violation: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--emit-json") => {
+            let name = args.get(1).map(String::as_str).unwrap_or("run");
+            emit_json(name);
+            return;
+        }
+        Some("--validate-json") => {
+            let path = args.get(1).expect("--validate-json needs a path");
+            validate_json(path);
+            return;
+        }
+        _ => {}
+    }
     let what = args.first().map(String::as_str).unwrap_or("all");
     let t0 = std::time::Instant::now();
     println!(

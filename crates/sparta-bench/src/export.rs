@@ -1,0 +1,421 @@
+//! Machine-readable benchmark export: `BENCH_<name>.json`.
+//!
+//! The text tables `repro` prints are for humans; regression tracking
+//! needs the same numbers in a stable, parseable shape. A
+//! [`BenchReport`] captures one emission: per algorithm/variant/
+//! thread-count cell the latency distribution, mean recall, summed
+//! [`WorkStats`], and the executor's [`ExecSnapshot`], plus
+//! recall-over-time curves from traced runs. [`validate_bench_json`]
+//! re-parses an emitted document and checks the schema, so CI can
+//! assert the emitter and the consumer agree.
+
+use crate::dataset::Dataset;
+use crate::measure::{run_latency, LatencyStats};
+use crate::variants::VariantParams;
+use sparta_core::recall::recall_dynamics;
+use sparta_core::result::WorkStats;
+use sparta_core::{algorithm_by_name, Algorithm};
+use sparta_exec::DedicatedExecutor;
+use sparta_obs::json::{parse, Json};
+use sparta_obs::{ExecSnapshot, HistogramSnapshot};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Schema version stamped into every document; bump on breaking shape
+/// changes so consumers can dispatch.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One measured cell: an algorithm × variant × thread-count point.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// Algorithm name (as registered with `algorithm_by_name`).
+    pub algorithm: String,
+    /// Variant label ("exact", "high", "low").
+    pub variant: String,
+    /// Intra-query worker threads.
+    pub threads: usize,
+    /// Queries measured.
+    pub queries: usize,
+    /// The measured statistics.
+    pub stats: LatencyStats,
+}
+
+/// One recall-dynamics curve from a traced run.
+#[derive(Debug, Clone)]
+pub struct RecallCurve {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Variant label.
+    pub variant: String,
+    /// `(elapsed_ms, recall)` samples, monotone in both coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A full benchmark emission.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Report name; the file is written as `BENCH_<name>.json`.
+    pub name: String,
+    /// Corpus size the cells were measured on.
+    pub docs: u64,
+    /// Result-set size k.
+    pub k: usize,
+    /// Queries measured per cell.
+    pub queries_per_cell: usize,
+    /// Terms per query in every cell.
+    pub terms_per_query: usize,
+    /// The measured cells.
+    pub cells: Vec<BenchCell>,
+    /// Recall-over-time curves.
+    pub recall_curves: Vec<RecallCurve>,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn work_json(w: &WorkStats) -> Json {
+    Json::obj()
+        .with("postings_scanned", w.postings_scanned)
+        .with("random_accesses", w.random_accesses)
+        .with("heap_updates", w.heap_updates)
+        .with("docmap_peak", w.docmap_peak)
+        .with("cleaner_passes", w.cleaner_passes)
+        .with("jobs_panicked", w.jobs_panicked)
+        .with("docmap_final", w.docmap_final)
+        .with("timeout_stops", w.timeout_stops)
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::obj()
+        .with("count", h.count)
+        .with("sum", h.sum)
+        .with("mean", h.mean())
+        .with("p50", h.percentile(0.5))
+        .with("p99", h.percentile(0.99))
+}
+
+fn exec_json(e: &ExecSnapshot) -> Json {
+    Json::obj()
+        .with("workers", e.workers)
+        .with("jobs_run", e.jobs_run)
+        .with("jobs_panicked", e.jobs_panicked)
+        .with("busy_ns", e.busy_ns)
+        .with("idle_ns", e.idle_ns)
+        .with("idle_ratio", e.idle_ratio())
+        .with("queue_depth_highwater", e.queue_depth_highwater)
+        .with("queries_run", e.queries_run)
+        .with("job_ns", histogram_json(&e.job_ns))
+}
+
+fn cell_json(c: &BenchCell) -> Json {
+    Json::obj()
+        .with("algorithm", c.algorithm.as_str())
+        .with("variant", c.variant.as_str())
+        .with("threads", c.threads)
+        .with("queries", c.queries)
+        .with(
+            "latency_ms",
+            Json::obj()
+                .with("mean", ms(c.stats.mean()))
+                .with("p50", ms(c.stats.percentile(0.5)))
+                .with("p95", ms(c.stats.percentile(0.95)))
+                .with("p99", ms(c.stats.percentile(0.99))),
+        )
+        .with("mean_recall", c.stats.mean_recall)
+        .with("work", work_json(&c.stats.work))
+        .with("exec", exec_json(&c.stats.exec))
+}
+
+fn curve_json(c: &RecallCurve) -> Json {
+    Json::obj()
+        .with("algorithm", c.algorithm.as_str())
+        .with("variant", c.variant.as_str())
+        .with(
+            "points",
+            Json::Arr(
+                c.points
+                    .iter()
+                    .map(|&(t, r)| Json::obj().with("ms", t).with("recall", r))
+                    .collect(),
+            ),
+        )
+}
+
+impl BenchReport {
+    /// Serializes the report.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("schema_version", SCHEMA_VERSION)
+            .with("name", self.name.as_str())
+            .with("docs", self.docs)
+            .with("k", self.k)
+            .with("queries_per_cell", self.queries_per_cell)
+            .with("terms_per_query", self.terms_per_query)
+            .with(
+                "cells",
+                Json::Arr(self.cells.iter().map(cell_json).collect()),
+            )
+            .with(
+                "recall_curves",
+                Json::Arr(self.recall_curves.iter().map(curve_json).collect()),
+            )
+    }
+
+    /// Writes `BENCH_<name>.json` under `dir` (created if needed) and
+    /// returns the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json().to_pretty_string(2))?;
+        Ok(path)
+    }
+}
+
+/// Measures every algorithm × variant × thread-count cell on
+/// `queries_per_cell` queries of `terms_per_query` terms, recall
+/// verified against the oracle, and attaches recall-dynamics curves
+/// from traced single-query runs of each algorithm.
+pub fn build_report(
+    ds: &Dataset,
+    name: &str,
+    algorithms: &[&str],
+    variants: &[VariantParams],
+    thread_counts: &[usize],
+    queries_per_cell: usize,
+    terms_per_query: usize,
+) -> BenchReport {
+    let queries = ds.queries_of_length(terms_per_query, queries_per_cell);
+    let mut cells = Vec::new();
+    for &name in algorithms {
+        let algo: Arc<dyn Algorithm> =
+            algorithm_by_name(name).unwrap_or_else(|| panic!("unknown algorithm {name}"));
+        for params in variants {
+            for &t in thread_counts {
+                let stats = run_latency(ds, algo.as_ref(), queries, params, t, true);
+                cells.push(BenchCell {
+                    algorithm: name.to_string(),
+                    variant: params.label.to_string(),
+                    threads: t,
+                    queries: queries.len(),
+                    stats,
+                });
+            }
+        }
+    }
+    let threads = thread_counts.iter().copied().max().unwrap_or(1);
+    let recall_curves = build_recall_curves(ds, algorithms, threads, terms_per_query);
+    BenchReport {
+        name: name.to_string(),
+        docs: ds.index.num_docs(),
+        k: ds.k,
+        queries_per_cell: queries.len(),
+        terms_per_query,
+        cells,
+        recall_curves,
+    }
+}
+
+/// One traced exact run per algorithm, sampled into a recall curve
+/// (§5.3's recall dynamics, machine-readable).
+fn build_recall_curves(
+    ds: &Dataset,
+    algorithms: &[&str],
+    threads: usize,
+    terms_per_query: usize,
+) -> Vec<RecallCurve> {
+    let pool = ds.queries_of_length(terms_per_query, 1);
+    let Some(q) = pool.first() else {
+        return Vec::new();
+    };
+    let oracle = ds.oracle(q);
+    let exec = DedicatedExecutor::new(threads.max(1));
+    let params = VariantParams::exact().with_trace();
+    let samples = 12;
+    algorithms
+        .iter()
+        .map(|&name| {
+            let algo =
+                algorithm_by_name(name).unwrap_or_else(|| panic!("unknown algorithm {name}"));
+            let r = algo.search(&ds.index, q, &params.config(ds.k), &exec);
+            let trace = r.trace.clone().unwrap_or_default();
+            let horizon = r.elapsed.max(Duration::from_micros(200));
+            let points = recall_dynamics(&trace, &oracle, horizon, samples)
+                .into_iter()
+                .map(|(t, rec)| (ms(t), rec))
+                .collect();
+            RecallCurve {
+                algorithm: name.to_string(),
+                variant: params.label.to_string(),
+                points,
+            }
+        })
+        .collect()
+}
+
+fn require<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+    j.get(key)
+        .ok_or_else(|| format!("{ctx}: missing key {key:?}"))
+}
+
+fn require_num(j: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    require(j, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: key {key:?} is not a number"))
+}
+
+/// Validates an emitted `BENCH_*.json` document: parses it and checks
+/// every key the schema promises, so a CI smoke run fails loudly when
+/// the emitter and this contract drift apart.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    for key in ["name", "docs", "k", "queries_per_cell", "terms_per_query"] {
+        require(&doc, key, "report")?;
+    }
+    let version = require_num(&doc, "schema_version", "report")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let cells = require(&doc, "cells", "report")?
+        .as_arr()
+        .ok_or("report: cells is not an array")?;
+    if cells.is_empty() {
+        return Err("report: cells is empty".into());
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let ctx = format!("cell {i}");
+        for key in ["algorithm", "variant"] {
+            require(cell, key, &ctx)?
+                .as_str()
+                .ok_or_else(|| format!("{ctx}: key {key:?} is not a string"))?;
+        }
+        for key in ["threads", "queries", "mean_recall"] {
+            require_num(cell, key, &ctx)?;
+        }
+        let lat = require(cell, "latency_ms", &ctx)?;
+        for key in ["mean", "p50", "p95", "p99"] {
+            require_num(lat, key, &format!("{ctx} latency_ms"))?;
+        }
+        let work = require(cell, "work", &ctx)?;
+        for key in [
+            "postings_scanned",
+            "random_accesses",
+            "heap_updates",
+            "docmap_peak",
+            "cleaner_passes",
+            "jobs_panicked",
+            "docmap_final",
+            "timeout_stops",
+        ] {
+            require_num(work, key, &format!("{ctx} work"))?;
+        }
+        let exec = require(cell, "exec", &ctx)?;
+        for key in [
+            "workers",
+            "jobs_run",
+            "jobs_panicked",
+            "busy_ns",
+            "idle_ns",
+            "idle_ratio",
+            "queue_depth_highwater",
+            "queries_run",
+        ] {
+            require_num(exec, key, &format!("{ctx} exec"))?;
+        }
+        let job_ns = require(exec, "job_ns", &format!("{ctx} exec"))?;
+        for key in ["count", "sum", "mean", "p50", "p99"] {
+            require_num(job_ns, key, &format!("{ctx} exec job_ns"))?;
+        }
+    }
+    let curves = require(&doc, "recall_curves", "report")?
+        .as_arr()
+        .ok_or("report: recall_curves is not an array")?;
+    for (i, curve) in curves.iter().enumerate() {
+        let ctx = format!("recall_curve {i}");
+        require(curve, "algorithm", &ctx)?;
+        require(curve, "variant", &ctx)?;
+        let points = require(curve, "points", &ctx)?
+            .as_arr()
+            .ok_or_else(|| format!("{ctx}: points is not an array"))?;
+        for p in points {
+            require_num(p, "ms", &ctx)?;
+            require_num(p, "recall", &ctx)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        BenchReport {
+            name: "unit".into(),
+            docs: 100,
+            k: 5,
+            queries_per_cell: 1,
+            terms_per_query: 2,
+            cells: vec![BenchCell {
+                algorithm: "sparta".into(),
+                variant: "exact".into(),
+                threads: 2,
+                queries: 1,
+                stats: LatencyStats {
+                    sorted: vec![Duration::from_millis(3)],
+                    mean_recall: 1.0,
+                    work: WorkStats::default(),
+                    exec: ExecSnapshot::default(),
+                },
+            }],
+            recall_curves: vec![RecallCurve {
+                algorithm: "sparta".into(),
+                variant: "exact".into(),
+                points: vec![(0.5, 0.4), (1.0, 1.0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_json_validates() {
+        let r = tiny_report();
+        validate_bench_json(&r.to_json().to_pretty_string(2)).unwrap();
+        validate_bench_json(&r.to_json().to_string()).unwrap();
+    }
+
+    #[test]
+    fn validation_catches_missing_keys() {
+        let mut j = tiny_report().to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "cells");
+        }
+        let err = validate_bench_json(&j.to_string()).unwrap_err();
+        assert!(err.contains("cells"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validation_catches_malformed_cell() {
+        let mut j = tiny_report().to_json();
+        if let Some(Json::Arr(cells)) = match &mut j {
+            Json::Obj(pairs) => pairs.iter_mut().find(|(k, _)| k == "cells").map(|(_, v)| v),
+            _ => None,
+        } {
+            if let Json::Obj(cell) = &mut cells[0] {
+                cell.retain(|(k, _)| k != "exec");
+            }
+        }
+        let err = validate_bench_json(&j.to_string()).unwrap_err();
+        assert!(err.contains("exec"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn write_to_names_file_after_report() {
+        let dir = std::env::temp_dir().join(format!("sparta-bench-export-{}", std::process::id()));
+        let path = tiny_report().write_to(&dir).unwrap();
+        assert!(path.ends_with("BENCH_unit.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate_bench_json(&text).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -16,9 +16,11 @@
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
 pub mod dataset;
+pub mod export;
 pub mod measure;
 pub mod variants;
 
 pub use dataset::{Dataset, Scale};
+pub use export::{validate_bench_json, BenchCell, BenchReport, RecallCurve};
 pub use measure::{percentile, LatencyStats};
 pub use variants::VariantParams;

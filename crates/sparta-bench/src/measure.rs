@@ -7,6 +7,7 @@ use sparta_core::result::WorkStats;
 use sparta_core::Algorithm;
 use sparta_corpus::types::Query;
 use sparta_exec::{DedicatedExecutor, WorkerPool};
+use sparta_obs::{ExecMetrics, ExecSnapshot};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -20,6 +21,8 @@ pub struct LatencyStats {
     pub mean_recall: f64,
     /// Summed work counters.
     pub work: WorkStats,
+    /// Executor-side metrics aggregated over the batch.
+    pub exec: ExecSnapshot,
 }
 
 impl LatencyStats {
@@ -56,7 +59,8 @@ pub fn run_latency(
     threads: usize,
     measure_recall: bool,
 ) -> LatencyStats {
-    let exec = DedicatedExecutor::new(threads.max(1));
+    let metrics = ExecMetrics::new(threads.max(1));
+    let exec = DedicatedExecutor::instrumented(threads.max(1), Arc::clone(&metrics));
     let cfg = params.config(ds.k);
     let mut sorted = Vec::with_capacity(queries.len());
     let mut recall_sum = 0.0;
@@ -70,17 +74,14 @@ pub fn run_latency(
         } else {
             recall_sum += 1.0;
         }
-        work.postings_scanned += r.work.postings_scanned;
-        work.random_accesses += r.work.random_accesses;
-        work.heap_updates += r.work.heap_updates;
-        work.docmap_peak = work.docmap_peak.max(r.work.docmap_peak);
-        work.cleaner_passes += r.work.cleaner_passes;
+        work.merge(&r.work);
     }
     sorted.sort();
     LatencyStats {
         mean_recall: recall_sum / queries.len().max(1) as f64,
         sorted,
         work,
+        exec: metrics.snapshot(),
     }
 }
 
@@ -97,7 +98,7 @@ pub fn run_throughput(
     let pool = Arc::new(WorkerPool::new(pool_threads));
     let cfg = params.config(ds.k);
     let next = AtomicUsize::new(0);
-    let drivers = pool_threads.min(4).max(2);
+    let drivers = pool_threads.clamp(2, 4);
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..drivers {
@@ -149,6 +150,7 @@ mod tests {
             sorted: vec![Duration::from_millis(10), Duration::from_millis(30)],
             mean_recall: 1.0,
             work: WorkStats::default(),
+            exec: ExecSnapshot::default(),
         };
         assert_eq!(s.mean(), Duration::from_millis(20));
     }

@@ -1,0 +1,76 @@
+//! End-to-end check of the `BENCH_*.json` emitter on a tiny dataset:
+//! builds a real report (real index, real searches, instrumented
+//! executors), serializes it, and asserts the schema contract the CI
+//! smoke job relies on.
+
+use sparta_bench::export::build_report;
+use sparta_bench::{validate_bench_json, Dataset, Scale, VariantParams};
+use sparta_obs::json;
+
+#[test]
+fn emitted_report_parses_with_expected_keys() {
+    // This integration test owns its process, so scaling the corpus
+    // via the environment cannot race other tests.
+    std::env::set_var("SPARTA_DOCS", "1500");
+    std::env::set_var("SPARTA_K", "10");
+    let ds = Dataset::build(Scale::Cw);
+    let report = build_report(
+        &ds,
+        "unit",
+        &["sparta", "pbmw"],
+        &[VariantParams::exact()],
+        &[1, 2],
+        2,
+        3,
+    );
+    assert_eq!(
+        report.cells.len(),
+        4,
+        "2 algorithms × 1 variant × 2 thread counts"
+    );
+    assert_eq!(report.recall_curves.len(), 2);
+
+    let text = report.to_json().to_pretty_string(2);
+    validate_bench_json(&text).expect("schema validates");
+
+    let doc = json::parse(&text).expect("emitted JSON parses");
+    assert_eq!(doc.get("name").unwrap().as_str(), Some("unit"));
+    assert_eq!(doc.get("docs").unwrap().as_f64(), Some(1500.0));
+    assert_eq!(doc.get("k").unwrap().as_f64(), Some(10.0));
+
+    let cells = doc.get("cells").unwrap().as_arr().unwrap();
+    for cell in cells {
+        // Exact runs on this corpus must report perfect recall and a
+        // live executor: jobs were actually run and timed.
+        assert_eq!(cell.get("mean_recall").unwrap().as_f64(), Some(1.0));
+        let exec = cell.get("exec").unwrap();
+        assert!(exec.get("jobs_run").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(exec.get("jobs_panicked").unwrap().as_f64(), Some(0.0));
+        assert_eq!(exec.get("queries_run").unwrap().as_f64(), Some(2.0));
+        let job_ns = exec.get("job_ns").unwrap();
+        assert_eq!(
+            job_ns.get("count").unwrap().as_f64(),
+            exec.get("jobs_run").unwrap().as_f64()
+        );
+        let idle = exec.get("idle_ratio").unwrap().as_f64().unwrap();
+        assert!(
+            (0.0..=1.0).contains(&idle),
+            "idle_ratio {idle} out of range"
+        );
+        let work = cell.get("work").unwrap();
+        assert!(work.get("postings_scanned").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    for curve in doc.get("recall_curves").unwrap().as_arr().unwrap() {
+        let points = curve.get("points").unwrap().as_arr().unwrap();
+        assert!(!points.is_empty(), "traced run produced no samples");
+        let final_recall = points
+            .last()
+            .unwrap()
+            .get("recall")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert_eq!(final_recall, 1.0, "exact traced run ends at full recall");
+    }
+}

@@ -1,5 +1,6 @@
 //! Search configuration and the paper's variant parameterization.
 
+use sparta_obs::ClockMode;
 use std::time::Duration;
 
 /// Parameters of one top-k search.
@@ -35,6 +36,14 @@ pub struct SearchConfig {
     /// that are unlikely (rather than unable) to qualify, trading
     /// recall for convergence speed. `None` ⇒ safe.
     pub prune_gamma: Option<f64>,
+    /// Record phase spans (plan, term processing, cleaner passes, heap
+    /// merge) into [`TopKResult::spans`](crate::TopKResult). Disabled
+    /// spans cost one branch per instrumentation site.
+    pub spans: bool,
+    /// Clock the trace/span sinks stamp events with. The wall clock is
+    /// the default; the logical clock makes traces bit-identical under
+    /// the deterministic executor.
+    pub clock: ClockMode,
 }
 
 impl SearchConfig {
@@ -49,6 +58,8 @@ impl SearchConfig {
             jass_p: 1.0,
             trace: false,
             prune_gamma: None,
+            spans: false,
+            clock: ClockMode::Wall,
         }
     }
 
@@ -110,6 +121,18 @@ impl SearchConfig {
     /// Builder: enables heap tracing.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Builder: enables phase-span recording.
+    pub fn with_spans(mut self, spans: bool) -> Self {
+        self.spans = spans;
+        self
+    }
+
+    /// Builder: sets the trace/span clock.
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
         self
     }
 

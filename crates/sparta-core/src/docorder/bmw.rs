@@ -64,6 +64,7 @@ impl Algorithm for SeqBmw {
             elapsed: start.elapsed(),
             work,
             trace: trace.into_events(),
+            spans: None,
         }
     }
 }

@@ -121,6 +121,7 @@ impl Algorithm for MaxScore {
             elapsed: start.elapsed(),
             work,
             trace: trace.into_events(),
+            spans: None,
         }
     }
 }

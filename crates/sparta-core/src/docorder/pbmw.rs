@@ -22,6 +22,7 @@ use sparta_collections::BoundedTopK;
 use sparta_corpus::types::{DocId, Query};
 use sparta_exec::{Executor, JobQueue};
 use sparta_index::Index;
+use sparta_obs::{Phase, QueryTrace};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,6 +38,7 @@ struct Shared {
     merged: Mutex<BoundedTopK<DocId>>,
     work: Mutex<WorkStats>,
     trace: TraceSink,
+    spans: QueryTrace,
 }
 
 impl Algorithm for PBmw {
@@ -58,13 +60,15 @@ impl Algorithm for PBmw {
                 elapsed: start.elapsed(),
                 work: WorkStats::default(),
                 trace: cfg.trace.then(Vec::new),
+                spans: cfg.spans.then(Vec::new),
             };
         }
         let shared = Arc::new(Shared {
             theta: AtomicU64::new(0),
             merged: Mutex::new(BoundedTopK::new(cfg.k.max(1))),
             work: Mutex::new(WorkStats::default()),
-            trace: TraceSink::new(cfg.trace),
+            trace: TraceSink::with_clock(cfg.trace, cfg.clock),
+            spans: QueryTrace::new(cfg.spans, cfg.clock),
         });
         // Twice as many equal ranges as workers (§5.2.1) — "this
         // partition results in well-balanced executions".
@@ -72,6 +76,7 @@ impl Algorithm for PBmw {
         let n = index.num_docs().max(1);
         let queue = JobQueue::new();
         let cfg = *cfg;
+        let plan = shared.spans.span(Phase::Plan);
         for j in 0..jobs {
             let lo = (n * j / jobs) as DocId;
             let hi = (n * (j + 1) / jobs) as DocId;
@@ -82,11 +87,14 @@ impl Algorithm for PBmw {
             let index = Arc::clone(index);
             let terms = query.terms.clone();
             queue.push(Box::new(move || {
+                let _span = shared.spans.span(Phase::RangeScan);
                 run_range(&shared, &index, &terms, &cfg, lo, hi);
             }));
         }
+        drop(plan);
         exec.run(queue);
 
+        let merge_span = shared.spans.span(Phase::HeapMerge);
         let hits = finalize_hits(
             shared
                 .merged
@@ -100,6 +108,7 @@ impl Algorithm for PBmw {
                 .collect(),
             cfg.k,
         );
+        drop(merge_span);
         let work = *shared.work.lock();
         let shared = Arc::into_inner(shared).expect("all range jobs drained");
         TopKResult {
@@ -107,6 +116,7 @@ impl Algorithm for PBmw {
             elapsed: start.elapsed(),
             work,
             trace: shared.trace.into_events(),
+            spans: shared.spans.into_spans(),
         }
     }
 }

@@ -168,6 +168,7 @@ impl Algorithm for Wand {
             elapsed: start.elapsed(),
             work,
             trace: trace.into_events(),
+            spans: None,
         }
     }
 }

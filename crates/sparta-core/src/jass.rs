@@ -96,6 +96,7 @@ impl Algorithm for Jass {
             elapsed: start.elapsed(),
             work,
             trace: trace.into_events(),
+            spans: None,
         }
     }
 }

@@ -25,6 +25,7 @@ use sparta_collections::{BoundedTopK, ShardedCounter, StripedMap};
 use sparta_corpus::types::{DocId, Query};
 use sparta_exec::{Executor, JobQueue};
 use sparta_index::{Index, ScoreCursor};
+use sparta_obs::{Phase, QueryTrace};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,6 +41,7 @@ struct State {
     budget: u64,
     done: AtomicBool,
     trace: TraceSink,
+    spans: QueryTrace,
     /// Trace-only instrumentation: a small heap fed by accumulator
     /// updates so recall dynamics can be replayed. pJASS itself builds
     /// its heap only at the end; this exists only when tracing.
@@ -57,6 +59,7 @@ fn process_term(state: Arc<State>, queue: Arc<JobQueue>, mut cursor: Box<dyn Sco
     if state.is_done() {
         return;
     }
+    let seg_span = state.spans.span(Phase::TermProcess);
     let mut exhausted = false;
     for _ in 0..state.cfg.seg_size {
         if state.is_done() {
@@ -79,6 +82,7 @@ fn process_term(state: Arc<State>, queue: Arc<JobQueue>, mut cursor: Box<dyn Sco
             return;
         }
     }
+    drop(seg_span); // the guard borrows `state`, which the continuation moves
     if !exhausted && !state.is_done() {
         let q = Arc::clone(&queue);
         queue.push(Box::new(move || process_term(state, q, cursor)));
@@ -105,19 +109,24 @@ impl Algorithm for PJass {
             scanned: ShardedCounter::new(),
             budget: posting_budget(total, cfg.jass_p),
             done: AtomicBool::new(false),
-            trace: TraceSink::new(cfg.trace),
+            trace: TraceSink::with_clock(cfg.trace, cfg.clock),
+            spans: QueryTrace::new(cfg.spans, cfg.clock),
             trace_heap: cfg.trace.then(|| SharedHeap::new(cfg.k.max(1))),
         });
         let queue = JobQueue::new();
-        for &t in &query.terms {
-            let cursor = open_cursor(index, t);
-            let st = Arc::clone(&state);
-            let q = Arc::clone(&queue);
-            queue.push(Box::new(move || process_term(st, q, cursor)));
+        {
+            let _plan = state.spans.span(Phase::Plan);
+            for &t in &query.terms {
+                let cursor = open_cursor(index, t);
+                let st = Arc::clone(&state);
+                let q = Arc::clone(&queue);
+                queue.push(Box::new(move || process_term(st, q, cursor)));
+            }
         }
         exec.run(Arc::clone(&queue));
 
         // Final selection over the accumulator table.
+        let merge_span = state.spans.span(Phase::HeapMerge);
         let mut heap = BoundedTopK::new(cfg.k.max(1));
         state.acc.for_each(|&d, s| {
             heap.offer(s.load(Ordering::Acquire), d);
@@ -132,6 +141,7 @@ impl Algorithm for PJass {
                 .collect(),
             cfg.k,
         );
+        drop(merge_span);
         let work = WorkStats {
             postings_scanned: state.scanned.get(),
             random_accesses: 0,
@@ -148,6 +158,7 @@ impl Algorithm for PJass {
             elapsed: start.elapsed(),
             work,
             trace: state.trace.into_events(),
+            spans: state.spans.into_spans(),
         }
     }
 }

@@ -20,6 +20,7 @@ use sparta_collections::{ShardedCounter, StripedMap};
 use sparta_corpus::types::{DocId, Query};
 use sparta_exec::{Executor, JobQueue};
 use sparta_index::{Index, ScoreCursor};
+use sparta_obs::{Phase, QueryTrace};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -36,6 +37,7 @@ struct State {
     doc_map: StripedMap<DocId, Arc<DocType>>,
     done: AtomicBool,
     trace: TraceSink,
+    spans: QueryTrace,
     postings: ShardedCounter,
     docmap_peak: AtomicU64,
 }
@@ -61,6 +63,7 @@ fn process_term(
     if state.is_done() {
         return;
     }
+    let seg_span = state.spans.span(Phase::TermProcess);
     let mut exhausted = false;
     for _ in 0..state.cfg.seg_size {
         if state.is_done() {
@@ -86,6 +89,7 @@ fn process_term(
             }
         }
     }
+    drop(seg_span); // the guard borrows `state`, which the continuation moves
     if exhausted {
         state.ub.exhaust(i);
     } else if !state.is_done() {
@@ -100,6 +104,7 @@ fn stop_checker(state: Arc<State>, queue: Arc<JobQueue>) {
     if state.is_done() {
         return;
     }
+    let check_span = state.spans.span(Phase::StopCheck);
     state
         .docmap_peak
         .fetch_max(state.doc_map.len() as u64, Ordering::Relaxed);
@@ -125,6 +130,7 @@ fn stop_checker(state: Arc<State>, queue: Arc<JobQueue>) {
         });
         stop = ok;
     }
+    drop(check_span); // the guard borrows `state`, which the re-enqueue moves
     if stop {
         state.done.store(true, Ordering::Release);
     } else {
@@ -153,6 +159,7 @@ impl Algorithm for PNra {
                 elapsed: start.elapsed(),
                 work: WorkStats::default(),
                 trace: cfg.trace.then(Vec::new),
+                spans: cfg.spans.then(Vec::new),
             };
         }
         let state = Arc::new(State {
@@ -162,26 +169,30 @@ impl Algorithm for PNra {
             heap: SpartaHeap::new(cfg.k),
             doc_map: StripedMap::new(),
             done: AtomicBool::new(false),
-            trace: TraceSink::new(cfg.trace),
+            trace: TraceSink::with_clock(cfg.trace, cfg.clock),
+            spans: QueryTrace::new(cfg.spans, cfg.clock),
             postings: ShardedCounter::new(),
             docmap_peak: AtomicU64::new(0),
         });
         let queue = JobQueue::new();
-        for (i, &t) in query.terms.iter().enumerate() {
-            let cursor = open_cursor(index, t);
-            let st = Arc::clone(&state);
-            let q = Arc::clone(&queue);
-            queue.push(Box::new(move || process_term(st, q, i, cursor)));
-        }
         {
+            let _plan = state.spans.span(Phase::Plan);
+            for (i, &t) in query.terms.iter().enumerate() {
+                let cursor = open_cursor(index, t);
+                let st = Arc::clone(&state);
+                let q = Arc::clone(&queue);
+                queue.push(Box::new(move || process_term(st, q, i, cursor)));
+            }
             let st = Arc::clone(&state);
             let q = Arc::clone(&queue);
             queue.push(Box::new(move || stop_checker(st, q)));
         }
         exec.run(Arc::clone(&queue));
 
+        let merge = state.spans.span(Phase::HeapMerge);
         let mut hits = state.heap.sorted_hits();
         hits.truncate(cfg.k);
+        drop(merge);
         let work = WorkStats {
             postings_scanned: state.postings.get(),
             random_accesses: 0,
@@ -201,6 +212,7 @@ impl Algorithm for PNra {
             elapsed: start.elapsed(),
             work,
             trace: state.trace.into_events(),
+            spans: state.spans.into_spans(),
         }
     }
 }

@@ -131,6 +131,7 @@ impl Algorithm for PRa {
                 elapsed: start.elapsed(),
                 work: WorkStats::default(),
                 trace: cfg.trace.then(Vec::new),
+                spans: None,
             };
         }
         let state = Arc::new(State {
@@ -179,6 +180,7 @@ impl Algorithm for PRa {
             elapsed: start.elapsed(),
             work,
             trace: state.trace.into_events(),
+            spans: None,
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::trace::TraceEvent;
 use sparta_corpus::types::DocId;
+use sparta_obs::SpanEvent;
 use std::time::Duration;
 
 /// One retrieved document.
@@ -50,6 +51,42 @@ pub struct WorkStats {
     pub timeout_stops: u64,
 }
 
+impl WorkStats {
+    /// Folds another query's work into this one: counters add
+    /// (saturating, so fault-injection storms cannot overflow) and
+    /// `docmap_peak` takes the maximum. Both operations are
+    /// associative and commutative, so aggregating a batch of queries
+    /// gives the same totals in any grouping or order.
+    pub fn merge(&mut self, other: &WorkStats) {
+        self.postings_scanned = self.postings_scanned.saturating_add(other.postings_scanned);
+        self.random_accesses = self.random_accesses.saturating_add(other.random_accesses);
+        self.heap_updates = self.heap_updates.saturating_add(other.heap_updates);
+        self.docmap_peak = self.docmap_peak.max(other.docmap_peak);
+        self.cleaner_passes = self.cleaner_passes.saturating_add(other.cleaner_passes);
+        self.jobs_panicked = self.jobs_panicked.saturating_add(other.jobs_panicked);
+        self.docmap_final = self.docmap_final.saturating_add(other.docmap_final);
+        self.timeout_stops = self.timeout_stops.saturating_add(other.timeout_stops);
+    }
+}
+
+impl std::fmt::Display for WorkStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "postings={} random={} heap={} docmap_peak={} cleaner={} \
+             panicked={} docmap_final={} timeouts={}",
+            self.postings_scanned,
+            self.random_accesses,
+            self.heap_updates,
+            self.docmap_peak,
+            self.cleaner_passes,
+            self.jobs_panicked,
+            self.docmap_final,
+            self.timeout_stops,
+        )
+    }
+}
+
 /// The outcome of one top-k search.
 #[derive(Debug, Clone)]
 pub struct TopKResult {
@@ -62,6 +99,9 @@ pub struct TopKResult {
     /// Heap trace, when requested via
     /// [`SearchConfig::trace`](crate::SearchConfig).
     pub trace: Option<Vec<TraceEvent>>,
+    /// Phase spans (plan / term processing / cleaner / heap merge …),
+    /// when requested via [`SearchConfig::spans`](crate::SearchConfig).
+    pub spans: Option<Vec<SpanEvent>>,
 }
 
 impl TopKResult {
@@ -111,8 +151,78 @@ mod tests {
             elapsed: Duration::from_millis(1),
             work: WorkStats::default(),
             trace: None,
+            spans: None,
         };
         assert_eq!(r.docs(), vec![7]);
         assert_eq!(r.scores(), vec![9]);
+    }
+
+    fn stats(seed: u64) -> WorkStats {
+        WorkStats {
+            postings_scanned: seed,
+            random_accesses: seed.wrapping_mul(3),
+            heap_updates: seed.wrapping_mul(5) % 97,
+            docmap_peak: seed % 13,
+            cleaner_passes: seed % 7,
+            jobs_panicked: seed % 3,
+            docmap_final: seed % 11,
+            timeout_stops: seed % 2,
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let (a, b, c) = (stats(17), stats(404), stats(9001));
+        // (a ⊕ b) ⊕ c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+        // b ⊕ a == a ⊕ b
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+    }
+
+    #[test]
+    fn merge_saturates_and_maxes_peak() {
+        let mut a = WorkStats {
+            postings_scanned: u64::MAX - 1,
+            docmap_peak: 10,
+            ..Default::default()
+        };
+        let b = WorkStats {
+            postings_scanned: 5,
+            docmap_peak: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.postings_scanned, u64::MAX);
+        assert_eq!(a.docmap_peak, 10, "peak is a max, not a sum");
+    }
+
+    #[test]
+    fn workstats_display_names_every_counter() {
+        let s = stats(42);
+        let text = s.to_string();
+        for key in [
+            "postings=",
+            "random=",
+            "heap=",
+            "docmap_peak=",
+            "cleaner=",
+            "panicked=",
+            "docmap_final=",
+            "timeouts=",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
     }
 }

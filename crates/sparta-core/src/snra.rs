@@ -25,6 +25,7 @@ use sparta_corpus::types::Query;
 use sparta_exec::{Executor, JobQueue};
 use sparta_index::cursor::SliceScoreCursor;
 use sparta_index::{Index, Posting, ScoreCursor};
+use sparta_obs::{Phase, QueryTrace};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -110,7 +111,8 @@ impl Algorithm for SNra {
         // Shard construction models offline pre-partitioning; latency
         // measurement starts here, matching the paper's methodology.
         let start = Instant::now();
-        let trace = Arc::new(TraceSink::new(cfg.trace));
+        let trace = Arc::new(TraceSink::with_clock(cfg.trace, cfg.clock));
+        let spans = Arc::new(QueryTrace::new(cfg.spans, cfg.clock));
         let results: Arc<Vec<ShardResult>> = Arc::new(
             (0..p)
                 .map(|_| Mutex::new((Vec::new(), WorkStats::default())))
@@ -118,19 +120,24 @@ impl Algorithm for SNra {
         );
         let queue = JobQueue::new();
         let cfg_shard = *cfg;
+        let plan = spans.span(Phase::Plan);
         for s in 0..p {
             let sharded = Arc::clone(&sharded);
             let results = Arc::clone(&results);
             let trace = Arc::clone(&trace);
+            let spans = Arc::clone(&spans);
             queue.push(Box::new(move || {
+                let _span = spans.span(Phase::ShardSearch);
                 let cursors = sharded.cursors(s);
                 let (hits, work) = run_nra(cursors, &cfg_shard, &trace);
                 *results[s].lock() = (hits, work);
             }));
         }
+        drop(plan);
         exec.run(queue);
 
         // Merge: global top-k over the shards' local top-k lists.
+        let merge_span = spans.span(Phase::HeapMerge);
         let mut merged = BoundedTopK::new(cfg.k);
         let mut work = WorkStats::default();
         for cell in results.iter() {
@@ -155,12 +162,15 @@ impl Algorithm for SNra {
                 .collect(),
             cfg.k,
         );
+        drop(merge_span);
         let trace = Arc::into_inner(trace).expect("all shard jobs drained");
+        let spans = Arc::into_inner(spans).expect("all shard jobs drained");
         TopKResult {
             hits,
             elapsed: start.elapsed(),
             work,
             trace: trace.into_events(),
+            spans: spans.into_spans(),
         }
     }
 }

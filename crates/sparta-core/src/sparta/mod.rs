@@ -42,6 +42,7 @@ use sparta_collections::{ShardedCounter, StripedMap, SwapCell};
 use sparta_corpus::types::{DocId, Query, TermId};
 use sparta_exec::{Executor, JobQueue};
 use sparta_index::{Index, ScoreCursor};
+use sparta_obs::{Phase, QueryTrace};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -61,6 +62,7 @@ struct State {
     done: AtomicBool,
     cleaner_scheduled: AtomicBool,
     trace: TraceSink,
+    spans: QueryTrace,
     postings: ShardedCounter,
     docmap_peak: AtomicU64,
     cleaner_passes: AtomicU64,
@@ -77,7 +79,8 @@ impl State {
             doc_map: SwapCell::new(StripedMap::new()),
             done: AtomicBool::new(false),
             cleaner_scheduled: AtomicBool::new(false),
-            trace: TraceSink::new(cfg.trace),
+            trace: TraceSink::with_clock(cfg.trace, cfg.clock),
+            spans: QueryTrace::new(cfg.spans, cfg.clock),
             postings: ShardedCounter::new(),
             docmap_peak: AtomicU64::new(0),
             cleaner_passes: AtomicU64::new(0),
@@ -125,6 +128,7 @@ fn process_term(
     if state.is_done() {
         return;
     }
+    let seg_span = state.spans.span(Phase::TermProcess);
     // Lines 9–12: once the shrinking docMap is small, build the local
     // replica of the entries still missing this term's score.
     if term_map.is_none() && state.ub_stop() {
@@ -191,6 +195,7 @@ fn process_term(
             .fetch_max(map.len() as u64, Ordering::Relaxed);
     }
     state.maybe_schedule_cleaner(&queue);
+    drop(seg_span); // the guard borrows `state`, which the continuation moves
     if !exhausted && !state.is_done() {
         // Line 25: enqueue the next segment of the same list.
         let q = Arc::clone(&queue);
@@ -205,6 +210,7 @@ fn cleaner(state: Arc<State>, queue: Arc<JobQueue>) {
     if state.is_done() {
         return;
     }
+    let pass_span = state.spans.span(Phase::Cleaner);
     state.cleaner_passes.fetch_add(1, Ordering::Relaxed);
     let cur = state.doc_map.load();
     let theta = state.heap.theta();
@@ -264,6 +270,7 @@ fn cleaner(state: Arc<State>, queue: Arc<JobQueue>) {
     // holds (exhausted lists zero their UB, which prunes every
     // non-member), so it never changes exact results.
     let starved = queue.outstanding() <= 1;
+    drop(pass_span); // the guard borrows `state`, which the re-enqueue moves
     if eq2 || timed_out || starved {
         if timed_out && !eq2 {
             // The Δ budget (approximate variant) fired before Eq. 2.
@@ -296,20 +303,26 @@ impl Algorithm for Sparta {
                 elapsed: start.elapsed(),
                 work: WorkStats::default(),
                 trace: cfg.trace.then(Vec::new),
+                spans: cfg.spans.then(Vec::new),
             };
         }
         let state = Arc::new(State::new(m, *cfg));
         let queue = JobQueue::new();
-        for (i, &t) in query.terms.iter().enumerate() {
-            let cursor = open_cursor(index, t);
-            let st = Arc::clone(&state);
-            let q = Arc::clone(&queue);
-            queue.push(Box::new(move || process_term(st, q, i, cursor, None)));
+        {
+            let _plan = state.spans.span(Phase::Plan);
+            for (i, &t) in query.terms.iter().enumerate() {
+                let cursor = open_cursor(index, t);
+                let st = Arc::clone(&state);
+                let q = Arc::clone(&queue);
+                queue.push(Box::new(move || process_term(st, q, i, cursor, None)));
+            }
         }
         exec.run(Arc::clone(&queue));
 
+        let merge = state.spans.span(Phase::HeapMerge);
         let mut hits = state.heap.sorted_hits();
         hits.truncate(cfg.k);
+        drop(merge);
         let work = WorkStats {
             postings_scanned: state.postings.get(),
             random_accesses: 0,
@@ -326,6 +339,7 @@ impl Algorithm for Sparta {
             elapsed: start.elapsed(),
             work,
             trace: state.trace.into_events(),
+            spans: state.spans.into_spans(),
         }
     }
 }
@@ -504,6 +518,36 @@ mod tests {
     #[should_panic(expected = "γ must be in (0, 1]")]
     fn invalid_gamma_rejected() {
         let _ = SearchConfig::exact(10).with_prune_gamma(1.5);
+    }
+
+    #[test]
+    fn spans_cover_every_phase() {
+        let ix = pseudo_index(5000, 4, 23);
+        let q = Query::new(vec![0, 1, 2, 3]);
+        let cfg = SearchConfig::exact(10)
+            .with_seg_size(128)
+            .with_phi(512)
+            .with_spans(true);
+        let r = Sparta.search(&ix, &q, &cfg, &DedicatedExecutor::new(4));
+        let spans = r.spans.expect("spans enabled");
+        let phases: std::collections::HashSet<Phase> = spans.iter().map(|s| s.phase).collect();
+        for phase in [
+            Phase::Plan,
+            Phase::TermProcess,
+            Phase::Cleaner,
+            Phase::HeapMerge,
+        ] {
+            assert!(phases.contains(&phase), "missing {phase:?} span");
+        }
+        assert!(spans.iter().all(|s| s.end >= s.start));
+        // Disabled by default: no spans vector at all.
+        let r = Sparta.search(
+            &ix,
+            &q,
+            &SearchConfig::exact(10),
+            &DedicatedExecutor::new(2),
+        );
+        assert!(r.spans.is_none());
     }
 
     #[test]

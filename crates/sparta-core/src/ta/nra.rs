@@ -142,6 +142,7 @@ impl Algorithm for SeqNra {
             elapsed: start.elapsed(),
             work,
             trace: trace.into_events(),
+            spans: None,
         }
     }
 }

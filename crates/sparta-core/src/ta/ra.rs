@@ -113,6 +113,7 @@ impl Algorithm for SeqRa {
             elapsed: start.elapsed(),
             work,
             trace: trace.into_events(),
+            spans: None,
         }
     }
 }

@@ -10,8 +10,9 @@
 
 use parking_lot::Mutex;
 use sparta_corpus::types::DocId;
+use sparta_obs::{ClockMode, ObsClock};
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One candidate event: at `at` (since query start), `doc`'s tracked
 /// score became `score`.
@@ -26,16 +27,28 @@ pub struct TraceEvent {
 }
 
 /// A concurrent event sink. Disabled sinks are free (one branch).
+///
+/// Timestamps come from an injectable [`ObsClock`]: the default is
+/// wall-clock nanoseconds since the sink was created (comparable to
+/// measured latencies), while [`ClockMode::Logical`] stamps events
+/// with a monotone step counter, so a trace replayed under the
+/// deterministic executor is bit-identical for a given seed.
 pub struct TraceSink {
-    start: Instant,
+    clock: ObsClock,
     events: Option<Mutex<Vec<TraceEvent>>>,
 }
 
 impl TraceSink {
-    /// Creates a sink; `enabled = false` makes `record` a no-op.
+    /// Creates a wall-clock sink; `enabled = false` makes `record` a
+    /// no-op.
     pub fn new(enabled: bool) -> Self {
+        Self::with_clock(enabled, ClockMode::Wall)
+    }
+
+    /// Creates a sink recording against the given clock mode.
+    pub fn with_clock(enabled: bool, mode: ClockMode) -> Self {
         Self {
-            start: Instant::now(),
+            clock: ObsClock::new(mode),
             events: enabled.then(|| Mutex::new(Vec::new())),
         }
     }
@@ -45,25 +58,27 @@ impl TraceSink {
         self.events.is_some()
     }
 
-    /// The instant the sink (≈ the query) started.
-    pub fn start(&self) -> Instant {
-        self.start
+    /// The clock events are stamped with.
+    pub fn clock(&self) -> &ObsClock {
+        &self.clock
     }
 
     /// Records `doc` reaching `score`.
     #[inline]
     pub fn record(&self, doc: DocId, score: u64) {
         if let Some(events) = &self.events {
-            let at = self.start.elapsed();
+            let at = self.clock.tick_duration();
             events.lock().push(TraceEvent { at, doc, score });
         }
     }
 
-    /// Extracts the recorded events, sorted by time.
+    /// Extracts the recorded events, sorted by time (under a logical
+    /// clock ticks are unique, so the order is total and the sorted
+    /// vector deterministic for a deterministic schedule).
     pub fn into_events(self) -> Option<Vec<TraceEvent>> {
         self.events.map(|m| {
             let mut v = m.into_inner();
-            v.sort_by_key(|e| e.at);
+            v.sort_by_key(|e| (e.at, e.doc, e.score));
             v
         })
     }
@@ -187,6 +202,22 @@ mod tests {
             f64::from(u32::from(docs[0] == 2))
         });
         assert_eq!(curve[0].1, 1.0);
+    }
+
+    #[test]
+    fn logical_clock_sink_replays_identically() {
+        let run = || {
+            let s = TraceSink::with_clock(true, ClockMode::Logical);
+            for i in 0..10u32 {
+                s.record(i, u64::from(i) * 3);
+            }
+            s.into_events().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "logical-clock traces must be bit-identical");
+        assert_eq!(a[0].at, Duration::from_nanos(0));
+        assert_eq!(a[9].at, Duration::from_nanos(9));
     }
 
     #[test]

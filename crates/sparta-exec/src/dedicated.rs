@@ -1,37 +1,81 @@
 //! Latency-mode executor: one query owns the whole thread pool.
 
 use crate::{Executor, JobQueue};
+use sparta_obs::ExecMetrics;
 use std::sync::Arc;
 
 /// Spawns `threads` scoped worker threads for each query ("When
 /// testing latency, the entire thread pool is used by a single query",
 /// §5.1). With `threads == 1` the query runs on the calling thread —
 /// the sequential baselines of Figures 3h/3i.
-#[derive(Debug, Clone, Copy)]
+///
+/// Metrics are opt-in via [`DedicatedExecutor::instrumented`]: the
+/// plain constructor runs the uninstrumented worker loop, which does
+/// no timing work at all.
+#[derive(Debug, Clone)]
 pub struct DedicatedExecutor {
     threads: usize,
+    metrics: Option<Arc<ExecMetrics>>,
 }
 
 impl DedicatedExecutor {
     /// Creates an executor with `threads ≥ 1` workers per query.
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1);
-        Self { threads }
+        Self {
+            threads,
+            metrics: None,
+        }
+    }
+
+    /// Creates an executor whose workers record into `metrics`: per-job
+    /// durations and panics, busy/idle split, queue-depth high-water,
+    /// and queries run.
+    pub fn instrumented(threads: usize, metrics: Arc<ExecMetrics>) -> Self {
+        assert!(threads >= 1);
+        Self {
+            threads,
+            metrics: Some(metrics),
+        }
+    }
+
+    /// The metric registry, if this executor is instrumented.
+    pub fn metrics(&self) -> Option<&Arc<ExecMetrics>> {
+        self.metrics.as_ref()
     }
 }
 
 impl Executor for DedicatedExecutor {
     fn run(&self, queue: Arc<JobQueue>) {
-        if self.threads == 1 {
-            queue.run_worker();
-            return;
-        }
-        std::thread::scope(|s| {
-            for _ in 0..self.threads {
-                let q = Arc::clone(&queue);
-                s.spawn(move || q.run_worker());
+        match &self.metrics {
+            None => {
+                if self.threads == 1 {
+                    queue.run_worker();
+                    return;
+                }
+                std::thread::scope(|s| {
+                    for _ in 0..self.threads {
+                        let q = Arc::clone(&queue);
+                        s.spawn(move || q.run_worker());
+                    }
+                });
             }
-        });
+            Some(m) => {
+                if self.threads == 1 {
+                    queue.run_worker_observed(m.worker(0));
+                } else {
+                    std::thread::scope(|s| {
+                        for i in 0..self.threads {
+                            let q = Arc::clone(&queue);
+                            let wm = Arc::clone(m.worker(i));
+                            s.spawn(move || q.run_worker_observed(&wm));
+                        }
+                    });
+                }
+                m.queue_depth_highwater.observe(queue.depth_highwater());
+                m.queries_run.incr();
+            }
+        }
     }
 
     fn parallelism(&self) -> usize {
@@ -80,5 +124,24 @@ mod tests {
     #[should_panic]
     fn zero_threads_rejected() {
         let _ = DedicatedExecutor::new(0);
+    }
+
+    #[test]
+    fn instrumented_executor_populates_registry() {
+        let metrics = sparta_obs::ExecMetrics::new(2);
+        let exec = DedicatedExecutor::instrumented(2, Arc::clone(&metrics));
+        let q = JobQueue::new();
+        for _ in 0..50 {
+            q.push(Box::new(|| {}));
+        }
+        q.push(Box::new(|| panic!("injected fault")));
+        exec.run(Arc::clone(&q));
+        let s = metrics.snapshot();
+        assert_eq!(s.jobs_run, 51);
+        assert_eq!(s.jobs_panicked, 1);
+        assert_eq!(s.queries_run, 1);
+        assert_eq!(s.queue_depth_highwater, 51);
+        assert_eq!(s.job_ns.count, 51);
+        assert!(exec.metrics().is_some());
     }
 }

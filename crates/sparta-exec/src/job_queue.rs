@@ -8,9 +8,11 @@
 //! when it reaches zero the query is complete and all waiters wake.
 
 use parking_lot::{Condvar, Mutex};
+use sparta_obs::{Counter, MaxGauge, WorkerMetrics};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A unit of work. Jobs re-enqueue their own continuations via the
 /// `Arc<JobQueue>` they capture.
@@ -29,11 +31,14 @@ pub struct JobQueue {
     /// Jobs queued or currently executing.
     outstanding: AtomicUsize,
     /// Jobs executed in total (statistics).
-    executed: AtomicUsize,
+    executed: Counter,
     /// Jobs whose closure panicked (caught in [`JobQueue::run_job`]).
-    panicked: AtomicUsize,
+    panicked: Counter,
     /// Jobs discarded unrun via [`JobQueue::discard`] (fault injection).
-    dropped: AtomicUsize,
+    dropped: Counter,
+    /// Deepest the queue has ever been (observed at push/requeue, while
+    /// the queue lock is held, so the reading is exact).
+    depth_highwater: MaxGauge,
 }
 
 impl JobQueue {
@@ -45,7 +50,12 @@ impl JobQueue {
     /// Enqueues a job.
     pub fn push(&self, job: Job) {
         self.outstanding.fetch_add(1, Ordering::AcqRel);
-        self.jobs.lock().push_back(job);
+        let depth = {
+            let mut guard = self.jobs.lock();
+            guard.push_back(job);
+            guard.len()
+        };
+        self.depth_highwater.observe(depth as u64);
         self.cv.notify_one();
     }
 
@@ -56,18 +66,24 @@ impl JobQueue {
 
     /// Total jobs executed so far.
     pub fn executed(&self) -> usize {
-        self.executed.load(Ordering::Relaxed)
+        self.executed.get() as usize
     }
 
     /// Jobs whose closure panicked. The panics were caught; the queue
     /// (and any pool running it) remains usable.
     pub fn panicked(&self) -> usize {
-        self.panicked.load(Ordering::Relaxed)
+        self.panicked.get() as usize
     }
 
     /// Jobs discarded without running via [`JobQueue::discard`].
     pub fn dropped(&self) -> usize {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.get() as usize
+    }
+
+    /// Deepest the queue has ever been. Executors fold this into their
+    /// registry's `queue_depth_highwater` when the query retires.
+    pub fn depth_highwater(&self) -> u64 {
+        self.depth_highwater.get()
     }
 
     /// Number of jobs currently queued (excluding running jobs).
@@ -104,22 +120,26 @@ impl JobQueue {
     }
 
     /// Runs one popped job and performs completion bookkeeping. The
-    /// caller must have obtained `job` from this queue.
+    /// caller must have obtained `job` from this queue. Returns whether
+    /// the job panicked, so observed workers can count panics without
+    /// inspecting queue counters.
     ///
     /// A panic inside the job is caught and counted (see
     /// [`JobQueue::panicked`]); bookkeeping still runs, so the query
     /// completes and the calling worker thread survives.
-    pub fn run_job(&self, job: Job) {
+    pub fn run_job(&self, job: Job) -> bool {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-        if result.is_err() {
-            self.panicked.fetch_add(1, Ordering::Relaxed);
+        let panicked = result.is_err();
+        if panicked {
+            self.panicked.incr();
         }
-        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.executed.incr();
         if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last outstanding job: wake completion waiters (and any
             // workers blocked waiting for more jobs).
             self.cv.notify_all();
         }
+        panicked
     }
 
     /// Discards a popped job *without running it*, performing the same
@@ -129,7 +149,7 @@ impl JobQueue {
     /// loss is observable via [`JobQueue::dropped`].
     pub fn discard(&self, job: Job) {
         drop(job);
-        self.dropped.fetch_add(1, Ordering::Relaxed);
+        self.dropped.incr();
         if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.cv.notify_all();
         }
@@ -141,7 +161,12 @@ impl JobQueue {
     /// runs eventually, but later than the scheduler would naturally
     /// have run it.
     pub fn requeue(&self, job: Job) {
-        self.jobs.lock().push_back(job);
+        let depth = {
+            let mut guard = self.jobs.lock();
+            guard.push_back(job);
+            guard.len()
+        };
+        self.depth_highwater.observe(depth as u64);
         self.cv.notify_one();
     }
 
@@ -160,6 +185,31 @@ impl JobQueue {
                     return;
                 }
                 self.cv.wait(&mut guard);
+            }
+        }
+    }
+
+    /// [`JobQueue::run_worker`] with per-job instrumentation: job
+    /// durations and panics go to `m`, condvar waits are accounted as
+    /// idle time. Kept separate from the plain loop so uninstrumented
+    /// executors pay no timing overhead.
+    pub fn run_worker_observed(&self, m: &WorkerMetrics) {
+        loop {
+            let mut guard = self.jobs.lock();
+            loop {
+                if let Some(job) = guard.pop_front() {
+                    drop(guard);
+                    let started = Instant::now();
+                    let panicked = self.run_job(job);
+                    m.record_job(started.elapsed().as_nanos() as u64, panicked);
+                    break;
+                }
+                if self.is_complete() {
+                    return;
+                }
+                let parked = Instant::now();
+                self.cv.wait(&mut guard);
+                m.idle_ns.add(parked.elapsed().as_nanos() as u64);
             }
         }
     }
@@ -193,9 +243,10 @@ impl Default for JobQueue {
             jobs: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             outstanding: AtomicUsize::new(0),
-            executed: AtomicUsize::new(0),
-            panicked: AtomicUsize::new(0),
-            dropped: AtomicUsize::new(0),
+            executed: Counter::new(),
+            panicked: Counter::new(),
+            dropped: Counter::new(),
+            depth_highwater: MaxGauge::new(),
         }
     }
 }
@@ -369,6 +420,31 @@ mod tests {
         assert_eq!(q.outstanding(), 2);
         q.run_worker();
         assert_eq!(*log.lock(), vec![1, 0]);
+    }
+
+    #[test]
+    fn depth_highwater_tracks_deepest_point() {
+        let q = JobQueue::new();
+        for _ in 0..5 {
+            q.push(Box::new(|| {}));
+        }
+        assert_eq!(q.depth_highwater(), 5);
+        q.run_worker();
+        // Draining does not lower the high-water mark.
+        assert_eq!(q.depth_highwater(), 5);
+    }
+
+    #[test]
+    fn observed_worker_records_jobs_and_panics() {
+        let q = JobQueue::new();
+        q.push(Box::new(|| {}));
+        q.push(Box::new(|| panic!("injected fault")));
+        let m = sparta_obs::WorkerMetrics::new();
+        q.run_worker_observed(&m);
+        assert_eq!(m.jobs_run.get(), 2);
+        assert_eq!(m.jobs_panicked.get(), 1);
+        assert_eq!(m.job_ns.count(), 2);
+        assert!(q.is_complete());
     }
 
     #[test]

@@ -14,10 +14,12 @@
 
 use crate::{Executor, JobQueue};
 use parking_lot::{Condvar, Mutex};
+use sparta_obs::ExecMetrics;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 struct Shared {
     /// Queries currently sharing the pool.
@@ -27,6 +29,8 @@ struct Shared {
     cv: Condvar,
     shutdown: AtomicBool,
     rr: AtomicUsize,
+    /// Opt-in registry; `None` keeps the worker loop timing-free.
+    metrics: Option<Arc<ExecMetrics>>,
 }
 
 /// A persistent pool of worker threads shared by many queries.
@@ -39,6 +43,17 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Starts `threads` persistent workers.
     pub fn new(threads: usize) -> Self {
+        Self::build(threads, None)
+    }
+
+    /// Starts `threads` persistent workers that record into `metrics`:
+    /// per-job durations and panics, busy/idle split, retired queries'
+    /// queue-depth high-water, and queries run.
+    pub fn instrumented(threads: usize, metrics: Arc<ExecMetrics>) -> Self {
+        Self::build(threads, Some(metrics))
+    }
+
+    fn build(threads: usize, metrics: Option<Arc<ExecMetrics>>) -> Self {
         assert!(threads >= 1);
         let shared = Arc::new(Shared {
             active: Mutex::new(Vec::new()),
@@ -46,11 +61,12 @@ impl WorkerPool {
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             rr: AtomicUsize::new(0),
+            metrics,
         });
         let handles = (0..threads)
-            .map(|_| {
+            .map(|i| {
                 let sh = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&sh))
+                std::thread::spawn(move || worker_loop(&sh, i))
             })
             .collect();
         Self {
@@ -58,6 +74,11 @@ impl WorkerPool {
             threads: handles,
             parallelism: threads,
         }
+    }
+
+    /// The metric registry, if this pool is instrumented.
+    pub fn metrics(&self) -> Option<&Arc<ExecMetrics>> {
+        self.shared.metrics.as_ref()
     }
 
     /// Submits a query's job queue to the FCFS backlog. Returns
@@ -105,7 +126,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(sh: &Shared) {
+fn worker_loop(sh: &Shared, worker: usize) {
     loop {
         if sh.shutdown.load(Ordering::Acquire) {
             return;
@@ -114,8 +135,18 @@ fn worker_loop(sh: &Shared) {
         let mut ran = false;
         {
             let mut active = sh.active.lock();
-            // Retire completed queries.
-            active.retain(|q| !q.is_complete());
+            // Retire completed queries, folding their queue stats into
+            // the registry (high-water is only final once retired).
+            active.retain(|q| {
+                let done = q.is_complete();
+                if done {
+                    if let Some(m) = &sh.metrics {
+                        m.queue_depth_highwater.observe(q.depth_highwater());
+                        m.queries_run.incr();
+                    }
+                }
+                !done
+            });
             let n = active.len();
             if n > 0 {
                 let start = sh.rr.fetch_add(1, Ordering::Relaxed) % n;
@@ -123,7 +154,17 @@ fn worker_loop(sh: &Shared) {
                     let q = Arc::clone(&active[(start + i) % n]);
                     if let Some(job) = q.try_pop() {
                         drop(active);
-                        q.run_job(job);
+                        match &sh.metrics {
+                            None => {
+                                q.run_job(job);
+                            }
+                            Some(m) => {
+                                let started = Instant::now();
+                                let panicked = q.run_job(job);
+                                m.worker(worker)
+                                    .record_job(started.elapsed().as_nanos() as u64, panicked);
+                            }
+                        }
                         sh.cv.notify_all();
                         ran = true;
                         break;
@@ -153,8 +194,14 @@ fn worker_loop(sh: &Shared) {
         // Nothing to do: wait for a push/submission/completion.
         let mut guard = sh.pending.lock();
         if guard.is_empty() && !sh.shutdown.load(Ordering::Acquire) {
+            let parked = Instant::now();
             sh.cv
                 .wait_for(&mut guard, std::time::Duration::from_micros(200));
+            if let Some(m) = &sh.metrics {
+                m.worker(worker)
+                    .idle_ns
+                    .add(parked.elapsed().as_nanos() as u64);
+            }
         }
     }
 }
@@ -249,5 +296,28 @@ mod tests {
     fn drop_shuts_down_threads() {
         let pool = WorkerPool::new(2);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn instrumented_pool_populates_registry() {
+        let metrics = sparta_obs::ExecMetrics::new(2);
+        let pool = WorkerPool::instrumented(2, Arc::clone(&metrics));
+        let c = Arc::new(AtomicU64::new(0));
+        for _ in 0..4 {
+            pool.run(make_query(25, &c));
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 100);
+        // Retirement happens on a worker's next sweep; give it a beat.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while metrics.snapshot().queries_run < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let s = metrics.snapshot();
+        assert_eq!(s.jobs_run, 100);
+        assert_eq!(s.jobs_panicked, 0);
+        assert_eq!(s.queries_run, 4);
+        assert!(s.queue_depth_highwater >= 25);
+        assert_eq!(s.job_ns.count, 100);
+        assert!(pool.metrics().is_some());
     }
 }

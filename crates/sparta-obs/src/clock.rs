@@ -1,0 +1,100 @@
+//! Wall-clock vs. logical-step time sources.
+//!
+//! Wall-clock timestamps make traces comparable to latency numbers but
+//! differ between runs. Under the `DeterministicExecutor` a replayed
+//! schedule executes the *same events in the same order*, so a clock
+//! that simply counts events produces bit-identical traces across
+//! replays of the same seed — that is [`ClockMode::Logical`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which time source a trace records against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ClockMode {
+    /// Nanoseconds since the clock (≈ the query) started. The default;
+    /// comparable to measured latencies but run-dependent.
+    #[default]
+    Wall,
+    /// A monotonic event counter: every [`ObsClock::tick`] returns the
+    /// next integer. Deterministic under deterministic schedules.
+    Logical,
+}
+
+/// A query-scoped time source handed to sinks at construction.
+#[derive(Debug)]
+pub enum ObsClock {
+    /// Wall clock anchored at creation.
+    Wall(Instant),
+    /// Logical step counter.
+    Logical(AtomicU64),
+}
+
+impl ObsClock {
+    /// Creates a clock of the given mode, anchored now / at step 0.
+    pub fn new(mode: ClockMode) -> Self {
+        match mode {
+            ClockMode::Wall => ObsClock::Wall(Instant::now()),
+            ClockMode::Logical => ObsClock::Logical(AtomicU64::new(0)),
+        }
+    }
+
+    /// The mode this clock was created with.
+    pub fn mode(&self) -> ClockMode {
+        match self {
+            ObsClock::Wall(_) => ClockMode::Wall,
+            ObsClock::Logical(_) => ClockMode::Logical,
+        }
+    }
+
+    /// Reads the clock: elapsed nanoseconds (wall) or the next step
+    /// number (logical — each call advances the counter, so ticks are
+    /// unique and totally ordered).
+    #[inline]
+    pub fn tick(&self) -> u64 {
+        match self {
+            ObsClock::Wall(start) => start.elapsed().as_nanos() as u64,
+            ObsClock::Logical(steps) => steps.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// A tick rendered as a [`Duration`] — nanoseconds under
+    /// [`ClockMode::Wall`], step count (as ns) under
+    /// [`ClockMode::Logical`], so downstream consumers keep one type.
+    #[inline]
+    pub fn tick_duration(&self) -> Duration {
+        Duration::from_nanos(self.tick())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = ObsClock::new(ClockMode::Wall);
+        let a = c.tick();
+        let b = c.tick();
+        assert!(b >= a);
+        assert_eq!(c.mode(), ClockMode::Wall);
+    }
+
+    #[test]
+    fn logical_clock_counts_steps() {
+        let c = ObsClock::new(ClockMode::Logical);
+        assert_eq!(c.tick(), 0);
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick_duration(), Duration::from_nanos(2));
+        assert_eq!(c.mode(), ClockMode::Logical);
+    }
+
+    #[test]
+    fn logical_clocks_replay_identically() {
+        let run = || {
+            let c = ObsClock::new(ClockMode::Logical);
+            (0..5).map(|_| c.tick()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,268 @@
+//! Prometheus text-exposition rendering.
+//!
+//! Renders counters, gauges, and the log-bucketed histogram in the
+//! [text exposition format] a Prometheus scraper accepts: `# HELP` /
+//! `# TYPE` headers, optional `{label="value"}` pairs, and cumulative
+//! `le`-labelled histogram buckets with `_sum` / `_count` series.
+//!
+//! [text exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use crate::registry::ExecSnapshot;
+use std::fmt::Write as _;
+
+/// Builder for one text-exposition document.
+#[derive(Debug, Default)]
+pub struct PrometheusText {
+    out: String,
+}
+
+impl PrometheusText {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, labels, &value.to_string());
+    }
+
+    /// Appends one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, help, "gauge");
+        self.sample(name, labels, &format_f64(value));
+    }
+
+    /// Appends a histogram: cumulative `le` buckets plus `_sum` and
+    /// `_count`. Empty trailing buckets are collapsed into the
+    /// mandatory `le="+Inf"` bucket to keep the exposition small.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.header(name, help, "histogram");
+        let last_used = snap
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+            .min(HISTOGRAM_BUCKETS - 2);
+        let mut cumulative = 0u64;
+        for i in 0..=last_used {
+            cumulative = cumulative.saturating_add(snap.buckets[i]);
+            let le = bucket_upper_bound(i).to_string();
+            self.sample_with_le(name, labels, &le, cumulative);
+        }
+        self.sample_with_le(name, labels, "+Inf", snap.count);
+        self.sample(&format!("{name}_sum"), labels, &snap.sum.to_string());
+        self.sample(&format!("{name}_count"), labels, &snap.count.to_string());
+    }
+
+    /// The rendered document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        write_labels(&mut self.out, labels, None);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    fn sample_with_le(&mut self, name: &str, labels: &[(&str, &str)], le: &str, value: u64) {
+        self.out.push_str(name);
+        self.out.push_str("_bucket");
+        write_labels(&mut self.out, labels, Some(le));
+        let _ = writeln!(self.out, " {value}");
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders an executor snapshot as a full exposition document under the
+/// `sparta_exec_*` metric namespace, labelled with `executor`.
+pub fn exec_snapshot_text(executor: &str, snap: &ExecSnapshot) -> String {
+    let labels: &[(&str, &str)] = &[("executor", executor)];
+    let mut doc = PrometheusText::new();
+    doc.counter(
+        "sparta_exec_jobs_run_total",
+        "Jobs executed by the executor's workers.",
+        labels,
+        snap.jobs_run,
+    );
+    doc.counter(
+        "sparta_exec_jobs_panicked_total",
+        "Jobs whose closure panicked (caught by the job queue).",
+        labels,
+        snap.jobs_panicked,
+    );
+    doc.counter(
+        "sparta_exec_busy_nanoseconds_total",
+        "Worker time spent running jobs.",
+        labels,
+        snap.busy_ns,
+    );
+    doc.counter(
+        "sparta_exec_idle_nanoseconds_total",
+        "Worker time spent waiting for work.",
+        labels,
+        snap.idle_ns,
+    );
+    doc.counter(
+        "sparta_exec_queries_total",
+        "Queries (job queues) run to completion.",
+        labels,
+        snap.queries_run,
+    );
+    doc.gauge(
+        "sparta_exec_workers",
+        "Worker threads contributing to this snapshot.",
+        labels,
+        snap.workers as f64,
+    );
+    doc.gauge(
+        "sparta_exec_queue_depth_highwater",
+        "Highest job-queue depth observed.",
+        labels,
+        snap.queue_depth_highwater as f64,
+    );
+    doc.gauge(
+        "sparta_exec_idle_ratio",
+        "Fraction of accounted worker time spent idle.",
+        labels,
+        snap.idle_ratio(),
+    );
+    doc.histogram(
+        "sparta_exec_job_duration_nanoseconds",
+        "Per-job execution time.",
+        labels,
+        &snap.job_ns,
+    );
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+    use crate::registry::ExecMetrics;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let mut doc = PrometheusText::new();
+        doc.counter("reqs_total", "Requests.", &[("algo", "sparta")], 7);
+        doc.gauge("depth", "Queue depth.", &[], 2.5);
+        let text = doc.finish();
+        assert!(text.contains("# TYPE reqs_total counter\n"));
+        assert!(text.contains("reqs_total{algo=\"sparta\"} 7\n"));
+        assert!(text.contains("# TYPE depth gauge\n"));
+        assert!(text.contains("depth 2.5\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let mut doc = PrometheusText::new();
+        doc.histogram("lat", "Latency.", &[], &h.snapshot());
+        let text = doc.finish();
+        // v=1 → bucket 1 (le=1); v=2,3 → bucket 2 (le=3); v=100 → le=127.
+        assert!(text.contains("lat_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("lat_bucket{le=\"127\"} 4\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("lat_sum 106\n"));
+        assert!(text.contains("lat_count 4\n"));
+        // Cumulative counts never decrease.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let mut doc = PrometheusText::new();
+        doc.counter("c", "help", &[("q", "a\"b\\c")], 1);
+        assert!(doc.finish().contains("c{q=\"a\\\"b\\\\c\"} 1\n"));
+    }
+
+    #[test]
+    fn exec_snapshot_document_is_complete() {
+        let m = ExecMetrics::new(2);
+        m.worker(0).record_job(50, false);
+        m.worker(1).record_job(150, true);
+        m.worker(1).idle_ns.add(100);
+        m.queue_depth_highwater.observe(4);
+        m.queries_run.incr();
+        let text = exec_snapshot_text("dedicated", &m.snapshot());
+        for series in [
+            "sparta_exec_jobs_run_total{executor=\"dedicated\"} 2",
+            "sparta_exec_jobs_panicked_total{executor=\"dedicated\"} 1",
+            "sparta_exec_busy_nanoseconds_total{executor=\"dedicated\"} 200",
+            "sparta_exec_idle_nanoseconds_total{executor=\"dedicated\"} 100",
+            "sparta_exec_queries_total{executor=\"dedicated\"} 1",
+            "sparta_exec_workers{executor=\"dedicated\"} 2",
+            "sparta_exec_queue_depth_highwater{executor=\"dedicated\"} 4",
+            "sparta_exec_job_duration_nanoseconds_count{executor=\"dedicated\"} 2",
+        ] {
+            assert!(text.contains(series), "missing series: {series}\n{text}");
+        }
+        assert!(text.contains("sparta_exec_idle_ratio{executor=\"dedicated\"} 0.33"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Observability substrate: query tracing spans, lock-free metrics,
+//! and machine-readable exporters.
+//!
+//! The paper's evaluation (§5) reasons about latency distributions,
+//! work per query, and recall-over-time dynamics. This crate provides
+//! the shared measurement vocabulary the rest of the workspace reports
+//! in:
+//!
+//! * [`QueryTrace`] — query-scoped phase spans (plan, term processing,
+//!   cleaner passes, heap merge, …) recorded against either a
+//!   wall-clock or a *logical-step* clock ([`ClockMode`]), so traces
+//!   are bit-identical when replayed under the deterministic executor.
+//! * [`Counter`] / [`MaxGauge`] / [`Histogram`] — lock-free primitives
+//!   for per-worker registries ([`WorkerMetrics`], [`ExecMetrics`])
+//!   aggregated on scrape into an [`ExecSnapshot`].
+//! * [`export`] — Prometheus text exposition and a JSON value model
+//!   ([`json::Json`]) with a parser, used by `sparta-bench`'s
+//!   `BENCH_*.json` emitter and its schema-validating smoke test.
+//!
+//! Everything here follows the disabled-sink design of
+//! `sparta-core::TraceSink`: a disabled [`QueryTrace`] costs one
+//! branch per instrumentation site, so observability is free unless a
+//! query opts in.
+//!
+//! This crate deliberately depends on std alone.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use clock::{ClockMode, ObsClock};
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MaxGauge};
+pub use registry::{ExecMetrics, ExecSnapshot, WorkerMetrics};
+pub use span::{phase_totals, Phase, PhaseTotal, QueryTrace, SpanEvent, SpanGuard};

@@ -1,0 +1,197 @@
+//! Per-worker metric registries, aggregated on scrape.
+//!
+//! Each executor worker owns a [`WorkerMetrics`] it records into
+//! without any cross-worker coordination (every field is a lock-free
+//! primitive and only that worker writes it, so there is not even
+//! cache-line ping-pong). A scrape walks the workers and folds them
+//! into one [`ExecSnapshot`].
+
+use crate::metrics::{Counter, Histogram, HistogramSnapshot, MaxGauge};
+use std::sync::Arc;
+
+/// One worker thread's private registry.
+#[derive(Debug, Default)]
+pub struct WorkerMetrics {
+    /// Jobs this worker executed (including panicked ones).
+    pub jobs_run: Counter,
+    /// Jobs whose closure panicked (caught by the job queue).
+    pub jobs_panicked: Counter,
+    /// Nanoseconds spent running jobs.
+    pub busy_ns: Counter,
+    /// Nanoseconds spent waiting for work.
+    pub idle_ns: Counter,
+    /// Per-job execution time in nanoseconds.
+    pub job_ns: Histogram,
+}
+
+impl WorkerMetrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed job: its duration and whether it panicked.
+    #[inline]
+    pub fn record_job(&self, dur_ns: u64, panicked: bool) {
+        self.jobs_run.incr();
+        if panicked {
+            self.jobs_panicked.incr();
+        }
+        self.busy_ns.add(dur_ns);
+        self.job_ns.record(dur_ns);
+    }
+}
+
+/// An executor's metric registry: one [`WorkerMetrics`] per worker
+/// plus executor-wide gauges.
+#[derive(Debug)]
+pub struct ExecMetrics {
+    workers: Vec<Arc<WorkerMetrics>>,
+    /// Highest job-queue depth observed (per-query queues report their
+    /// high-water here when the executor retires them).
+    pub queue_depth_highwater: MaxGauge,
+    /// Queries (job queues) this executor ran to completion.
+    pub queries_run: Counter,
+}
+
+impl ExecMetrics {
+    /// A registry for `workers` worker threads.
+    pub fn new(workers: usize) -> Arc<Self> {
+        Arc::new(Self {
+            workers: (0..workers.max(1))
+                .map(|_| Arc::new(WorkerMetrics::new()))
+                .collect(),
+            queue_depth_highwater: MaxGauge::new(),
+            queries_run: Counter::new(),
+        })
+    }
+
+    /// Number of per-worker registries.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Worker `i`'s registry (`i` taken modulo the worker count, so
+    /// any index addresses *some* registry).
+    pub fn worker(&self, i: usize) -> &Arc<WorkerMetrics> {
+        &self.workers[i % self.workers.len()]
+    }
+
+    /// Aggregates every worker registry into one snapshot.
+    pub fn snapshot(&self) -> ExecSnapshot {
+        let mut s = ExecSnapshot {
+            workers: self.workers.len() as u64,
+            queue_depth_highwater: self.queue_depth_highwater.get(),
+            queries_run: self.queries_run.get(),
+            ..Default::default()
+        };
+        for w in &self.workers {
+            s.jobs_run = s.jobs_run.saturating_add(w.jobs_run.get());
+            s.jobs_panicked = s.jobs_panicked.saturating_add(w.jobs_panicked.get());
+            s.busy_ns = s.busy_ns.saturating_add(w.busy_ns.get());
+            s.idle_ns = s.idle_ns.saturating_add(w.idle_ns.get());
+            s.job_ns.merge(&w.job_ns.snapshot());
+        }
+        s
+    }
+}
+
+/// A point-in-time aggregate of an [`ExecMetrics`] registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecSnapshot {
+    /// Worker threads contributing to this snapshot.
+    pub workers: u64,
+    /// Total jobs executed.
+    pub jobs_run: u64,
+    /// Jobs whose closure panicked.
+    pub jobs_panicked: u64,
+    /// Total nanoseconds spent running jobs.
+    pub busy_ns: u64,
+    /// Total nanoseconds spent waiting for work.
+    pub idle_ns: u64,
+    /// Highest job-queue depth observed.
+    pub queue_depth_highwater: u64,
+    /// Queries run to completion.
+    pub queries_run: u64,
+    /// Per-job latency distribution (nanoseconds).
+    pub job_ns: HistogramSnapshot,
+}
+
+impl ExecSnapshot {
+    /// Fraction of accounted worker time spent idle, in `[0, 1]`
+    /// (0 when no time has been accounted).
+    pub fn idle_ratio(&self) -> f64 {
+        let total = self.busy_ns.saturating_add(self.idle_ns);
+        if total == 0 {
+            0.0
+        } else {
+            self.idle_ns as f64 / total as f64
+        }
+    }
+
+    /// Folds another snapshot into this one (saturating).
+    pub fn merge(&mut self, other: &ExecSnapshot) {
+        self.workers = self.workers.max(other.workers);
+        self.jobs_run = self.jobs_run.saturating_add(other.jobs_run);
+        self.jobs_panicked = self.jobs_panicked.saturating_add(other.jobs_panicked);
+        self.busy_ns = self.busy_ns.saturating_add(other.busy_ns);
+        self.idle_ns = self.idle_ns.saturating_add(other.idle_ns);
+        self.queue_depth_highwater = self.queue_depth_highwater.max(other.queue_depth_highwater);
+        self.queries_run = self.queries_run.saturating_add(other.queries_run);
+        self.job_ns.merge(&other.job_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_worker_records_aggregate_on_scrape() {
+        let m = ExecMetrics::new(3);
+        m.worker(0).record_job(100, false);
+        m.worker(1).record_job(200, true);
+        m.worker(2).record_job(300, false);
+        m.queue_depth_highwater.observe(17);
+        m.queries_run.incr();
+        let s = m.snapshot();
+        assert_eq!(s.workers, 3);
+        assert_eq!(s.jobs_run, 3);
+        assert_eq!(s.jobs_panicked, 1);
+        assert_eq!(s.busy_ns, 600);
+        assert_eq!(s.queue_depth_highwater, 17);
+        assert_eq!(s.queries_run, 1);
+        assert_eq!(s.job_ns.count, 3);
+    }
+
+    #[test]
+    fn idle_ratio_bounds() {
+        let mut s = ExecSnapshot::default();
+        assert_eq!(s.idle_ratio(), 0.0);
+        s.busy_ns = 75;
+        s.idle_ns = 25;
+        assert!((s.idle_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_index_wraps() {
+        let m = ExecMetrics::new(2);
+        m.worker(5).record_job(1, false); // 5 % 2 == 1
+        assert_eq!(m.worker(1).jobs_run.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_combines() {
+        let a_reg = ExecMetrics::new(2);
+        a_reg.worker(0).record_job(10, false);
+        let b_reg = ExecMetrics::new(4);
+        b_reg.worker(0).record_job(20, true);
+        b_reg.queue_depth_highwater.observe(9);
+        let mut a = a_reg.snapshot();
+        a.merge(&b_reg.snapshot());
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.jobs_run, 2);
+        assert_eq!(a.jobs_panicked, 1);
+        assert_eq!(a.queue_depth_highwater, 9);
+    }
+}
