@@ -1,11 +1,15 @@
 //! Substrate micro-benches: the striped map against a single-mutex
 //! map (the paper's granular-lock claim, §4.3), heap offers, swap-cell
-//! snapshots.
+//! snapshots, the doc-id hasher against SipHash, and slab admission
+//! against per-document `Arc` allocation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parking_lot::Mutex;
-use sparta_collections::{BoundedTopK, StripedMap, SwapCell};
+use sparta_collections::{BoundedTopK, FastBuildHasher, StripedMap, SwapCell};
+use sparta_core::sparta::doc_slab::DocSlab;
+use sparta_core::sparta::doc_type::DocType;
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -115,10 +119,113 @@ fn bench_swap_cell(c: &mut Criterion) {
     g.finish();
 }
 
+/// The multiplicative doc-id hasher against SipHash, standalone and
+/// through a `HashMap` insert/lookup mix — the cost the shared
+/// `docMap` pays on every posting.
+fn bench_fast_hash_vs_siphash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("doc_id_hashing");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    const N: u32 = 100_000;
+
+    g.bench_function("hash_only/siphash", |b| {
+        let s = std::collections::hash_map::RandomState::new();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc ^= s.hash_one(i.wrapping_mul(2654435761));
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    g.bench_function("hash_only/fast", |b| {
+        let s = FastBuildHasher;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc ^= s.hash_one(i.wrapping_mul(2654435761));
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    g.bench_function("map_mixed/siphash", |b| {
+        b.iter(|| {
+            let mut map: HashMap<u32, u32> = HashMap::with_capacity(4096);
+            for i in 0..N {
+                let k = i.wrapping_mul(2654435761) % 4096;
+                if i % 4 == 0 {
+                    map.insert(k, i);
+                } else {
+                    std::hint::black_box(map.get(&k));
+                }
+            }
+            std::hint::black_box(map.len())
+        });
+    });
+    g.bench_function("map_mixed/fast", |b| {
+        b.iter(|| {
+            let mut map: HashMap<u32, u32, FastBuildHasher> =
+                HashMap::with_capacity_and_hasher(4096, FastBuildHasher);
+            for i in 0..N {
+                let k = i.wrapping_mul(2654435761) % 4096;
+                if i % 4 == 0 {
+                    map.insert(k, i);
+                } else {
+                    std::hint::black_box(map.get(&k));
+                }
+            }
+            std::hint::black_box(map.len())
+        });
+    });
+    g.finish();
+}
+
+/// Slab admission against per-document `Arc<DocType>` allocation: the
+/// cost of bringing one candidate into the docMap and posting its
+/// first score, at the paper's m = 4 terms.
+fn bench_slab_vs_arc_admission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("doc_record_admission");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    const DOCS: u32 = 50_000;
+    const M: usize = 4;
+
+    g.bench_function("arc_doc_type", |b| {
+        b.iter(|| {
+            let mut records = Vec::with_capacity(DOCS as usize);
+            for id in 0..DOCS {
+                let d = Arc::new(DocType::new(id, M));
+                d.set_score(0, id % 97 + 1);
+                records.push(d);
+            }
+            let sum: u64 = records.iter().map(|d| d.current_sum()).sum();
+            std::hint::black_box(sum)
+        });
+    });
+    g.bench_function("doc_slab", |b| {
+        b.iter(|| {
+            let slab = DocSlab::new(M);
+            let mut handles = Vec::with_capacity(DOCS as usize);
+            for id in 0..DOCS {
+                let h = slab.alloc(id);
+                slab.set_score(h, 0, id % 97 + 1);
+                handles.push(h);
+            }
+            let sum: u64 = handles.iter().map(|&h| slab.current_sum(h)).sum();
+            std::hint::black_box(sum)
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_striped_vs_mutex,
     bench_heap_offers,
-    bench_swap_cell
+    bench_swap_cell,
+    bench_fast_hash_vs_siphash,
+    bench_slab_vs_arc_admission
 );
 criterion_main!(benches);

@@ -13,6 +13,8 @@
 //! ```sh
 //! repro --emit-json <name>       # writes out/BENCH_<name>.json
 //! repro --validate-json <path>   # schema-checks an emitted document
+//! repro --perf-guard <baseline>  # deterministic work-counter guard;
+//!                                #   --write regenerates the baseline
 //! ```
 //!
 //! Environment:
@@ -470,6 +472,113 @@ fn emit_json(name: &str) {
     );
 }
 
+/// The perf-guard cell is pinned end to end: corpus size, k, query
+/// shape, and the deterministic schedule seed. Work counters from this
+/// cell are bit-reproducible (see `same_seed_is_bit_identical`), so
+/// the guard compares them for *equality* — any drift in
+/// `postings_scanned` or `heap_updates` is an algorithmic change, not
+/// noise, and must be acknowledged by regenerating the baseline.
+const GUARD_DOCS: &str = "4000";
+const GUARD_K: &str = "20";
+const GUARD_SEED: u64 = 0x5eed_caf3;
+const GUARD_QUERIES: usize = 4;
+const GUARD_TERMS: usize = 6;
+const GUARD_ALGOS: [&str; 4] = ["sparta", "pnra", "pbmw", "pjass"];
+
+fn perf_guard_measure() -> Vec<(String, u64, u64)> {
+    std::env::set_var("SPARTA_DOCS", GUARD_DOCS);
+    std::env::set_var("SPARTA_K", GUARD_K);
+    let ds = Dataset::build(Scale::Cw);
+    let qs = ds.queries_of_length(GUARD_TERMS, GUARD_QUERIES);
+    let cfg = VariantParams::exact().config(ds.k);
+    GUARD_ALGOS
+        .iter()
+        .map(|&name| {
+            let a = algo(name);
+            let (mut postings, mut heap) = (0u64, 0u64);
+            for (i, q) in qs.iter().enumerate() {
+                let exec =
+                    sparta_exec::DeterministicExecutor::new(GUARD_SEED.wrapping_add(i as u64));
+                let r = a.search(&ds.index, q, &cfg, &exec);
+                postings += r.work.postings_scanned;
+                heap += r.work.heap_updates;
+            }
+            (name.to_string(), postings, heap)
+        })
+        .collect()
+}
+
+fn perf_guard_json(cells: &[(String, u64, u64)]) -> sparta_obs::json::Json {
+    use sparta_obs::json::Json;
+    Json::obj()
+        .with("schema_version", 1u64)
+        .with("docs", GUARD_DOCS.parse::<u64>().unwrap())
+        .with("k", GUARD_K.parse::<u64>().unwrap())
+        .with("queries", GUARD_QUERIES)
+        .with("terms", GUARD_TERMS)
+        .with("seed", GUARD_SEED)
+        .with(
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|(name, postings, heap)| {
+                        Json::obj()
+                            .with("algorithm", name.as_str())
+                            .with("postings_scanned", *postings)
+                            .with("heap_updates", *heap)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// `--perf-guard <baseline> [--write]`: replays the pinned
+/// deterministic cell. With `--write`, records the counters into
+/// `<baseline>`; otherwise compares against the checked-in baseline
+/// and exits non-zero on any drift.
+fn perf_guard(path: &str, write: bool) {
+    let cells = perf_guard_measure();
+    if write {
+        std::fs::write(path, perf_guard_json(&cells).to_pretty_string(2))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("{path}: baseline written ({} cells)", cells.len());
+        return;
+    }
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = sparta_obs::json::parse(&text).expect("baseline parses");
+    let base = doc.get("cells").and_then(|c| c.as_arr()).unwrap_or(&[]);
+    let mut drifted = false;
+    for (name, postings, heap) in &cells {
+        let Some(b) = base
+            .iter()
+            .find(|c| c.get("algorithm").and_then(|a| a.as_str()) == Some(name))
+        else {
+            eprintln!("{name}: missing from baseline {path}");
+            drifted = true;
+            continue;
+        };
+        for (key, got) in [("postings_scanned", *postings), ("heap_updates", *heap)] {
+            let want = b.get(key).and_then(|v| v.as_f64()).unwrap_or(-1.0);
+            if want != got as f64 {
+                eprintln!("{name}: {key} drifted — baseline {want}, measured {got}");
+                drifted = true;
+            } else {
+                println!("{name}: {key} = {got} (matches baseline)");
+            }
+        }
+    }
+    if drifted {
+        eprintln!(
+            "perf guard FAILED; if the change is intentional, regenerate with \
+             `repro --perf-guard {path} --write`"
+        );
+        std::process::exit(1);
+    }
+    println!("perf guard ok ({} cells)", cells.len());
+}
+
 /// `--validate-json <path>`: parses an emitted document and checks the
 /// schema, exiting non-zero on any drift.
 fn validate_json(path: &str) {
@@ -494,6 +603,16 @@ fn main() {
         Some("--validate-json") => {
             let path = args.get(1).expect("--validate-json needs a path");
             validate_json(path);
+            return;
+        }
+        Some("--perf-guard") => {
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| *a != "--write")
+                .map(String::as_str)
+                .unwrap_or("BENCH_perf_guard.json");
+            perf_guard(path, args.iter().any(|a| a == "--write"));
             return;
         }
         _ => {}

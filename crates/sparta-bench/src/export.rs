@@ -83,6 +83,7 @@ fn work_json(w: &WorkStats) -> Json {
         .with("docmap_peak", w.docmap_peak)
         .with("cleaner_passes", w.cleaner_passes)
         .with("jobs_panicked", w.jobs_panicked)
+        .with("jobs_recycled", w.jobs_recycled)
         .with("docmap_final", w.docmap_final)
         .with("timeout_stops", w.timeout_stops)
 }
@@ -305,6 +306,7 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             "docmap_peak",
             "cleaner_passes",
             "jobs_panicked",
+            "jobs_recycled",
             "docmap_final",
             "timeout_stops",
         ] {

@@ -59,6 +59,11 @@ fn emitted_report_parses_with_expected_keys() {
         );
         let work = cell.get("work").unwrap();
         assert!(work.get("postings_scanned").unwrap().as_f64().unwrap() > 0.0);
+        // The recycle counter is emitted for every cell (it is only
+        // guaranteed nonzero when lists span multiple segments, which
+        // this tiny corpus need not — tests/slab_accounting.rs pins
+        // the nonzero case).
+        assert!(work.get("jobs_recycled").unwrap().as_f64().unwrap() >= 0.0);
     }
 
     for curve in doc.get("recall_curves").unwrap().as_arr().unwrap() {

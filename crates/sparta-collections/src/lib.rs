@@ -16,16 +16,22 @@
 //!   swing", §4.3), used by the cleaner to publish the pruned `docMap`.
 //! * [`ShardedCounter`] — a contention-avoiding counter used for
 //!   approximate map sizes and statistics.
+//! * [`fast_hash`] — a deterministic multiplicative hasher for integer
+//!   keys (doc ids); one hash drives both stripe selection and bucket
+//!   indexing, replacing the double SipHash previously paid per
+//!   `docMap` access.
 
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod fast_hash;
 pub mod mutable_topk;
 pub mod striped_map;
 pub mod swap_cell;
 pub mod topk_heap;
 
 pub use counter::ShardedCounter;
+pub use fast_hash::{FastBuildHasher, FastHashMap, FastHashSet, FastIntHasher};
 pub use mutable_topk::MutableTopK;
 pub use striped_map::StripedMap;
 pub use swap_cell::SwapCell;

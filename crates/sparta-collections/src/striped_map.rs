@@ -9,13 +9,24 @@
 //! touching different stripes never contend.
 //!
 //! Values are required to be `Clone`; callers that need shared mutable
-//! entries store `Arc<T>` (as Sparta does for its `DocType` records).
+//! entries store `Arc<T>` (as Sparta does for its `DocType` records) or
+//! `Copy` slab handles (`DocHandle` into a `DocSlab`).
+//!
+//! Hashing: the map hashes each key **once** with
+//! [`FastIntHasher`](crate::fast_hash::FastIntHasher); the high 32 bits
+//! pick the stripe and the full hash indexes the stripe's `HashMap`
+//! (which shares the same [`FastBuildHasher`], so the per-key SipHash
+//! cost — previously paid twice per access — is gone entirely). The
+//! stripe must come from the *high* bits: `HashMap`'s open addressing
+//! consumes the low bits for bucket placement, and reusing them for
+//! striping would make every stripe's resident keys agree on those
+//! bits, degrading in-stripe bucket distribution.
 
+use crate::fast_hash::{fast_hash_one, FastBuildHasher};
 use parking_lot::Mutex;
 use std::borrow::Borrow;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default number of stripes; enough that 12 worker threads (the
@@ -41,7 +52,7 @@ pub const DEFAULT_STRIPES: usize = 64;
 /// assert_eq!(map.len(), 400);
 /// ```
 pub struct StripedMap<K, V> {
-    stripes: Box<[Mutex<HashMap<K, V>>]>,
+    stripes: Box<[Mutex<HashMap<K, V, FastBuildHasher>>]>,
     mask: usize,
     len: AtomicUsize,
 }
@@ -56,7 +67,9 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
     /// two (minimum 1).
     pub fn with_stripes(stripes: usize) -> Self {
         let n = stripes.max(1).next_power_of_two();
-        let stripes: Vec<_> = (0..n).map(|_| Mutex::new(HashMap::new())).collect();
+        let stripes: Vec<_> = (0..n)
+            .map(|_| Mutex::new(HashMap::with_hasher(FastBuildHasher)))
+            .collect();
         Self {
             stripes: stripes.into_boxed_slice(),
             mask: n - 1,
@@ -71,9 +84,9 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
 
     #[inline]
     fn stripe_of<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() as usize) & self.mask
+        // High bits select the stripe; the stripe's HashMap recomputes
+        // the same cheap hash and consumes the low bits for buckets.
+        ((fast_hash_one(&key) >> 32) as usize) & self.mask
     }
 
     /// Current number of entries. Exact (maintained with atomic

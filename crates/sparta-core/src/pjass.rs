@@ -149,6 +149,7 @@ impl Algorithm for PJass {
             docmap_peak: state.acc.len() as u64,
             cleaner_passes: 0,
             jobs_panicked: queue.panicked() as u64,
+            jobs_recycled: queue.recycled() as u64,
             docmap_final: state.acc.len() as u64,
             timeout_stops: 0,
         };

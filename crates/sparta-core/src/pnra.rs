@@ -18,7 +18,7 @@ use crate::trace::TraceSink;
 use crate::Algorithm;
 use sparta_collections::{ShardedCounter, StripedMap};
 use sparta_corpus::types::{DocId, Query};
-use sparta_exec::{Executor, JobQueue};
+use sparta_exec::{CyclicJob, Executor, Job, JobQueue};
 use sparta_index::{Index, ScoreCursor};
 use sparta_obs::{Phase, QueryTrace};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,88 +54,102 @@ impl State {
     }
 }
 
-fn process_term(
+/// One term's traversal as a recycled [`CyclicJob`] — each step is a
+/// segment; the same box re-enqueues until the list exhausts.
+struct SegmentJob {
     state: Arc<State>,
-    queue: Arc<JobQueue>,
     i: usize,
-    mut cursor: Box<dyn ScoreCursor>,
-) {
-    if state.is_done() {
-        return;
-    }
-    let seg_span = state.spans.span(Phase::TermProcess);
-    let mut exhausted = false;
-    for _ in 0..state.cfg.seg_size {
+    cursor: Box<dyn ScoreCursor>,
+}
+
+impl CyclicJob for SegmentJob {
+    fn run_step(&mut self) -> bool {
+        let state = &self.state;
+        let i = self.i;
         if state.is_done() {
-            return;
+            return false;
         }
-        let Some(p) = cursor.next() else {
-            exhausted = true;
-            break;
-        };
-        state.postings.incr();
-        // Naïve: UB updated on *every* posting — the cache-miss storm
-        // Sparta's segment-lazy updates avoid (§4.3).
-        state.ub.set(i, p.score);
-        let d = state
-            .doc_map
-            .get_or_try_insert_with(p.doc, !state.ub_stop(), || {
-                Arc::new(DocType::new(p.doc, state.m))
-            });
-        if let Some(d) = d {
-            d.set_score(i, p.score);
-            if d.current_sum() > state.heap.theta() {
-                state.heap.update(&d, &state.trace);
+        let _seg_span = state.spans.span(Phase::TermProcess);
+        let mut exhausted = false;
+        for _ in 0..state.cfg.seg_size {
+            if state.is_done() {
+                return false;
+            }
+            let Some(p) = self.cursor.next() else {
+                exhausted = true;
+                break;
+            };
+            state.postings.incr();
+            // Naïve: UB updated on *every* posting — the cache-miss
+            // storm Sparta's segment-lazy updates avoid (§4.3).
+            state.ub.set(i, p.score);
+            let d = state
+                .doc_map
+                .get_or_try_insert_with(p.doc, !state.ub_stop(), || {
+                    Arc::new(DocType::new(p.doc, state.m))
+                });
+            if let Some(d) = d {
+                d.set_score(i, p.score);
+                if d.current_sum() > state.heap.theta() {
+                    state.heap.update(&d, &state.trace);
+                }
             }
         }
-    }
-    drop(seg_span); // the guard borrows `state`, which the continuation moves
-    if exhausted {
-        state.ub.exhaust(i);
-    } else if !state.is_done() {
-        let q = Arc::clone(&queue);
-        queue.push(Box::new(move || process_term(state, q, i, cursor)));
+        if exhausted {
+            state.ub.exhaust(i);
+            false
+        } else {
+            !state.is_done()
+        }
     }
 }
 
 /// The dedicated stopping-condition task: evaluates Eq. 1 and Eq. 2
-/// over the whole (never-pruned) map, plus the Δ timeout.
-fn stop_checker(state: Arc<State>, queue: Arc<JobQueue>) {
-    if state.is_done() {
-        return;
-    }
-    let check_span = state.spans.span(Phase::StopCheck);
-    state
-        .docmap_peak
-        .fetch_max(state.doc_map.len() as u64, Ordering::Relaxed);
-    let timed_out = state
-        .cfg
-        .delta
-        .is_some_and(|d| state.heap.since_last_update() >= d);
-    // Starvation guard: if this checker is the only outstanding job,
-    // all traversal jobs are gone (exhausted or lost to a fault); no
-    // further updates can arrive, so spinning is futile. See the same
-    // guard in Sparta's cleaner.
-    let mut stop = timed_out || queue.outstanding() <= 1;
-    if !stop && state.ub_stop() {
-        // Equation 2: every traversed non-heap candidate has
-        // UB(D) ≤ Θ. Without cleaning, this is a full scan.
-        let theta = state.heap.theta();
-        let members = state.heap.members_snapshot();
-        let mut ok = true;
-        state.doc_map.for_each(|id, d| {
-            if ok && !members.contains(id) && d.ub(&state.ub) > theta {
-                ok = false;
-            }
-        });
-        stop = ok;
-    }
-    drop(check_span); // the guard borrows `state`, which the re-enqueue moves
-    if stop {
-        state.done.store(true, Ordering::Release);
-    } else {
-        let q = Arc::clone(&queue);
-        queue.push(Box::new(move || stop_checker(state, q)));
+/// over the whole (never-pruned) map, plus the Δ timeout. A recycled
+/// [`CyclicJob`]: one step per check.
+struct StopChecker {
+    state: Arc<State>,
+    queue: Arc<JobQueue>,
+}
+
+impl CyclicJob for StopChecker {
+    fn run_step(&mut self) -> bool {
+        let state = &self.state;
+        if state.is_done() {
+            return false;
+        }
+        let _check_span = state.spans.span(Phase::StopCheck);
+        state
+            .docmap_peak
+            .fetch_max(state.doc_map.len() as u64, Ordering::Relaxed);
+        let timed_out = state
+            .cfg
+            .delta
+            .is_some_and(|d| state.heap.since_last_update() >= d);
+        // Starvation guard: if this checker is the only outstanding
+        // job, all traversal jobs are gone (exhausted or lost to a
+        // fault); no further updates can arrive, so spinning is futile.
+        // See the same guard in Sparta's cleaner.
+        let mut stop = timed_out || self.queue.outstanding() <= 1;
+        if !stop && state.ub_stop() {
+            // Equation 2: every traversed non-heap candidate has
+            // UB(D) ≤ Θ. Without cleaning, this is a full scan.
+            let theta = state.heap.theta();
+            let members = state.heap.members_snapshot();
+            let mut ok = true;
+            state.doc_map.for_each(|id, d| {
+                if ok && !members.contains(id) && d.ub(&state.ub) > theta {
+                    ok = false;
+                }
+            });
+            stop = ok;
+        }
+        if stop {
+            state.done.store(true, Ordering::Release);
+            false
+        } else {
+            true
+        }
     }
 }
 
@@ -179,13 +193,16 @@ impl Algorithm for PNra {
             let _plan = state.spans.span(Phase::Plan);
             for (i, &t) in query.terms.iter().enumerate() {
                 let cursor = open_cursor(index, t);
-                let st = Arc::clone(&state);
-                let q = Arc::clone(&queue);
-                queue.push(Box::new(move || process_term(st, q, i, cursor)));
+                queue.push(Job::cyclic(SegmentJob {
+                    state: Arc::clone(&state),
+                    i,
+                    cursor,
+                }));
             }
-            let st = Arc::clone(&state);
-            let q = Arc::clone(&queue);
-            queue.push(Box::new(move || stop_checker(st, q)));
+            queue.push(Job::cyclic(StopChecker {
+                state: Arc::clone(&state),
+                queue: Arc::clone(&queue),
+            }));
         }
         exec.run(Arc::clone(&queue));
 
@@ -203,6 +220,7 @@ impl Algorithm for PNra {
                 .max(state.doc_map.len() as u64),
             cleaner_passes: 0,
             jobs_panicked: queue.panicked() as u64,
+            jobs_recycled: queue.recycled() as u64,
             docmap_final: state.doc_map.len() as u64,
             timeout_stops: 0,
         };

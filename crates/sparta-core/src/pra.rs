@@ -171,6 +171,7 @@ impl Algorithm for PRa {
             docmap_peak: state.seen.len() as u64,
             cleaner_passes: 0,
             jobs_panicked: queue.panicked() as u64,
+            jobs_recycled: queue.recycled() as u64,
             docmap_final: state.seen.len() as u64,
             timeout_stops: 0,
         };

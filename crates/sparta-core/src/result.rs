@@ -40,6 +40,10 @@ pub struct WorkStats {
     /// queue and the query still completed (see `JobQueue::run_job`).
     /// Nonzero only under fault injection or when something is wrong.
     pub jobs_panicked: u64,
+    /// Continuation steps that recycled their job box instead of
+    /// allocating a fresh one (see `sparta_exec::CyclicJob`) — each is
+    /// one avoided heap allocation on the traversal hot path.
+    pub jobs_recycled: u64,
     /// Size of the candidate map when the search stopped. For an exact
     /// Sparta run this equals `hits.len()` — the Eq. 2 termination
     /// condition `|docMap| == |docHeap|` — which tests assert across
@@ -64,6 +68,7 @@ impl WorkStats {
         self.docmap_peak = self.docmap_peak.max(other.docmap_peak);
         self.cleaner_passes = self.cleaner_passes.saturating_add(other.cleaner_passes);
         self.jobs_panicked = self.jobs_panicked.saturating_add(other.jobs_panicked);
+        self.jobs_recycled = self.jobs_recycled.saturating_add(other.jobs_recycled);
         self.docmap_final = self.docmap_final.saturating_add(other.docmap_final);
         self.timeout_stops = self.timeout_stops.saturating_add(other.timeout_stops);
     }
@@ -74,13 +79,14 @@ impl std::fmt::Display for WorkStats {
         write!(
             f,
             "postings={} random={} heap={} docmap_peak={} cleaner={} \
-             panicked={} docmap_final={} timeouts={}",
+             panicked={} recycled={} docmap_final={} timeouts={}",
             self.postings_scanned,
             self.random_accesses,
             self.heap_updates,
             self.docmap_peak,
             self.cleaner_passes,
             self.jobs_panicked,
+            self.jobs_recycled,
             self.docmap_final,
             self.timeout_stops,
         )
@@ -165,6 +171,7 @@ mod tests {
             docmap_peak: seed % 13,
             cleaner_passes: seed % 7,
             jobs_panicked: seed % 3,
+            jobs_recycled: seed % 19,
             docmap_final: seed % 11,
             timeout_stops: seed % 2,
         }
@@ -219,6 +226,7 @@ mod tests {
             "docmap_peak=",
             "cleaner=",
             "panicked=",
+            "recycled=",
             "docmap_final=",
             "timeouts=",
         ] {

@@ -1,0 +1,322 @@
+//! A per-query arena of document records with inline score slots.
+//!
+//! The `Arc<DocType>` representation costs two heap allocations per
+//! admitted document (the `Arc` control block + record, and the inner
+//! `Box<[AtomicU32]>` of scores) plus a pointer chase per score access,
+//! and retires those allocations one by one when the cleaner prunes.
+//! [`DocSlab`] replaces it for Sparta's per-query candidate set: all
+//! records live inline in large blocks, each record is one contiguous
+//! stride of `3 + m` words —
+//!
+//! ```text
+//! ┌────────┬───────────┬────────┬──────────┬───┬────────────┐
+//! │   id   │ sum (Σsᵢ) │   lb   │ score[0] │ … │ score[m-1] │
+//! └────────┴───────────┴────────┴──────────┴───┴────────────┘
+//! ```
+//!
+//! — and lookups hand out [`DocHandle`], a `Copy` 4-byte index, instead
+//! of an 8-byte refcounted pointer. Records are never freed
+//! individually: the slab drops wholesale with the query (pruned
+//! records merely become unreachable from `docMap`), so admission is a
+//! wait-free `fetch_add` bump and the whole query performs **at most
+//! one allocation per slab block** — the acceptance criterion asserted
+//! by the slab-accounting test via [`DocSlab::blocks_allocated`].
+//!
+//! Blocks grow geometrically (`BASE_CAP << block_index`), so a query
+//! admitting N documents touches O(log N) blocks, and block addresses
+//! are stable once published (a `OnceLock` per slot), so handles can be
+//! dereferenced without any lock while other workers admit documents.
+
+use super::doc_type::SharedUb;
+use sparta_corpus::types::DocId;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Records in block 0; block b holds `BASE_CAP << b`.
+const BASE_CAP: usize = 256;
+/// Enough blocks to cover every representable `DocHandle` index
+/// (cumulative capacity `BASE_CAP · (2^NUM_BLOCKS − 1)` > `u32::MAX`).
+const NUM_BLOCKS: usize = 25;
+
+/// Words preceding the score slots: id, running sum, lazy LB.
+const HDR: usize = 3;
+
+/// A `Copy` reference to one record in a [`DocSlab`] — what Sparta's
+/// `docMap` and `termMap` store instead of `Arc<DocType>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DocHandle(u32);
+
+/// A grow-only arena of `⟨id, sum, LB, score[m]⟩` records.
+///
+/// Concurrency contract (mirrors `DocType`, §4.3): `score[i]` is
+/// written only by the worker owning term i; `sum` is maintained by
+/// commuting `fetch_add` deltas; `lb` is only meaningful under the
+/// heap lock. Any thread may read anything.
+pub struct DocSlab {
+    m: usize,
+    /// Words per record: `HDR + m`.
+    stride: usize,
+    /// Records allocated so far (bump pointer).
+    len: AtomicUsize,
+    blocks: Box<[OnceLock<Box<[AtomicU64]>>]>,
+    /// Blocks actually allocated — the slab's entire allocation count
+    /// (excluding the fixed-size slab struct itself).
+    blocks_allocated: AtomicUsize,
+}
+
+impl DocSlab {
+    /// Creates an empty slab for records with `m` score slots.
+    pub fn new(m: usize) -> Self {
+        Self {
+            m,
+            stride: HDR + m,
+            len: AtomicUsize::new(0),
+            blocks: (0..NUM_BLOCKS).map(|_| OnceLock::new()).collect(),
+            blocks_allocated: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of score slots per record.
+    pub fn arity(&self) -> usize {
+        self.m
+    }
+
+    /// Records allocated so far.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether no record has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks allocated so far — the slab's total heap-allocation
+    /// count, asserted to be O(log len) by the accounting test.
+    pub fn blocks_allocated(&self) -> usize {
+        self.blocks_allocated.load(Ordering::Acquire)
+    }
+
+    /// Splits a record index into (block, word offset within block).
+    #[inline]
+    fn locate(&self, idx: usize) -> (usize, usize) {
+        // Block b spans indices [BASE_CAP·(2^b − 1), BASE_CAP·(2^(b+1) − 1)).
+        let n = idx / BASE_CAP + 1;
+        let b = (usize::BITS - 1 - n.leading_zeros()) as usize;
+        let start = ((1usize << b) - 1) * BASE_CAP;
+        (b, (idx - start) * self.stride)
+    }
+
+    #[inline]
+    fn block(&self, b: usize) -> &[AtomicU64] {
+        self.blocks[b].get_or_init(|| {
+            self.blocks_allocated.fetch_add(1, Ordering::AcqRel);
+            let words = (BASE_CAP << b) * self.stride;
+            (0..words).map(|_| AtomicU64::new(0)).collect()
+        })
+    }
+
+    /// Admits a new record for `id` with zeroed scores. Wait-free bump
+    /// except when the admission is the first to touch a block.
+    pub fn alloc(&self, id: DocId) -> DocHandle {
+        let idx = self.len.fetch_add(1, Ordering::AcqRel);
+        assert!(idx <= u32::MAX as usize, "DocSlab overflow");
+        let (b, off) = self.locate(idx);
+        // Relaxed is enough: the handle is only published to other
+        // threads through the docMap stripe lock (or the heap lock),
+        // which orders this store before any reader's load.
+        self.block(b)[off].store(u64::from(id), Ordering::Relaxed);
+        DocHandle(idx as u32)
+    }
+
+    #[inline]
+    fn record(&self, h: DocHandle) -> (&[AtomicU64], usize) {
+        let (b, off) = self.locate(h.0 as usize);
+        let block = self.blocks[b].get().expect("handle into unallocated block");
+        (block, off)
+    }
+
+    /// The record's document id.
+    #[inline]
+    pub fn id(&self, h: DocHandle) -> DocId {
+        let (block, off) = self.record(h);
+        block[off].load(Ordering::Relaxed) as DocId
+    }
+
+    /// Sets term i's score (owner thread only) and folds the delta into
+    /// the running sum, exactly like `DocType::set_score`.
+    #[inline]
+    pub fn set_score(&self, h: DocHandle, i: usize, score: u32) {
+        debug_assert!(i < self.m);
+        let (block, off) = self.record(h);
+        let old = block[off + HDR + i].swap(u64::from(score), Ordering::AcqRel);
+        let delta = u64::from(score).wrapping_sub(old);
+        block[off + 1].fetch_add(delta, Ordering::AcqRel);
+    }
+
+    /// Term i's score so far (0 = not yet seen).
+    #[inline]
+    pub fn score(&self, h: DocHandle, i: usize) -> u32 {
+        debug_assert!(i < self.m);
+        let (block, off) = self.record(h);
+        block[off + HDR + i].load(Ordering::Acquire) as u32
+    }
+
+    /// Sum of the known term scores — one load of the running sum.
+    #[inline]
+    pub fn current_sum(&self, h: DocHandle) -> u64 {
+        let (block, off) = self.record(h);
+        block[off + 1].load(Ordering::Acquire)
+    }
+
+    /// The lazily cached LB (valid under the heap lock).
+    #[inline]
+    pub fn lb(&self, h: DocHandle) -> u64 {
+        let (block, off) = self.record(h);
+        block[off + 2].load(Ordering::Acquire)
+    }
+
+    /// Stores the recomputed LB (heap lock held).
+    #[inline]
+    pub fn set_lb(&self, h: DocHandle, lb: u64) {
+        let (block, off) = self.record(h);
+        block[off + 2].store(lb, Ordering::Release);
+    }
+
+    /// Upper bound `UB(D) = Σᵢ (score[i] > 0 ? score[i] : UB[i])`
+    /// (Table 1), γ-scaled for the probabilistic-pruning extension
+    /// (γ = 1 gives the safe bound). Mirrors `DocType::ub_scaled`.
+    pub fn ub_scaled(&self, h: DocHandle, ub: &SharedUb, gamma: f64) -> u64 {
+        let (block, off) = self.record(h);
+        (0..self.m)
+            .map(|i| {
+                let v = block[off + HDR + i].load(Ordering::Acquire);
+                if v > 0 {
+                    v
+                } else if gamma >= 1.0 {
+                    ub.get(i)
+                } else {
+                    (ub.get(i) as f64 * gamma) as u64
+                }
+            })
+            .sum()
+    }
+
+    /// Safe upper bound (γ = 1).
+    pub fn ub(&self, h: DocHandle, ub: &SharedUb) -> u64 {
+        self.ub_scaled(h, ub, 1.0)
+    }
+}
+
+impl std::fmt::Debug for DocSlab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DocSlab")
+            .field("m", &self.m)
+            .field("len", &self.len())
+            .field("blocks_allocated", &self.blocks_allocated())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_roundtrip_matches_doc_type_semantics() {
+        let slab = DocSlab::new(3);
+        let h = slab.alloc(57);
+        assert_eq!(slab.id(h), 57);
+        assert_eq!(slab.current_sum(h), 0);
+        slab.set_score(h, 0, 11);
+        slab.set_score(h, 2, 41);
+        assert_eq!(slab.score(h, 0), 11);
+        assert_eq!(slab.score(h, 1), 0);
+        assert_eq!(slab.current_sum(h), 52);
+        slab.set_lb(h, 52);
+        assert_eq!(slab.lb(h), 52);
+        // Downward revision subtracts cleanly via the wrapping delta.
+        slab.set_score(h, 0, 1);
+        assert_eq!(slab.current_sum(h), 42);
+    }
+
+    #[test]
+    fn figure_1_ub_matches_doc_type() {
+        let ub = SharedUb::new(3);
+        ub.set(0, 38);
+        ub.set(1, 32);
+        ub.set(2, 41);
+        let slab = DocSlab::new(3);
+        let h = slab.alloc(57);
+        slab.set_score(h, 1, 40);
+        slab.set_score(h, 2, 41);
+        assert_eq!(slab.ub(h, &ub), 38 + 40 + 41);
+        // γ-scaled: the one unknown term is discounted.
+        assert_eq!(slab.ub_scaled(h, &ub, 0.5), 19 + 40 + 41);
+    }
+
+    #[test]
+    fn geometric_blocks_cover_many_records() {
+        let slab = DocSlab::new(2);
+        let n = 10_000usize;
+        let handles: Vec<DocHandle> = (0..n).map(|i| slab.alloc(i as DocId)).collect();
+        assert_eq!(slab.len(), n);
+        for (i, &h) in handles.iter().enumerate() {
+            assert_eq!(slab.id(h) as usize, i, "stable address for record {i}");
+        }
+        // 10_000 records with BASE_CAP=256 fit in blocks 0..=5
+        // (256·(2^6−1) = 16_128 ≥ 10_000): O(log n) allocations.
+        assert!(
+            slab.blocks_allocated() <= 6,
+            "blocks = {}",
+            slab.blocks_allocated()
+        );
+    }
+
+    #[test]
+    fn locate_block_boundaries() {
+        let slab = DocSlab::new(1);
+        // First index of each block: BASE_CAP·(2^b − 1).
+        for b in 0..5usize {
+            let first = ((1usize << b) - 1) * BASE_CAP;
+            assert_eq!(slab.locate(first), (b, 0), "first index of block {b}");
+            if b > 0 {
+                let last_prev = first - 1;
+                let (pb, poff) = slab.locate(last_prev);
+                assert_eq!(pb, b - 1, "last index of block {}", b - 1);
+                assert_eq!(poff / slab.stride, (BASE_CAP << (b - 1)) - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_admission_and_owner_writes() {
+        let slab = Arc::new(DocSlab::new(4));
+        // 4 workers admit disjoint documents and each writes its own
+        // term slot of every record it can see — the §4.3 contract.
+        let handles: Arc<parking_lot::Mutex<Vec<DocHandle>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for w in 0..4u32 {
+                let slab = Arc::clone(&slab);
+                let handles = Arc::clone(&handles);
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        let h = slab.alloc(w * 500 + i);
+                        slab.set_score(h, w as usize, w + 1);
+                        handles.lock().push(h);
+                    }
+                });
+            }
+        });
+        assert_eq!(slab.len(), 2000);
+        let handles = handles.lock();
+        let mut ids: Vec<DocId> = handles.iter().map(|&h| slab.id(h)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 2000, "no two handles share a record");
+        let total: u64 = handles.iter().map(|&h| slab.current_sum(h)).sum();
+        assert_eq!(total, 500 * (1 + 2 + 3 + 4));
+    }
+}

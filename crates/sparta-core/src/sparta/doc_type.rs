@@ -15,6 +15,13 @@ pub struct DocType {
     /// Document id.
     pub id: DocId,
     scores: Box<[AtomicU32]>,
+    /// Running Σᵢ score[i], maintained by [`set_score`](Self::set_score)
+    /// so the per-posting `current_sum()` (Alg. 1 line 23) is one load
+    /// instead of m. Safe without CAS loops because each score slot has
+    /// exactly one writer (§4.3): the delta `new − old` each owner adds
+    /// is exact for its own slot, and `fetch_add` makes the concurrent
+    /// additions from different owners commute.
+    sum: AtomicU64,
     lb: AtomicU64,
 }
 
@@ -24,6 +31,7 @@ impl DocType {
         Self {
             id,
             scores: (0..m).map(|_| AtomicU32::new(0)).collect(),
+            sum: AtomicU64::new(0),
             lb: AtomicU64::new(0),
         }
     }
@@ -33,10 +41,14 @@ impl DocType {
         self.scores.len()
     }
 
-    /// Sets term i's score (owner thread only).
+    /// Sets term i's score (owner thread only) and folds the delta into
+    /// the running sum. Two's-complement wrapping makes the delta
+    /// correct even when a score is revised downward.
     #[inline]
     pub fn set_score(&self, i: usize, score: u32) {
-        self.scores[i].store(score, Ordering::Release);
+        let old = self.scores[i].swap(score, Ordering::AcqRel);
+        let delta = u64::from(score).wrapping_sub(u64::from(old));
+        self.sum.fetch_add(delta, Ordering::AcqRel);
     }
 
     /// Term i's score so far (0 = not yet seen).
@@ -45,14 +57,11 @@ impl DocType {
         self.scores[i].load(Ordering::Acquire)
     }
 
-    /// Sum of the known term scores — the document's lower bound,
-    /// computed fresh (Alg. 1 line 23 / 31).
+    /// Sum of the known term scores — the document's lower bound
+    /// (Alg. 1 line 23 / 31). One atomic load of the running sum.
     #[inline]
     pub fn current_sum(&self) -> u64 {
-        self.scores
-            .iter()
-            .map(|s| u64::from(s.load(Ordering::Acquire)))
-            .sum()
+        self.sum.load(Ordering::Acquire)
     }
 
     /// The lazily cached LB (valid under the heap lock).
@@ -162,6 +171,18 @@ mod tests {
         assert_eq!(d.current_sum(), 52);
         d.set_lb(52);
         assert_eq!(d.lb(), 52);
+    }
+
+    #[test]
+    fn running_sum_tracks_revisions() {
+        let d = DocType::new(3, 2);
+        d.set_score(0, 50);
+        assert_eq!(d.current_sum(), 50);
+        // Downward revision: the wrapping delta must subtract cleanly.
+        d.set_score(0, 20);
+        assert_eq!(d.current_sum(), 20);
+        d.set_score(1, 5);
+        assert_eq!(d.current_sum(), 25);
     }
 
     #[test]

@@ -7,25 +7,105 @@
 //! docHeap: Every thread that adds a document to the heap updates the
 //! lower bounds of all heap documents" (§4.3, Alg. 1 lines 26–38).
 
+use super::doc_slab::{DocHandle, DocSlab};
 use super::doc_type::DocType;
 use crate::result::SearchHit;
 use crate::trace::TraceSink;
 use parking_lot::Mutex;
+use sparta_collections::{FastBuildHasher, FastHashSet};
 use sparta_corpus::types::DocId;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-struct Inner {
-    docs: Vec<Arc<DocType>>,
-    members: HashSet<DocId>,
+/// A heap's view of its document records. The heap only needs four
+/// operations on a record, so it is generic over *where* records live:
+/// refcounted `Arc<DocType>` ([`ArcDocs`], the baseline algorithms) or
+/// inline slab records addressed by `Copy` handles (`Arc<DocSlab>`,
+/// Sparta's per-query arena).
+pub trait DocStore {
+    /// The per-record reference the heap stores.
+    type Handle: Clone + Send + Sync;
+
+    /// The record's document id.
+    fn doc_id_of(&self, h: &Self::Handle) -> DocId;
+
+    /// Σ of the known term scores (the record's lower bound, fresh).
+    fn sum_of(&self, h: &Self::Handle) -> u64;
+
+    /// The lazily cached LB (valid under the heap lock).
+    fn lb_of(&self, h: &Self::Handle) -> u64;
+
+    /// Stores the recomputed LB (heap lock held).
+    fn set_lb_of(&self, h: &Self::Handle, lb: u64);
 }
 
-/// The shared `docHeap` of Algorithm 1.
-pub struct SpartaHeap {
+/// [`DocStore`] over free-standing refcounted records — the handle
+/// carries the record; the store itself is a zero-sized token.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ArcDocs;
+
+impl DocStore for ArcDocs {
+    type Handle = Arc<DocType>;
+
+    #[inline]
+    fn doc_id_of(&self, h: &Arc<DocType>) -> DocId {
+        h.id
+    }
+
+    #[inline]
+    fn sum_of(&self, h: &Arc<DocType>) -> u64 {
+        h.current_sum()
+    }
+
+    #[inline]
+    fn lb_of(&self, h: &Arc<DocType>) -> u64 {
+        h.lb()
+    }
+
+    #[inline]
+    fn set_lb_of(&self, h: &Arc<DocType>, lb: u64) {
+        h.set_lb(lb);
+    }
+}
+
+impl DocStore for Arc<DocSlab> {
+    type Handle = DocHandle;
+
+    #[inline]
+    fn doc_id_of(&self, h: &DocHandle) -> DocId {
+        self.id(*h)
+    }
+
+    #[inline]
+    fn sum_of(&self, h: &DocHandle) -> u64 {
+        DocSlab::current_sum(self, *h)
+    }
+
+    #[inline]
+    fn lb_of(&self, h: &DocHandle) -> u64 {
+        DocSlab::lb(self, *h)
+    }
+
+    #[inline]
+    fn set_lb_of(&self, h: &DocHandle, lb: u64) {
+        DocSlab::set_lb(self, *h, lb);
+    }
+}
+
+struct Inner<H> {
+    docs: Vec<H>,
+    members: FastHashSet<DocId>,
+}
+
+/// The shared `docHeap` of Algorithm 1, generic over the record store
+/// (defaults to [`ArcDocs`] so existing `SpartaHeap` usage reads
+/// unchanged).
+pub struct SpartaHeap<S: DocStore = ArcDocs> {
+    store: S,
     k: usize,
-    inner: Mutex<Inner>,
+    inner: Mutex<Inner<S::Handle>>,
     theta: AtomicU64,
     len: AtomicUsize,
     upd_nanos: AtomicU64,
@@ -33,16 +113,25 @@ pub struct SpartaHeap {
     start: Instant,
 }
 
-impl SpartaHeap {
-    /// Creates an empty heap of capacity `k`; `heapUpdTime` is
-    /// initialized to "now" (Table 1).
+impl SpartaHeap<ArcDocs> {
+    /// Creates an empty heap of capacity `k` over [`ArcDocs`];
+    /// `heapUpdTime` is initialized to "now" (Table 1).
     pub fn new(k: usize) -> Self {
+        Self::with_store(ArcDocs, k)
+    }
+}
+
+impl<S: DocStore> SpartaHeap<S> {
+    /// Creates an empty heap of capacity `k` whose records live in
+    /// `store`.
+    pub fn with_store(store: S, k: usize) -> Self {
         assert!(k >= 1);
         Self {
+            store,
             k,
             inner: Mutex::new(Inner {
                 docs: Vec::with_capacity(k + 1),
-                members: HashSet::with_capacity(k + 1),
+                members: HashSet::with_capacity_and_hasher(k + 1, FastBuildHasher),
             }),
             theta: AtomicU64::new(0),
             len: AtomicUsize::new(0),
@@ -74,18 +163,19 @@ impl SpartaHeap {
     /// UPDATE_HEAP(D) (Alg. 1 lines 26–38). Returns whether the heap
     /// changed. The caller pre-filters with
     /// `D.current_sum() > theta()` (line 23).
-    pub fn update(&self, d: &Arc<DocType>, trace: &TraceSink) -> bool {
+    pub fn update(&self, d: &S::Handle, trace: &TraceSink) -> bool {
+        let id = self.store.doc_id_of(d);
         let mut inner = self.inner.lock();
-        if inner.members.contains(&d.id) {
+        if inner.members.contains(&id) {
             // Line 28: only documents not already present are
             // (re)inserted; members' LBs refresh on the next insert.
             return false;
         }
-        inner.members.insert(d.id);
-        inner.docs.push(Arc::clone(d));
+        inner.members.insert(id);
+        inner.docs.push(d.clone());
         // Lines 30–32: lazily refresh every member's LB under the lock.
         for doc in &inner.docs {
-            doc.set_lb(doc.current_sum());
+            self.store.set_lb_of(doc, self.store.sum_of(doc));
         }
         // Lines 33–34: evict the lowest-scored doc beyond capacity.
         if inner.docs.len() > self.k {
@@ -93,14 +183,20 @@ impl SpartaHeap {
                 .docs
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, doc)| (doc.lb(), doc.id))
+                .min_by_key(|(_, doc)| (self.store.lb_of(doc), self.store.doc_id_of(doc)))
                 .expect("non-empty");
             let evicted = inner.docs.swap_remove(mi);
-            inner.members.remove(&evicted.id);
+            let eid = self.store.doc_id_of(&evicted);
+            inner.members.remove(&eid);
         }
         // Lines 35–36: Θ becomes the k-th lowest LB once full.
         if inner.docs.len() == self.k {
-            let min = inner.docs.iter().map(|doc| doc.lb()).min().unwrap_or(0);
+            let min = inner
+                .docs
+                .iter()
+                .map(|doc| self.store.lb_of(doc))
+                .min()
+                .unwrap_or(0);
             self.theta.store(min, Ordering::Release);
         }
         self.len.store(inner.docs.len(), Ordering::Release);
@@ -109,7 +205,7 @@ impl SpartaHeap {
         self.upd_nanos
             .store(self.start.elapsed().as_nanos() as u64, Ordering::Release);
         self.updates.fetch_add(1, Ordering::Relaxed);
-        trace.record(d.id, d.lb());
+        trace.record(id, self.store.lb_of(d));
         true
     }
 
@@ -120,7 +216,7 @@ impl SpartaHeap {
 
     /// Snapshot of the member ids (one lock acquisition; used by the
     /// cleaner per pass rather than per document).
-    pub fn members_snapshot(&self) -> HashSet<DocId> {
+    pub fn members_snapshot(&self) -> FastHashSet<DocId> {
         self.inner.lock().members.clone()
     }
 
@@ -143,8 +239,8 @@ impl SpartaHeap {
             .docs
             .iter()
             .map(|d| SearchHit {
-                doc: d.id,
-                score: d.current_sum(),
+                doc: self.store.doc_id_of(d),
+                score: self.store.sum_of(d),
             })
             .collect();
         drop(inner);

@@ -28,39 +28,51 @@
 //! for the exact variant's `|docMap| = |docHeap|` condition to become
 //! true, and is exactly what shrinks `termMap`-eligible copies.
 
+pub mod doc_slab;
 pub mod doc_type;
 pub mod heap;
 
+pub use doc_slab::{DocHandle, DocSlab};
 pub use doc_type::{DocType, SharedUb};
-pub use heap::SpartaHeap;
+pub use heap::{ArcDocs, DocStore, SpartaHeap};
 
 use crate::config::SearchConfig;
 use crate::result::{TopKResult, WorkStats};
 use crate::trace::TraceSink;
 use crate::Algorithm;
-use sparta_collections::{ShardedCounter, StripedMap, SwapCell};
+use sparta_collections::{FastBuildHasher, FastHashMap, ShardedCounter, StripedMap, SwapCell};
 use sparta_corpus::types::{DocId, Query, TermId};
-use sparta_exec::{Executor, JobQueue};
+use sparta_exec::{CyclicJob, Executor, Job, JobQueue};
 use sparta_index::{Index, ScoreCursor};
 use sparta_obs::{Phase, QueryTrace};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// The Sparta algorithm.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Sparta;
 
+/// Resolves `SPARTA_DEBUG_CLEANER` once per process. The lookup used
+/// to run on every cleaner pass — an environment-map probe (with its
+/// internal lock on some platforms) in the middle of the hot loop.
+fn debug_cleaner_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("SPARTA_DEBUG_CLEANER").is_some())
+}
+
 /// Shared per-query state (Table 1).
 struct State {
-    m: usize,
     cfg: SearchConfig,
     ub: SharedUb,
-    heap: SpartaHeap,
-    doc_map: SwapCell<StripedMap<DocId, Arc<DocType>>>,
+    /// Per-query record arena; `doc_map`, `termMap`s, and the heap all
+    /// refer into it by [`DocHandle`]. Dropped wholesale with the query.
+    slab: Arc<DocSlab>,
+    heap: SpartaHeap<Arc<DocSlab>>,
+    doc_map: SwapCell<StripedMap<DocId, DocHandle>>,
     done: AtomicBool,
     cleaner_scheduled: AtomicBool,
+    debug_cleaner: bool,
     trace: TraceSink,
     spans: QueryTrace,
     postings: ShardedCounter,
@@ -71,14 +83,16 @@ struct State {
 
 impl State {
     fn new(m: usize, cfg: SearchConfig) -> Self {
+        let slab = Arc::new(DocSlab::new(m));
         Self {
-            m,
             cfg,
             ub: SharedUb::new(m),
-            heap: SpartaHeap::new(cfg.k),
+            heap: SpartaHeap::with_store(Arc::clone(&slab), cfg.k),
+            slab,
             doc_map: SwapCell::new(StripedMap::new()),
             done: AtomicBool::new(false),
             cleaner_scheduled: AtomicBool::new(false),
+            debug_cleaner: debug_cleaner_enabled(),
             trace: TraceSink::with_clock(cfg.trace, cfg.clock),
             spans: QueryTrace::new(cfg.spans, cfg.clock),
             postings: ShardedCounter::new(),
@@ -102,184 +116,203 @@ impl State {
     /// (Alg. 1 lines 4–5, worker-triggered; see module docs).
     fn maybe_schedule_cleaner(self: &Arc<Self>, queue: &Arc<JobQueue>) {
         if self.ub_stop() && !self.cleaner_scheduled.swap(true, Ordering::AcqRel) {
-            let state = Arc::clone(self);
-            let q = Arc::clone(queue);
-            queue.push(Box::new(move || cleaner(state, q)));
+            queue.push(Job::cyclic(CleanerJob {
+                state: Arc::clone(self),
+                queue: Arc::clone(queue),
+            }));
         }
     }
 }
 
 /// A worker's thread-local replica of `docMap` restricted to one term
-/// (§4.3). Owned by whichever job currently processes the term, handed
-/// to the continuation job — "every posting list is accessed by at
-/// most one worker at any given time, [so] no synchronization is
-/// required".
-type TermMap = HashMap<DocId, Arc<DocType>>;
+/// (§4.3). Owned by whichever job currently processes the term, kept
+/// in the job's recycled box across segments — "every posting list is
+/// accessed by at most one worker at any given time, [so] no
+/// synchronization is required".
+type TermMap = FastHashMap<DocId, DocHandle>;
 
-/// PROCESSTERM(i) (Alg. 1 lines 8–25): traverses one segment of term
-/// i's posting list, then re-enqueues itself.
-fn process_term(
+/// PROCESSTERM(i) (Alg. 1 lines 8–25) as a recycled [`CyclicJob`]:
+/// each step traverses one segment of term i's posting list; returning
+/// `true` re-enqueues this same box for the next segment (line 25), so
+/// steady-state traversal allocates no job boxes and the cursor /
+/// `termMap` state never moves between heap objects.
+struct SegmentJob {
     state: Arc<State>,
     queue: Arc<JobQueue>,
     i: usize,
-    mut cursor: Box<dyn ScoreCursor>,
-    mut term_map: Option<TermMap>,
-) {
-    if state.is_done() {
-        return;
-    }
-    let seg_span = state.spans.span(Phase::TermProcess);
-    // Lines 9–12: once the shrinking docMap is small, build the local
-    // replica of the entries still missing this term's score.
-    if term_map.is_none() && state.ub_stop() {
-        let map = state.doc_map.load();
-        if map.len() < state.cfg.phi {
-            let mut local = TermMap::with_capacity(map.len());
-            map.for_each(|id, d| {
-                if d.score(i) == 0 {
-                    local.insert(*id, Arc::clone(d));
-                }
-            });
-            term_map = Some(local);
-        }
-    }
-    // Workers not yet on a local map take one snapshot per segment;
-    // before UBStop the map is never swapped (single instance), and
-    // after UBStop a stale snapshot can only contain already-dead
-    // entries, so updating through it is harmless.
-    let snapshot = if term_map.is_none() {
-        Some(state.doc_map.load())
-    } else {
-        None
-    };
+    cursor: Box<dyn ScoreCursor>,
+    term_map: Option<TermMap>,
+}
 
-    let mut last_score: Option<u32> = None;
-    let mut exhausted = false;
-    for _ in 0..state.cfg.seg_size {
+impl CyclicJob for SegmentJob {
+    fn run_step(&mut self) -> bool {
+        let state = &self.state;
+        let i = self.i;
         if state.is_done() {
-            return; // line 14
+            return false;
         }
-        let Some(p) = cursor.next() else {
-            exhausted = true;
-            break;
-        };
-        state.postings.incr();
-        last_score = Some(p.score);
-        // Lines 16–21: locate (or admit) the document's record.
-        let d = match (&term_map, &snapshot) {
-            (Some(local), _) => local.get(&p.doc).cloned(),
-            (None, Some(map)) => map.get_or_try_insert_with(p.doc, !state.ub_stop(), || {
-                Arc::new(DocType::new(p.doc, state.m))
-            }),
-            _ => unreachable!("exactly one of term_map/snapshot is set"),
-        };
-        if let Some(d) = d {
-            d.set_score(i, p.score); // line 22
-            if d.current_sum() > state.heap.theta() {
-                state.heap.update(&d, &state.trace); // line 23
+        let seg_span = state.spans.span(Phase::TermProcess);
+        // Lines 9–12: once the shrinking docMap is small, build the
+        // local replica of the entries still missing this term's score.
+        if self.term_map.is_none() && state.ub_stop() {
+            let map = state.doc_map.load();
+            if map.len() < state.cfg.phi {
+                let mut local = TermMap::with_capacity_and_hasher(map.len(), FastBuildHasher);
+                map.for_each(|id, h| {
+                    if state.slab.score(*h, i) == 0 {
+                        local.insert(*id, *h);
+                    }
+                });
+                self.term_map = Some(local);
             }
         }
-    }
-    // Line 24: publish the term's upper bound once per segment.
-    if let Some(s) = last_score {
-        state.ub.set(i, s);
-    }
-    if exhausted {
-        // Nothing untraversed remains: the bound drops to zero (the
-        // pseudocode leaves list exhaustion implicit).
-        state.ub.exhaust(i);
-    }
-    if let Some(map) = &snapshot {
+        // Workers not yet on a local map take one snapshot per segment;
+        // before UBStop the map is never swapped (single instance), and
+        // after UBStop a stale snapshot can only contain already-dead
+        // entries, so updating through it is harmless.
+        let snapshot = if self.term_map.is_none() {
+            Some(state.doc_map.load())
+        } else {
+            None
+        };
+
+        let mut last_score: Option<u32> = None;
+        let mut exhausted = false;
+        for _ in 0..state.cfg.seg_size {
+            if state.is_done() {
+                return false; // line 14
+            }
+            let Some(p) = self.cursor.next() else {
+                exhausted = true;
+                break;
+            };
+            state.postings.incr();
+            last_score = Some(p.score);
+            // Lines 16–21: locate (or admit) the document's record.
+            // Admission is a slab bump: the record lives inline in the
+            // arena and the map stores the 4-byte handle.
+            let d = match (&self.term_map, &snapshot) {
+                (Some(local), _) => local.get(&p.doc).copied(),
+                (None, Some(map)) => {
+                    map.get_or_try_insert_with(p.doc, !state.ub_stop(), || state.slab.alloc(p.doc))
+                }
+                _ => unreachable!("exactly one of term_map/snapshot is set"),
+            };
+            if let Some(h) = d {
+                state.slab.set_score(h, i, p.score); // line 22
+                if state.slab.current_sum(h) > state.heap.theta() {
+                    state.heap.update(&h, &state.trace); // line 23
+                }
+            }
+        }
+        // Line 24: publish the term's upper bound once per segment.
+        if let Some(s) = last_score {
+            state.ub.set(i, s);
+        }
+        if exhausted {
+            // Nothing untraversed remains: the bound drops to zero (the
+            // pseudocode leaves list exhaustion implicit).
+            state.ub.exhaust(i);
+        }
+        // Observe the map size every segment regardless of which branch
+        // served the lookups — a single worker that jumps straight to a
+        // termMap must still report the peak it admitted into the map.
         state
             .docmap_peak
-            .fetch_max(map.len() as u64, Ordering::Relaxed);
-    }
-    state.maybe_schedule_cleaner(&queue);
-    drop(seg_span); // the guard borrows `state`, which the continuation moves
-    if !exhausted && !state.is_done() {
-        // Line 25: enqueue the next segment of the same list.
-        let q = Arc::clone(&queue);
-        queue.push(Box::new(move || {
-            process_term(state, q, i, cursor, term_map)
-        }));
+            .fetch_max(state.doc_map.load().len() as u64, Ordering::Relaxed);
+        state.maybe_schedule_cleaner(&self.queue);
+        drop(seg_span);
+        // Line 25: recycle this box as the next segment of the list.
+        !exhausted && !state.is_done()
     }
 }
 
-/// CLEANER (Alg. 1 lines 39–48).
-fn cleaner(state: Arc<State>, queue: Arc<JobQueue>) {
-    if state.is_done() {
-        return;
-    }
-    let pass_span = state.spans.span(Phase::Cleaner);
-    state.cleaner_passes.fetch_add(1, Ordering::Relaxed);
-    let cur = state.doc_map.load();
-    let theta = state.heap.theta();
-    let members = state.heap.members_snapshot();
-    state
-        .docmap_peak
-        .fetch_max(cur.len() as u64, Ordering::Relaxed);
-    // Lines 41–45: rebuild into tmpDocMap, keeping entries whose upper
-    // bound still exceeds Θ, plus all heap members (whose bounds may
-    // equal Θ), then swing the global pointer. With the probabilistic
-    // extension (γ < 1), "upper bound" becomes the γ-scaled estimate —
-    // candidates merely *unlikely* to reach Θ are dropped too.
-    //
-    // `stragglers` counts retained non-members: the pseudocode's
-    // `|docMap| = |docHeap|` stopping test assumes docHeap ⊆ docMap
-    // and is exactly `stragglers == 0` then. We check stragglers
-    // directly because with γ < 1 a pruned candidate can later re-grow
-    // and re-enter the heap through a worker's termMap, breaking the
-    // ⊆ invariant (a size-equality check would then never fire and the
-    // query would degrade to a full scan).
-    let gamma = state.cfg.prune_gamma.unwrap_or(1.0);
-    let tmp: StripedMap<DocId, Arc<DocType>> = StripedMap::new();
-    let mut stragglers = 0usize;
-    cur.for_each(|id, d| {
-        let member = members.contains(id);
-        if member || d.ub_scaled(&state.ub, gamma) > theta {
-            if !member {
-                stragglers += 1;
+/// CLEANER (Alg. 1 lines 39–48) as a recycled [`CyclicJob`]: each step
+/// is one pass; returning `true` re-enqueues the same box (line 48).
+struct CleanerJob {
+    state: Arc<State>,
+    queue: Arc<JobQueue>,
+}
+
+impl CyclicJob for CleanerJob {
+    fn run_step(&mut self) -> bool {
+        let state = &self.state;
+        if state.is_done() {
+            return false;
+        }
+        let pass_span = state.spans.span(Phase::Cleaner);
+        state.cleaner_passes.fetch_add(1, Ordering::Relaxed);
+        let cur = state.doc_map.load();
+        let theta = state.heap.theta();
+        let members = state.heap.members_snapshot();
+        state
+            .docmap_peak
+            .fetch_max(cur.len() as u64, Ordering::Relaxed);
+        // Lines 41–45: rebuild into tmpDocMap, keeping entries whose
+        // upper bound still exceeds Θ, plus all heap members (whose
+        // bounds may equal Θ), then swing the global pointer. With the
+        // probabilistic extension (γ < 1), "upper bound" becomes the
+        // γ-scaled estimate — candidates merely *unlikely* to reach Θ
+        // are dropped too. Pruning removes only the handle; the record
+        // stays in the slab until the query drops (no per-record free).
+        //
+        // `stragglers` counts retained non-members: the pseudocode's
+        // `|docMap| = |docHeap|` stopping test assumes docHeap ⊆ docMap
+        // and is exactly `stragglers == 0` then. We check stragglers
+        // directly because with γ < 1 a pruned candidate can later
+        // re-grow and re-enter the heap through a worker's termMap,
+        // breaking the ⊆ invariant (a size-equality check would then
+        // never fire and the query would degrade to a full scan).
+        let gamma = state.cfg.prune_gamma.unwrap_or(1.0);
+        let tmp: StripedMap<DocId, DocHandle> = StripedMap::new();
+        let mut stragglers = 0usize;
+        cur.for_each(|id, h| {
+            let member = members.contains(id);
+            if member || state.slab.ub_scaled(*h, &state.ub, gamma) > theta {
+                if !member {
+                    stragglers += 1;
+                }
+                tmp.insert(*id, *h);
             }
-            tmp.insert(*id, Arc::clone(d));
+        });
+        if tmp.len() < cur.len() {
+            state.doc_map.swap(Arc::new(tmp));
         }
-    });
-    if tmp.len() < cur.len() {
-        state.doc_map.swap(Arc::new(tmp));
-    }
-    // Line 46: stopping conditions — Eq. 2 (no candidate outside the
-    // heap can still qualify), or the Δ timeout (exact: Δ = ∞).
-    if std::env::var_os("SPARTA_DEBUG_CLEANER").is_some() {
-        eprintln!(
-            "cleaner: map={} heap={} stragglers={stragglers} theta={} ubsum={}",
-            state.doc_map.load().len(),
-            state.heap.len(),
-            state.heap.theta(),
-            state.ub.sum()
-        );
-    }
-    let eq2 = stragglers == 0;
-    let timed_out = state
-        .cfg
-        .delta
-        .is_some_and(|d| state.heap.since_last_update() >= d);
-    // Starvation guard (found by the deterministic fault-injection
-    // harness): if the cleaner is the only outstanding job, every
-    // traversal job is gone — exhausted or lost to a fault — so no
-    // score update can ever arrive and re-enqueueing would loop
-    // forever. In a fault-free run this fires only when Eq. 2 already
-    // holds (exhausted lists zero their UB, which prunes every
-    // non-member), so it never changes exact results.
-    let starved = queue.outstanding() <= 1;
-    drop(pass_span); // the guard borrows `state`, which the re-enqueue moves
-    if eq2 || timed_out || starved {
-        if timed_out && !eq2 {
-            // The Δ budget (approximate variant) fired before Eq. 2.
-            state.timeout_stops.fetch_add(1, Ordering::Relaxed);
+        // Line 46: stopping conditions — Eq. 2 (no candidate outside
+        // the heap can still qualify), or the Δ timeout (exact: Δ = ∞).
+        if state.debug_cleaner {
+            eprintln!(
+                "cleaner: map={} heap={} stragglers={stragglers} theta={} ubsum={}",
+                state.doc_map.load().len(),
+                state.heap.len(),
+                state.heap.theta(),
+                state.ub.sum()
+            );
         }
-        state.done.store(true, Ordering::Release); // line 47
-    } else {
-        let q = Arc::clone(&queue);
-        queue.push(Box::new(move || cleaner(state, q))); // line 48
+        let eq2 = stragglers == 0;
+        let timed_out = state
+            .cfg
+            .delta
+            .is_some_and(|d| state.heap.since_last_update() >= d);
+        // Starvation guard (found by the deterministic fault-injection
+        // harness): if the cleaner is the only outstanding job, every
+        // traversal job is gone — exhausted or lost to a fault — so no
+        // score update can ever arrive and re-enqueueing would loop
+        // forever. In a fault-free run this fires only when Eq. 2
+        // already holds (exhausted lists zero their UB, which prunes
+        // every non-member), so it never changes exact results.
+        let starved = self.queue.outstanding() <= 1;
+        drop(pass_span);
+        if eq2 || timed_out || starved {
+            if timed_out && !eq2 {
+                // The Δ budget (approximate variant) fired before Eq. 2.
+                state.timeout_stops.fetch_add(1, Ordering::Relaxed);
+            }
+            state.done.store(true, Ordering::Release); // line 47
+            false
+        } else {
+            true // line 48: recycle this box as the next pass
+        }
     }
 }
 
@@ -312,9 +345,13 @@ impl Algorithm for Sparta {
             let _plan = state.spans.span(Phase::Plan);
             for (i, &t) in query.terms.iter().enumerate() {
                 let cursor = open_cursor(index, t);
-                let st = Arc::clone(&state);
-                let q = Arc::clone(&queue);
-                queue.push(Box::new(move || process_term(st, q, i, cursor, None)));
+                queue.push(Job::cyclic(SegmentJob {
+                    state: Arc::clone(&state),
+                    queue: Arc::clone(&queue),
+                    i,
+                    cursor,
+                    term_map: None,
+                }));
             }
         }
         exec.run(Arc::clone(&queue));
@@ -323,14 +360,16 @@ impl Algorithm for Sparta {
         let mut hits = state.heap.sorted_hits();
         hits.truncate(cfg.k);
         drop(merge);
+        let docmap_final = state.doc_map.load().len() as u64;
         let work = WorkStats {
             postings_scanned: state.postings.get(),
             random_accesses: 0,
             heap_updates: state.heap.update_count(),
-            docmap_peak: state.docmap_peak.load(Ordering::Relaxed),
+            docmap_peak: state.docmap_peak.load(Ordering::Relaxed).max(docmap_final),
             cleaner_passes: state.cleaner_passes.load(Ordering::Relaxed),
             jobs_panicked: queue.panicked() as u64,
-            docmap_final: state.doc_map.load().len() as u64,
+            jobs_recycled: queue.recycled() as u64,
+            docmap_final,
             timeout_stops: state.timeout_stops.load(Ordering::Relaxed),
         };
         let state = Arc::into_inner(state).expect("all jobs drained");
@@ -466,10 +505,29 @@ mod tests {
         let ix = pseudo_index(3000, 3, 11);
         let q = Query::new(vec![0, 1, 2]);
         let cfg = SearchConfig::exact(10).with_seg_size(64).with_phi(128);
-        let r = Sparta.search(&ix, &q, &cfg, &DedicatedExecutor::new(3));
-        assert!(r.work.postings_scanned > 0);
-        assert!(r.work.heap_updates >= 10);
-        assert_eq!(r.work.random_accesses, 0, "Sparta never random-accesses");
+        // Peak tracking must be branch-independent: a single worker
+        // that jumps straight to termMaps used to under-report it.
+        for threads in [1, 3] {
+            let r = Sparta.search(&ix, &q, &cfg, &DedicatedExecutor::new(threads));
+            assert!(r.work.postings_scanned > 0);
+            assert!(r.work.heap_updates >= 10);
+            assert_eq!(r.work.random_accesses, 0, "Sparta never random-accesses");
+            assert!(
+                r.work.docmap_peak >= r.work.docmap_final,
+                "threads={threads}: peak {} < final {}",
+                r.work.docmap_peak,
+                r.work.docmap_final
+            );
+            assert!(
+                r.work.docmap_peak > 10,
+                "threads={threads}: peak {} never observed above k",
+                r.work.docmap_peak
+            );
+            assert!(
+                r.work.jobs_recycled > 0,
+                "threads={threads}: segment continuations must recycle"
+            );
+        }
     }
 
     #[test]

@@ -110,7 +110,7 @@ mod tests {
         assert_eq!(ub.sum(), 111);
         assert_eq!(ub.doc_ub(&[0, 40, 41]), 119);
         // LB(D57) = 0+40+41 = 81 (lower bounds are just known sums).
-        assert_eq!(0u64 + 40 + 41, 81);
+        assert_eq!([0u64, 40, 41].iter().sum::<u64>(), 81);
     }
 
     #[test]

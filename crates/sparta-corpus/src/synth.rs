@@ -287,8 +287,8 @@ mod tests {
                 dl[d as usize] += u64::from(tf);
             }
         });
-        for d in 0..2_000usize {
-            assert_eq!(u64::from(stats.dl(d as DocId)), dl[d], "doc {d}");
+        for (d, &want) in dl.iter().enumerate() {
+            assert_eq!(u64::from(stats.dl(d as DocId)), want, "doc {d}");
         }
     }
 

@@ -14,9 +14,55 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// A unit of work. Jobs re-enqueue their own continuations via the
-/// `Arc<JobQueue>` they capture.
-pub type Job = Box<dyn FnOnce() + Send>;
+/// A resumable job that keeps its own state between steps.
+///
+/// The segment-continuation pattern (`PROCESSTERM` re-enqueuing itself
+/// per segment, Alg. 1 line 25) used to allocate a fresh
+/// `Box<dyn FnOnce>` per segment: thousands of short-lived boxes per
+/// query, all carrying the same captured state. A `CyclicJob` instead
+/// holds that state in **one** box for the job's whole lifetime;
+/// [`run_step`](CyclicJob::run_step) returning `true` re-enqueues the
+/// *same* box (see [`JobQueue::run_job`]), so steady-state traversal
+/// allocates zero job boxes.
+pub trait CyclicJob: Send {
+    /// Runs one step of the job. Return `true` to have the queue
+    /// re-enqueue this same (recycled) box for another step, `false`
+    /// when the job is finished.
+    fn run_step(&mut self) -> bool;
+}
+
+/// A unit of work. Jobs re-enqueue their own continuations either by
+/// pushing fresh closures via the `Arc<JobQueue>` they capture
+/// ([`Job::Once`]) or by returning `true` from
+/// [`run_step`](CyclicJob::run_step), which recycles the job's own box
+/// ([`Job::Cyclic`]).
+pub enum Job {
+    /// A one-shot closure; consumed by its single run.
+    Once(Box<dyn FnOnce() + Send>),
+    /// A resumable job whose box is recycled across steps.
+    Cyclic(Box<dyn CyclicJob>),
+}
+
+impl Job {
+    /// Wraps a resumable job.
+    pub fn cyclic<J: CyclicJob + 'static>(job: J) -> Self {
+        Job::Cyclic(Box::new(job))
+    }
+}
+
+// `queue.push(Box::new(closure))` call sites keep working, with the
+// one box they already allocate becoming the `Job::Once` payload.
+impl<F: FnOnce() + Send + 'static> From<Box<F>> for Job {
+    fn from(f: Box<F>) -> Self {
+        Job::Once(f)
+    }
+}
+
+impl From<Box<dyn FnOnce() + Send>> for Job {
+    fn from(f: Box<dyn FnOnce() + Send>) -> Self {
+        Job::Once(f)
+    }
+}
 
 /// A FIFO queue of self-scheduling jobs with completion tracking.
 ///
@@ -36,6 +82,10 @@ pub struct JobQueue {
     panicked: Counter,
     /// Jobs discarded unrun via [`JobQueue::discard`] (fault injection).
     dropped: Counter,
+    /// Cyclic-job steps whose box was re-enqueued instead of freed —
+    /// each is one `Box<dyn FnOnce>` allocation the continuation
+    /// pattern no longer pays.
+    recycled: Counter,
     /// Deepest the queue has ever been (observed at push/requeue, while
     /// the queue lock is held, so the reading is exact).
     depth_highwater: MaxGauge,
@@ -47,8 +97,10 @@ impl JobQueue {
         Arc::new(Self::default())
     }
 
-    /// Enqueues a job.
-    pub fn push(&self, job: Job) {
+    /// Enqueues a job. Accepts a boxed closure (`Box::new(move || …)`)
+    /// or a [`Job`] directly (`Job::cyclic(…)` for resumable jobs).
+    pub fn push(&self, job: impl Into<Job>) {
+        let job = job.into();
         self.outstanding.fetch_add(1, Ordering::AcqRel);
         let depth = {
             let mut guard = self.jobs.lock();
@@ -78,6 +130,12 @@ impl JobQueue {
     /// Jobs discarded without running via [`JobQueue::discard`].
     pub fn dropped(&self) -> usize {
         self.dropped.get() as usize
+    }
+
+    /// Cyclic-job steps that recycled their box (continuations run
+    /// without allocating). See [`CyclicJob`].
+    pub fn recycled(&self) -> usize {
+        self.recycled.get() as usize
     }
 
     /// Deepest the queue has ever been. Executors fold this into their
@@ -126,10 +184,34 @@ impl JobQueue {
     ///
     /// A panic inside the job is caught and counted (see
     /// [`JobQueue::panicked`]); bookkeeping still runs, so the query
-    /// completes and the calling worker thread survives.
+    /// completes and the calling worker thread survives. A panicking
+    /// cyclic job is dropped mid-flight — its continuation is lost,
+    /// exactly like a panicking `FnOnce` whose captured state unwound.
     pub fn run_job(&self, job: Job) -> bool {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-        let panicked = result.is_err();
+        let panicked = match job {
+            Job::Once(f) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err(),
+            Job::Cyclic(mut job) => {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    let more = job.run_step();
+                    (job, more)
+                }));
+                match result {
+                    Ok((job, true)) => {
+                        // Recycle: the same box goes straight back on
+                        // the queue via `requeue`, which leaves the
+                        // outstanding count untouched — the job's slot
+                        // carries over to the next step, so the count
+                        // never dips to zero between segments.
+                        self.recycled.incr();
+                        self.executed.incr();
+                        self.requeue(Job::Cyclic(job));
+                        return false;
+                    }
+                    Ok((_, false)) => false,
+                    Err(_) => true,
+                }
+            }
+        };
         if panicked {
             self.panicked.incr();
         }
@@ -246,6 +328,7 @@ impl Default for JobQueue {
             executed: Counter::new(),
             panicked: Counter::new(),
             dropped: Counter::new(),
+            recycled: Counter::new(),
             depth_highwater: MaxGauge::new(),
         }
     }
@@ -445,6 +528,84 @@ mod tests {
         assert_eq!(m.jobs_panicked.get(), 1);
         assert_eq!(m.job_ns.count(), 2);
         assert!(q.is_complete());
+    }
+
+    #[test]
+    fn cyclic_job_recycles_box_until_done() {
+        struct Countdown {
+            left: u32,
+            count: Arc<AtomicU64>,
+        }
+        impl CyclicJob for Countdown {
+            fn run_step(&mut self) -> bool {
+                self.count.fetch_add(1, Ordering::Relaxed);
+                self.left -= 1;
+                self.left > 0
+            }
+        }
+        let q = JobQueue::new();
+        let count = Arc::new(AtomicU64::new(0));
+        q.push(Job::cyclic(Countdown {
+            left: 100,
+            count: Arc::clone(&count),
+        }));
+        q.run_worker();
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        assert!(q.is_complete());
+        assert_eq!(q.executed(), 100);
+        assert_eq!(q.recycled(), 99, "every step but the last recycles");
+    }
+
+    #[test]
+    fn cyclic_recycle_keeps_outstanding_nonzero() {
+        // Between run_step returning true and the next step starting,
+        // the outstanding count must not dip to zero — a transient zero
+        // would let run_worker/wait_complete exit with work remaining.
+        struct Probe {
+            q: Arc<JobQueue>,
+            left: u32,
+            min_seen: Arc<AtomicU64>,
+        }
+        impl CyclicJob for Probe {
+            fn run_step(&mut self) -> bool {
+                self.min_seen
+                    .fetch_min(self.q.outstanding() as u64, Ordering::Relaxed);
+                self.left -= 1;
+                self.left > 0
+            }
+        }
+        let q = JobQueue::new();
+        let min_seen = Arc::new(AtomicU64::new(u64::MAX));
+        q.push(Job::cyclic(Probe {
+            q: Arc::clone(&q),
+            left: 50,
+            min_seen: Arc::clone(&min_seen),
+        }));
+        q.run_worker();
+        assert!(q.is_complete());
+        assert!(min_seen.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn panicking_cyclic_job_is_caught_and_completes() {
+        struct Bomb {
+            steps: u32,
+        }
+        impl CyclicJob for Bomb {
+            fn run_step(&mut self) -> bool {
+                self.steps += 1;
+                if self.steps == 3 {
+                    panic!("injected fault");
+                }
+                true
+            }
+        }
+        let q = JobQueue::new();
+        q.push(Job::cyclic(Bomb { steps: 0 }));
+        q.run_worker();
+        assert!(q.is_complete());
+        assert_eq!(q.panicked(), 1);
+        assert_eq!(q.recycled(), 2);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod pool;
 pub use dedicated::DedicatedExecutor;
 pub use deterministic::DeterministicExecutor;
 pub use fault::FaultPlan;
-pub use job_queue::{Job, JobQueue};
+pub use job_queue::{CyclicJob, Job, JobQueue};
 pub use pool::WorkerPool;
 
 use std::sync::Arc;

@@ -307,9 +307,16 @@ mod tests {
             pool.run(make_query(25, &c));
         }
         assert_eq!(c.load(Ordering::Relaxed), 100);
-        // Retirement happens on a worker's next sweep; give it a beat.
+        // Retirement happens on a worker's next sweep, and the last
+        // job's duration is recorded *after* its completion bookkeeping
+        // (a queue can retire while that worker is still between
+        // run_job and record_job) — wait for both counters.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while metrics.snapshot().queries_run < 4 && std::time::Instant::now() < deadline {
+        while {
+            let s = metrics.snapshot();
+            s.queries_run < 4 || s.jobs_run < 100
+        } && std::time::Instant::now() < deadline
+        {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         let s = metrics.snapshot();

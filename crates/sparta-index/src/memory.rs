@@ -407,7 +407,7 @@ mod tests {
         assert_eq!(ra.term_score(1, 3), 31);
         assert_eq!(ra.term_score(9, 3), 0, "unknown term");
         assert_eq!(ra.full_score(&[0, 1], 4), 96 + 41);
-        assert_eq!(ra.full_score(&[0, 1], 3), 0 + 31);
+        assert_eq!(ra.full_score(&[0, 1], 3), 31, "term 0 contributes nothing");
     }
 
     #[test]

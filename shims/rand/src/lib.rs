@@ -264,7 +264,7 @@ mod tests {
     #[test]
     fn dyn_rng_usable() {
         // `R: Rng + ?Sized` call sites (zipf sampler) must compile and run.
-        fn draw(rng: &mut (dyn super::RngCore)) -> f64 {
+        fn draw(rng: &mut dyn super::RngCore) -> f64 {
             rng.gen::<f64>()
         }
         let mut rng = StdRng::seed_from_u64(3);
