@@ -22,6 +22,8 @@
 //! * `SPARTA_QUERIES` — queries per cell   (default 20; paper uses 100)
 //! * `SPARTA_THREADS` — worker threads     (default 4; paper uses 12)
 
+#![forbid(unsafe_code)]
+
 use sparta_bench::{Dataset, LatencyStats, Scale, VariantParams};
 use sparta_core::recall::{recall_dynamics, time_to_recall};
 use sparta_core::{algorithm_by_name, Algorithm};

@@ -15,6 +15,8 @@
 //! random accesses) are reported alongside wall-clock times. See
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod export;
 pub mod measure;

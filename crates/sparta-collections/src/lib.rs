@@ -21,6 +21,7 @@
 //!   indexing, replacing the double SipHash previously paid per
 //!   `docMap` access.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counter;

@@ -7,7 +7,8 @@
 //! O(log k) offer, update, and eviction, with the same threshold
 //! semantics (Θ = k-th best score once full, 0 before).
 
-use std::collections::{BTreeSet, HashMap};
+use crate::fast_hash::{FastBuildHasher, FastHashMap};
+use std::collections::BTreeSet;
 use std::hash::Hash;
 
 /// Bounded top-k with updatable scores.
@@ -16,7 +17,7 @@ pub struct MutableTopK<T> {
     k: usize,
     // Ordered ascending: first element is the current minimum.
     set: BTreeSet<(u64, T)>,
-    scores: HashMap<T, u64>,
+    scores: FastHashMap<T, u64>,
 }
 
 impl<T: Ord + Hash + Copy> MutableTopK<T> {
@@ -26,7 +27,7 @@ impl<T: Ord + Hash + Copy> MutableTopK<T> {
         Self {
             k,
             set: BTreeSet::new(),
-            scores: HashMap::with_capacity(k + 1),
+            scores: FastHashMap::with_capacity_and_hasher(k + 1, FastBuildHasher),
         }
     }
 

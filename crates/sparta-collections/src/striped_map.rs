@@ -22,10 +22,9 @@
 //! striping would make every stripe's resident keys agree on those
 //! bits, degrading in-stripe bucket distribution.
 
-use crate::fast_hash::{fast_hash_one, FastBuildHasher};
+use crate::fast_hash::{fast_hash_one, FastBuildHasher, FastHashMap};
 use parking_lot::Mutex;
 use std::borrow::Borrow;
-use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -52,7 +51,7 @@ pub const DEFAULT_STRIPES: usize = 64;
 /// assert_eq!(map.len(), 400);
 /// ```
 pub struct StripedMap<K, V> {
-    stripes: Box<[Mutex<HashMap<K, V, FastBuildHasher>>]>,
+    stripes: Box<[Mutex<FastHashMap<K, V>>]>,
     mask: usize,
     len: AtomicUsize,
 }
@@ -68,7 +67,7 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
     pub fn with_stripes(stripes: usize) -> Self {
         let n = stripes.max(1).next_power_of_two();
         let stripes: Vec<_> = (0..n)
-            .map(|_| Mutex::new(HashMap::with_hasher(FastBuildHasher)))
+            .map(|_| Mutex::new(FastHashMap::with_hasher(FastBuildHasher)))
             .collect();
         Self {
             stripes: stripes.into_boxed_slice(),

@@ -134,6 +134,7 @@ impl Algorithm for Wand {
         cfg: &SearchConfig,
         _exec: &dyn Executor,
     ) -> TopKResult {
+        // lint: allow(wall-clock): end-to-end latency endpoint reported in TopKResult stats
         let start = Instant::now();
         let trace = TraceSink::new(cfg.trace);
         let mut cursors: Vec<_> = query

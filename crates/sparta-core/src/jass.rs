@@ -42,6 +42,7 @@ impl Algorithm for Jass {
         cfg: &SearchConfig,
         _exec: &dyn Executor,
     ) -> TopKResult {
+        // lint: allow(wall-clock): end-to-end latency endpoint reported in TopKResult stats
         let start = Instant::now();
         let trace = TraceSink::new(cfg.trace);
         let mut cursors: Vec<_> = query.terms.iter().map(|&t| index.score_cursor(t)).collect();

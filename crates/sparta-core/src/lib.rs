@@ -24,6 +24,7 @@
 //! the same [`sparta_exec::Executor`] machinery, so latency and
 //! throughput experiments use identical code paths.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

@@ -101,6 +101,7 @@ impl Algorithm for PJass {
         cfg: &SearchConfig,
         exec: &dyn Executor,
     ) -> TopKResult {
+        // lint: allow(wall-clock): end-to-end latency endpoint reported in TopKResult stats
         let start = Instant::now();
         let total: u64 = query.terms.iter().map(|&t| index.doc_freq(t)).sum();
         let state = Arc::new(State {

@@ -124,6 +124,7 @@ impl Algorithm for PRa {
         cfg: &SearchConfig,
         exec: &dyn Executor,
     ) -> TopKResult {
+        // lint: allow(wall-clock): end-to-end latency endpoint reported in TopKResult stats
         let start = Instant::now();
         if query.terms.is_empty() {
             return TopKResult {

@@ -110,6 +110,7 @@ impl Algorithm for SNra {
         let sharded = Arc::new(ShardedLists::build(index, query, p));
         // Shard construction models offline pre-partitioning; latency
         // measurement starts here, matching the paper's methodology.
+        // lint: allow(wall-clock): end-to-end latency endpoint reported in TopKResult stats
         let start = Instant::now();
         let trace = Arc::new(TraceSink::with_clock(cfg.trace, cfg.clock));
         let spans = Arc::new(QueryTrace::new(cfg.spans, cfg.clock));

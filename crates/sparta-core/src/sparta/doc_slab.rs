@@ -140,6 +140,11 @@ impl DocSlab {
     #[inline]
     pub fn id(&self, h: DocHandle) -> DocId {
         let (block, off) = self.record(h);
+        // ordering: the id word is written once in alloc() before the
+        // handle is published through the docMap stripe lock (or the
+        // heap lock); that lock's release/acquire pair orders the store
+        // before any reader holding a handle, so Relaxed suffices here
+        // even though the sibling score/sum words use Acquire.
         block[off].load(Ordering::Relaxed) as DocId
     }
 

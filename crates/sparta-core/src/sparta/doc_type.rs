@@ -46,6 +46,12 @@ impl DocType {
     /// correct even when a score is revised downward.
     #[inline]
     pub fn set_score(&self, i: usize, score: u32) {
+        // ordering: both RMWs are AcqRel so the running sum stays a
+        // *publication point*: a thread that Acquire-loads `sum` in
+        // current_sum() and observes this delta also observes the score
+        // swap that produced it (release sequence through the two
+        // RMWs). Relaxed here would let the Alg. 1 line 23 filter read
+        // a sum whose constituent score is not yet visible.
         let old = self.scores[i].swap(score, Ordering::AcqRel);
         let delta = u64::from(score).wrapping_sub(u64::from(old));
         self.sum.fetch_add(delta, Ordering::AcqRel);

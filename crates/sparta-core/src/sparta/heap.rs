@@ -14,7 +14,6 @@ use crate::trace::TraceSink;
 use parking_lot::Mutex;
 use sparta_collections::{FastBuildHasher, FastHashSet};
 use sparta_corpus::types::DocId;
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -131,12 +130,13 @@ impl<S: DocStore> SpartaHeap<S> {
             k,
             inner: Mutex::new(Inner {
                 docs: Vec::with_capacity(k + 1),
-                members: HashSet::with_capacity_and_hasher(k + 1, FastBuildHasher),
+                members: FastHashSet::with_capacity_and_hasher(k + 1, FastBuildHasher),
             }),
             theta: AtomicU64::new(0),
             len: AtomicUsize::new(0),
             upd_nanos: AtomicU64::new(0),
             updates: AtomicU64::new(0),
+            // lint: allow(wall-clock): baseline instant for the upd_nanos heap-update timing stat
             start: Instant::now(),
         }
     }

@@ -328,6 +328,7 @@ impl Algorithm for Sparta {
         cfg: &SearchConfig,
         exec: &dyn Executor,
     ) -> TopKResult {
+        // lint: allow(wall-clock): end-to-end latency endpoint reported in TopKResult stats
         let start = Instant::now();
         let m = query.terms.len();
         if m == 0 {

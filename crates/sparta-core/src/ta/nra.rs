@@ -38,6 +38,7 @@ pub fn run_nra(
     let mut candidates: HashMap<DocId, Vec<u32>> = HashMap::new();
     let mut heap: MutableTopK<DocId> = MutableTopK::new(cfg.k);
     let mut work = WorkStats::default();
+    // lint: allow(wall-clock): sequential-baseline stall timeout (no queue to park on)
     let mut last_heap_change = Instant::now();
     let mut since_sweep = 0u64;
 
@@ -65,6 +66,7 @@ pub fn run_nra(
                     let lb: u64 = scores.iter().map(|&s| u64::from(s)).sum();
                     if heap.offer(lb, p.doc) {
                         work.heap_updates += 1;
+                        // lint: allow(wall-clock): sequential-baseline stall timeout (no queue to park on)
                         last_heap_change = Instant::now();
                         trace.record(p.doc, lb);
                     }
@@ -77,6 +79,7 @@ pub fn run_nra(
                     let lb = u64::from(p.score);
                     if heap.offer(lb, p.doc) {
                         work.heap_updates += 1;
+                        // lint: allow(wall-clock): sequential-baseline stall timeout (no queue to park on)
                         last_heap_change = Instant::now();
                         trace.record(p.doc, lb);
                     }
@@ -133,6 +136,7 @@ impl Algorithm for SeqNra {
         cfg: &SearchConfig,
         _exec: &dyn Executor,
     ) -> TopKResult {
+        // lint: allow(wall-clock): end-to-end latency endpoint reported in TopKResult stats
         let start = Instant::now();
         let trace = TraceSink::new(cfg.trace);
         let cursors: Vec<_> = query.terms.iter().map(|&t| index.score_cursor(t)).collect();

@@ -37,6 +37,7 @@ impl Algorithm for SeqRa {
         cfg: &SearchConfig,
         _exec: &dyn Executor,
     ) -> TopKResult {
+        // lint: allow(wall-clock): end-to-end latency endpoint reported in TopKResult stats
         let start = Instant::now();
         let trace = TraceSink::new(cfg.trace);
         let ra = index
@@ -48,6 +49,7 @@ impl Algorithm for SeqRa {
         let mut heap: BoundedTopK<DocId> = BoundedTopK::new(cfg.k);
         let mut seen: HashSet<DocId> = HashSet::new();
         let mut work = WorkStats::default();
+        // lint: allow(wall-clock): sequential-baseline stall timeout (no queue to park on)
         let mut last_change = Instant::now();
         let mut since_check = 0u64;
 
@@ -77,6 +79,7 @@ impl Algorithm for SeqRa {
                     work.docmap_peak = work.docmap_peak.max(seen.len() as u64);
                     if full > heap.threshold() && heap.offer(full, p.doc) {
                         work.heap_updates += 1;
+                        // lint: allow(wall-clock): sequential-baseline stall timeout (no queue to park on)
                         last_change = Instant::now();
                         trace.record(p.doc, full);
                     }

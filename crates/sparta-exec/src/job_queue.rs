@@ -101,6 +101,11 @@ impl JobQueue {
     /// or a [`Job`] directly (`Job::cyclic(…)` for resumable jobs).
     pub fn push(&self, job: impl Into<Job>) {
         let job = job.into();
+        // ordering: outstanding is a completion *protocol*, not a mere
+        // stat — wait_for_completion spins on it reaching 0, so every
+        // increment/decrement is AcqRel to pair with the Acquire load
+        // in outstanding(): the release of the final fetch_sub makes
+        // the finished job's writes visible to the woken waiter.
         self.outstanding.fetch_add(1, Ordering::AcqRel);
         let depth = {
             let mut guard = self.jobs.lock();
@@ -216,6 +221,9 @@ impl JobQueue {
             self.panicked.incr();
         }
         self.executed.incr();
+        // ordering: AcqRel — release publishes this job's side effects
+        // to the waiter that observes outstanding() == 0; acquire
+        // orders this decrement after the job body above it.
         if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last outstanding job: wake completion waiters (and any
             // workers blocked waiting for more jobs).
@@ -281,6 +289,7 @@ impl JobQueue {
             loop {
                 if let Some(job) = guard.pop_front() {
                     drop(guard);
+                    // lint: allow(wall-clock): executor metrics timing (busy/parked nanos)
                     let started = Instant::now();
                     let panicked = self.run_job(job);
                     m.record_job(started.elapsed().as_nanos() as u64, panicked);
@@ -289,6 +298,7 @@ impl JobQueue {
                 if self.is_complete() {
                     return;
                 }
+                // lint: allow(wall-clock): executor metrics timing (busy/parked nanos)
                 let parked = Instant::now();
                 self.cv.wait(&mut guard);
                 m.idle_ns.add(parked.elapsed().as_nanos() as u64);

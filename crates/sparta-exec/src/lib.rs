@@ -19,6 +19,7 @@
 //! mode), [`WorkerPool`] multiplexes many queries over persistent
 //! threads (throughput mode).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dedicated;

@@ -159,6 +159,7 @@ fn worker_loop(sh: &Shared, worker: usize) {
                                 q.run_job(job);
                             }
                             Some(m) => {
+                                // lint: allow(wall-clock): executor metrics timing (busy/parked nanos)
                                 let started = Instant::now();
                                 let panicked = q.run_job(job);
                                 m.worker(worker)
@@ -194,6 +195,7 @@ fn worker_loop(sh: &Shared, worker: usize) {
         // Nothing to do: wait for a push/submission/completion.
         let mut guard = sh.pending.lock();
         if guard.is_empty() && !sh.shutdown.load(Ordering::Acquire) {
+            // lint: allow(wall-clock): executor metrics timing (busy/parked nanos)
             let parked = Instant::now();
             sh.cv
                 .wait_for(&mut guard, std::time::Duration::from_micros(200));

@@ -1,0 +1,303 @@
+//! Pass 1: the atomic-ordering audit.
+//!
+//! Every `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}` site
+//! is grouped by the atomic place it touches — (file, normalized
+//! receiver chain) — and each group is checked against the policy
+//! table (DESIGN.md §11):
+//!
+//! - **Counter class.** A place accessed *only* with `Relaxed` is a
+//!   statistic: no thread makes a control or data decision requiring
+//!   other memory to be visible. All-`Relaxed` groups pass.
+//! - **Publish class.** A place with any non-`Relaxed` access carries
+//!   synchronization. Then every load must be `Acquire`, every store
+//!   `Release`, and every read-modify-write `AcqRel` (a
+//!   `compare_exchange` failure ordering may be `Acquire`). A `Relaxed`
+//!   access mixed into such a group is the classic lost-pairing bug and
+//!   must carry a `// ordering: <reason>` justification.
+//! - **`SeqCst` is forbidden outright** — the workspace's protocols are
+//!   all pairwise release/acquire; a `SeqCst` site either hides a
+//!   missing pairing or buys nothing. No annotation can excuse it.
+//!
+//! Grouping is per-file and textual, so two aliases of one atomic
+//! (e.g. a clone moved into a thread under another name) form separate
+//! groups. That is deliberate: each group must be *locally* coherent,
+//! and cross-file pairings are what the `// ordering:` annotations
+//! document.
+
+use crate::report::Diagnostic;
+use crate::scan::Scan;
+use std::collections::BTreeMap;
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+const RMW_METHODS: [&str; 11] = [
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessKind {
+    Load,
+    Store,
+    Rmw,
+    /// `Ordering::*` outside a recognized atomic method call — a
+    /// helper taking an ordering parameter, say. Always needs a
+    /// justification: the policy table can say nothing about it.
+    Unknown,
+}
+
+/// One `Ordering::X` occurrence.
+#[derive(Debug)]
+struct Site {
+    line: u32,
+    ordering: &'static str,
+    kind: AccessKind,
+    method: String,
+    group: String,
+}
+
+/// Per-file coverage numbers for the report.
+#[derive(Debug, Default, Clone)]
+pub struct Coverage {
+    pub sites: usize,
+    pub matched: usize,
+    pub annotated: usize,
+    pub violations: usize,
+}
+
+/// Runs the audit over one file. Returns the coverage row; diagnostics
+/// are appended to `diags`.
+pub fn audit(path: &str, scan: &Scan, diags: &mut Vec<Diagnostic>) -> Coverage {
+    let toks = &scan.lex.toks;
+    let mut sites: Vec<Site> = Vec::new();
+
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("Ordering") {
+            continue;
+        }
+        let Some(variant) = toks.get(i + 3) else {
+            continue;
+        };
+        if !(toks[i + 1].is_punct(':') && toks[i + 2].is_punct(':')) {
+            continue;
+        }
+        let Some(&ordering) = ORDERINGS.iter().find(|o| variant.is_ident(o)) else {
+            continue; // cmp::Ordering::{Less,…} and friends
+        };
+        // Innermost enclosing call determines the access kind/place.
+        let call = scan
+            .calls
+            .iter()
+            .filter(|c| c.args_open < i && i < c.args_close)
+            .max_by_key(|c| c.args_open);
+        let (kind, method, group) = match call {
+            Some(c) if c.method == "load" => (AccessKind::Load, c.method.clone(), c.recv.clone()),
+            Some(c) if c.method == "store" => (AccessKind::Store, c.method.clone(), c.recv.clone()),
+            Some(c) if RMW_METHODS.contains(&c.method.as_str()) => {
+                (AccessKind::Rmw, c.method.clone(), c.recv.clone())
+            }
+            Some(c) => (AccessKind::Unknown, c.method.clone(), c.recv.clone()),
+            None => (AccessKind::Unknown, String::new(), String::new()),
+        };
+        sites.push(Site {
+            line: variant.line,
+            ordering,
+            kind,
+            method,
+            group,
+        });
+    }
+
+    // Group by place and classify.
+    let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, s) in sites.iter().enumerate() {
+        groups.entry(&s.group).or_default().push(idx);
+    }
+
+    let mut cov = Coverage {
+        sites: sites.len(),
+        ..Coverage::default()
+    };
+
+    for (_, members) in groups {
+        let all_relaxed = members.iter().all(|&i| sites[i].ordering == "Relaxed");
+        for &i in &members {
+            let s = &sites[i];
+            let annotated = scan.lex.annotated(s.line, "ordering");
+            // SeqCst first: not even an annotation excuses it.
+            if s.ordering == "SeqCst" {
+                cov.violations += 1;
+                diags.push(Diagnostic::new(
+                    "seqcst-forbidden",
+                    path,
+                    s.line,
+                    format!(
+                        "Ordering::SeqCst on `{}` — the workspace policy forbids SeqCst \
+                         outright; express the protocol as a Release/Acquire pair",
+                        display_place(s),
+                    ),
+                ));
+                continue;
+            }
+            let verdict = if s.kind == AccessKind::Unknown {
+                Err(format!(
+                    "Ordering::{} outside a recognized atomic access (context `{}`) — \
+                     the policy table cannot classify it",
+                    s.ordering,
+                    if s.method.is_empty() {
+                        "<none>"
+                    } else {
+                        &s.method
+                    },
+                ))
+            } else if all_relaxed {
+                Ok(()) // counter class
+            } else {
+                check_publish_site(s)
+            };
+            match verdict {
+                Ok(()) => {
+                    cov.matched += 1;
+                    if annotated {
+                        cov.annotated += 1;
+                    }
+                }
+                Err(_) if annotated => cov.annotated += 1,
+                Err(why) => {
+                    cov.violations += 1;
+                    let rule = if s.ordering == "Relaxed" {
+                        "mixed-ordering"
+                    } else {
+                        "rmw-ordering"
+                    };
+                    diags.push(Diagnostic::new(
+                        rule,
+                        path,
+                        s.line,
+                        format!("{why}; add `// ordering: <reason>` or fix the ordering"),
+                    ));
+                }
+            }
+        }
+    }
+    cov
+}
+
+/// Policy check for one site of a publish-class group.
+fn check_publish_site(s: &Site) -> Result<(), String> {
+    let ok = match s.kind {
+        AccessKind::Load => s.ordering == "Acquire",
+        AccessKind::Store => s.ordering == "Release",
+        AccessKind::Rmw => {
+            s.ordering == "AcqRel"
+                || (s.method.starts_with("compare_exchange") && s.ordering == "Acquire")
+        }
+        AccessKind::Unknown => unreachable!("handled by caller"),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!(
+            "`{}` uses Ordering::{} on `{}`, but the place is publish-class \
+             (it has non-Relaxed accesses); policy requires Acquire loads, \
+             Release stores, AcqRel RMWs",
+            s.method,
+            s.ordering,
+            display_place(s),
+        ))
+    }
+}
+
+fn display_place(s: &Site) -> &str {
+    if s.group.is_empty() {
+        "<unknown>"
+    } else {
+        &s.group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Coverage, Vec<Diagnostic>) {
+        let l = lex(src);
+        let s = Scan::new(&l);
+        let mut d = Vec::new();
+        let c = audit("test.rs", &s, &mut d);
+        (c, d)
+    }
+
+    #[test]
+    fn pure_relaxed_counter_is_matched() {
+        let (c, d) =
+            run("self.hits.fetch_add(1, Ordering::Relaxed);\nself.hits.load(Ordering::Relaxed);");
+        assert_eq!(c.sites, 2);
+        assert_eq!(c.matched, 2);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn coherent_publish_group_is_matched() {
+        let (c, d) = run("self.flag.store(1, Ordering::Release);\n\
+             self.flag.load(Ordering::Acquire);\n\
+             self.flag.fetch_add(1, Ordering::AcqRel);");
+        assert_eq!(c.matched, 3);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn relaxed_in_publish_group_fires_unless_annotated() {
+        let (c, d) =
+            run("self.flag.store(1, Ordering::Release);\nself.flag.load(Ordering::Relaxed);");
+        assert_eq!(c.violations, 1);
+        assert_eq!(d[0].rule, "mixed-ordering");
+        let (c2, d2) = run("self.flag.store(1, Ordering::Release);\n\
+             // ordering: raced reads tolerated, validated under the heap lock\n\
+             self.flag.load(Ordering::Relaxed);");
+        assert_eq!(c2.violations, 0);
+        assert_eq!(c2.annotated, 1);
+        assert!(d2.is_empty());
+    }
+
+    #[test]
+    fn seqcst_fires_even_with_annotation() {
+        let (c, d) = run("// ordering: because\nself.x.load(Ordering::SeqCst);");
+        assert_eq!(c.violations, 1);
+        assert_eq!(d[0].rule, "seqcst-forbidden");
+    }
+
+    #[test]
+    fn non_acqrel_rmw_in_publish_group_fires() {
+        let (_, d) =
+            run("self.n.store(1, Ordering::Release);\nself.n.fetch_add(1, Ordering::Acquire);");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "rmw-ordering");
+    }
+
+    #[test]
+    fn ordering_outside_atomic_call_needs_annotation() {
+        let (c, d) = run("takes_ordering(Ordering::Acquire);");
+        assert_eq!(c.violations, 1);
+        assert_eq!(d[0].rule, "rmw-ordering");
+        let (c2, _) = run("takes_ordering(Ordering::Acquire); // ordering: forwarded to load");
+        assert_eq!(c2.violations, 0);
+        assert_eq!(c2.annotated, 1);
+    }
+
+    #[test]
+    fn cmp_ordering_is_ignored() {
+        let (c, _) = run("a.cmp(&b) == Ordering::Less");
+        assert_eq!(c.sites, 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! # sparta-lint — self-hosted concurrency static analysis
+//!
+//! Sparta's correctness hinges on cross-thread protocols the type
+//! system cannot see: the Alg. 1 termination check and the cleaner
+//! coordinate through ~140 atomic sites and a dozen locks spread over
+//! four crates. This crate is the standing, machine-checkable gate for
+//! those protocols — the written concurrency policy lives in
+//! DESIGN.md §11 and is enforced here on every CI run:
+//!
+//! 1. **Atomic-ordering audit** ([`atomics`]) — every `Ordering::*`
+//!    site must match the policy table (pure-`Relaxed` counters;
+//!    coherent Release/Acquire/AcqRel publish groups; no `SeqCst`) or
+//!    carry a `// ordering: <reason>` justification.
+//! 2. **Lock-order graph** ([`locks`]) — static lock nesting is
+//!    extracted per function (plus `StripedMap` entry-closure
+//!    contexts), merged into a class graph, and checked for cycles;
+//!    `.lock().unwrap()` is flagged.
+//! 3. **Forbidden APIs** ([`apis`]) — std `HashMap`/`HashSet` in
+//!    hot-path modules, `Instant::now`/`SystemTime` outside the
+//!    `sparta-obs` clock abstraction, `thread::sleep` in `sparta-core`,
+//!    any `unsafe`, and crate roots missing `#![forbid(unsafe_code)]`.
+//!
+//! The analyzer is a hand-rolled lexer + token scanner ([`lexer`],
+//! [`scan`]): no `syn`, no dependencies beyond `sparta-obs` (whose
+//! JSON value model renders the machine-readable diagnostics). It is
+//! intraprocedural and textual by design — grep-with-structure, fast
+//! enough to run on every commit, and wrong only in the direction of
+//! asking for a human-written justification comment.
+
+#![forbid(unsafe_code)]
+
+pub mod apis;
+pub mod atomics;
+pub mod lexer;
+pub mod locks;
+pub mod report;
+pub mod scan;
+
+pub use report::{Diagnostic, Report};
+
+use apis::ApiScope;
+use scan::Scan;
+use std::path::{Path, PathBuf};
+
+/// Path-based policy: which rules apply where. Paths are
+/// workspace-relative with `/` separators.
+pub struct Policy;
+
+impl Policy {
+    /// Files whose `Ordering::*` sites are audited (everything we
+    /// scan; fixtures are excluded at walk time).
+    pub fn audits_ordering(path: &str) -> bool {
+        path.ends_with(".rs")
+    }
+
+    /// The deterministic-replay surface: wall-clock reads banned.
+    pub fn bans_wall_clock(path: &str) -> bool {
+        (path.starts_with("crates/sparta-core/src/")
+            || path.starts_with("crates/sparta-exec/src/")
+            || path.starts_with("crates/sparta-collections/src/"))
+            && path != "crates/sparta-obs/src/clock.rs"
+    }
+
+    /// Hot-path modules: std hashing banned.
+    pub fn bans_std_hash(path: &str) -> bool {
+        (path.starts_with("crates/sparta-core/src/sparta/")
+            || path.starts_with("crates/sparta-collections/src/")
+            || path.starts_with("crates/sparta-exec/src/"))
+            && path != "crates/sparta-collections/src/fast_hash.rs"
+    }
+
+    /// `thread::sleep` ban (algorithm code must block on queues).
+    pub fn bans_sleep(path: &str) -> bool {
+        path.starts_with("crates/sparta-core/src/")
+    }
+
+    /// Std-Mutex `.lock().unwrap()` ban (parking_lot is the standard).
+    pub fn bans_lock_unwrap(path: &str) -> bool {
+        path.starts_with("crates/sparta-core/src/")
+            || path.starts_with("crates/sparta-exec/src/")
+            || path.starts_with("crates/sparta-collections/src/")
+    }
+
+    /// Whether a path is test-only code (unit-test regions are handled
+    /// separately, per `#[cfg(test)]` item).
+    pub fn is_test_path(path: &str) -> bool {
+        path.contains("/tests/")
+            || path.contains("/benches/")
+            || path.starts_with("tests/")
+            || path.starts_with("examples/")
+    }
+
+    /// Crate roots that must carry `#![forbid(unsafe_code)]`: every
+    /// lib root plus bin roots (each bin is its own crate, so a lib's
+    /// attribute does not cover it).
+    pub fn is_crate_root(path: &str) -> bool {
+        path.ends_with("src/lib.rs")
+            || path.ends_with("src/main.rs")
+            || ((path.contains("/src/bin/") || path.starts_with("src/bin/"))
+                && path.ends_with(".rs"))
+    }
+}
+
+/// Lints one file's source under its workspace-relative `path`,
+/// accumulating into `report` and `edges`.
+pub fn lint_source(path: &str, src: &str, report: &mut Report, edges: &mut Vec<locks::LockEdge>) {
+    let lex = lexer::lex(src);
+    let scan = Scan::new(&lex);
+    report.files_scanned += 1;
+
+    if Policy::audits_ordering(path) {
+        let cov = atomics::audit(path, &scan, &mut report.diagnostics);
+        if cov.sites > 0 {
+            report.ordering.insert(path.to_string(), cov);
+        }
+    }
+
+    let in_test_path = Policy::is_test_path(path);
+    locks::scan_locks(
+        path,
+        &scan,
+        Policy::bans_lock_unwrap(path) && !in_test_path,
+        edges,
+        &mut report.diagnostics,
+    );
+
+    let scope = ApiScope {
+        std_hash: Policy::bans_std_hash(path) && !in_test_path,
+        wall_clock: Policy::bans_wall_clock(path) && !in_test_path,
+        sleep: Policy::bans_sleep(path) && !in_test_path,
+        unsafe_code: true,
+    };
+    apis::scan_apis(path, &scan, scope, &mut report.diagnostics);
+
+    if Policy::is_crate_root(path) {
+        apis::check_crate_root(path, &scan, &mut report.diagnostics);
+    }
+}
+
+/// Hygiene-only lint for vendored shims: `unsafe` ban + crate-root
+/// `#![forbid(unsafe_code)]`, nothing else (shims mirror external
+/// crates' APIs and are not held to workspace concurrency policy).
+pub fn lint_shim(path: &str, src: &str, report: &mut Report) {
+    let lex = lexer::lex(src);
+    let scan = Scan::new(&lex);
+    report.files_scanned += 1;
+    let scope = ApiScope {
+        unsafe_code: true,
+        ..ApiScope::default()
+    };
+    apis::scan_apis(path, &scan, scope, &mut report.diagnostics);
+    if path.ends_with("src/lib.rs") {
+        apis::check_crate_root(path, &scan, &mut report.diagnostics);
+    }
+}
+
+/// Recursively collects `*.rs` files under `dir`, skipping `target`
+/// and the lint fixture corpus (whose files fire on purpose).
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full workspace lint from `root` (the directory holding the
+/// workspace `Cargo.toml`). Scans `crates/`, `src/`, `tests/`,
+/// `examples/` with full policy and `shims/` with hygiene checks.
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut edges = Vec::new();
+
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    for file in &files {
+        let rel = rel_path(root, file);
+        let src = std::fs::read_to_string(file)?;
+        lint_source(&rel, &src, &mut report, &mut edges);
+    }
+
+    let mut shim_files = Vec::new();
+    let shims = root.join("shims");
+    if shims.is_dir() {
+        walk(&shims, &mut shim_files)?;
+    }
+    shim_files.sort();
+    for file in &shim_files {
+        let rel = rel_path(root, file);
+        let src = std::fs::read_to_string(file)?;
+        lint_shim(&rel, &src, &mut report);
+    }
+
+    report.diagnostics.extend(locks::check_cycles(&edges));
+    report.lock_edges = edges;
+    report.finish();
+    Ok(report)
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lints explicit files (CLI path arguments / fixtures). `virtual_path`
+/// overrides the policy-relevant path for every given file — fixture
+/// tests use it to place a file in, say, `crates/sparta-core/src/`.
+pub fn run_files(
+    root: &Path,
+    files: &[PathBuf],
+    virtual_path: Option<&str>,
+) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut edges = Vec::new();
+    for file in files {
+        let rel = match virtual_path {
+            Some(v) => v.to_string(),
+            None => rel_path(root, file),
+        };
+        let src = std::fs::read_to_string(file)?;
+        lint_source(&rel, &src, &mut report, &mut edges);
+    }
+    report.diagnostics.extend(locks::check_cycles(&edges));
+    report.lock_edges = edges;
+    report.finish();
+    Ok(report)
+}

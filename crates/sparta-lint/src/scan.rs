@@ -1,0 +1,307 @@
+//! Token-stream structure recovery: bracket matching, method-call
+//! sites with normalized receiver chains, and `#[cfg(test)]` item
+//! regions. Shared by all three analysis passes.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// A `.method(…)` call site recovered from the token stream.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Method name (`load`, `lock`, `get_or_insert_with`, …).
+    pub method: String,
+    /// Index of the method-name token.
+    pub method_idx: usize,
+    /// Index of the opening `(` of the argument list.
+    pub args_open: usize,
+    /// Index of the matching `)`.
+    pub args_close: usize,
+    /// Normalized receiver chain, e.g. `self.stripes[]` or
+    /// `self.block()[]`. Index/call argument text is dropped so sites
+    /// that address the same place group together.
+    pub recv: String,
+    /// Last identifier of the receiver chain (`stripes`, `sum`, …) —
+    /// the lock-class / variable name used in reports.
+    pub recv_tail: String,
+    /// Source line of the method token.
+    pub line: u32,
+}
+
+/// Structure recovered once per file and shared by the passes.
+pub struct Scan<'a> {
+    pub lex: &'a Lexed,
+    /// `match_of[i]` = index of the bracket matching the one at `i`
+    /// (for `(`/`)`, `[`/`]`, `{`/`}`), or `usize::MAX`.
+    pub match_of: Vec<usize>,
+    /// All `.method(…)` call sites in stream order.
+    pub calls: Vec<CallSite>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl<'a> Scan<'a> {
+    pub fn new(lex: &'a Lexed) -> Self {
+        let match_of = match_brackets(&lex.toks);
+        let calls = find_calls(&lex.toks, &match_of);
+        let test_regions = find_test_regions(&lex.toks, &match_of);
+        Scan {
+            lex,
+            match_of,
+            calls,
+            test_regions,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+/// Matches `()[]{}` pairs over the token stream.
+fn match_brackets(toks: &[Tok]) -> Vec<usize> {
+    let mut match_of = vec![usize::MAX; toks.len()];
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => stack.push((t.text.chars().next().unwrap(), i)),
+            ")" | "]" | "}" => {
+                let want = match t.text.as_str() {
+                    ")" => '(',
+                    "]" => '[',
+                    _ => '{',
+                };
+                // Tolerate mismatches (macro edge cases): pop until the
+                // matching opener kind is found.
+                while let Some((open, j)) = stack.pop() {
+                    if open == want {
+                        match_of[i] = j;
+                        match_of[j] = i;
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    match_of
+}
+
+/// Finds every `.ident(` sequence and reconstructs its receiver chain.
+fn find_calls(toks: &[Tok], match_of: &[usize]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('.') {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        // Allow a turbofish between name and `(`: `.collect::<Vec<_>>()`.
+        let mut open = i + 2;
+        if toks.get(open).is_some_and(|t| t.is_punct(':'))
+            && toks.get(open + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            // Skip `::< … >` by scanning for the matching `>` depth.
+            let mut j = open + 2;
+            if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    if toks[j].is_punct('<') {
+                        depth += 1;
+                    } else if toks[j].is_punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                open = j;
+            } else {
+                continue; // `.ident::path` — not a method call
+            }
+        }
+        if !toks.get(open).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let close = match_of[open];
+        if close == usize::MAX {
+            continue;
+        }
+        let (recv, recv_tail) = receiver_chain(toks, match_of, i);
+        out.push(CallSite {
+            method: name.text.clone(),
+            method_idx: i + 1,
+            args_open: open,
+            args_close: close,
+            recv,
+            recv_tail,
+            line: name.line,
+        });
+    }
+    out
+}
+
+/// Walks left from the `.` at `dot` collecting the postfix receiver
+/// chain, normalizing away index/argument text: `self.stripes[h].lock`
+/// → `self.stripes[]`; `self.block(b)[off].store` → `self.block()[]`.
+fn receiver_chain(toks: &[Tok], match_of: &[usize], dot: usize) -> (String, String) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut tail = String::new();
+    let mut i = dot; // position just after the segment being consumed
+    'chain: loop {
+        if i == 0 {
+            break;
+        }
+        // Consume any run of trailing groups: `base(b)[off]` → `()[]`.
+        let mut p = i - 1;
+        let mut suffix = String::new();
+        while toks[p].is_punct(')') || toks[p].is_punct(']') {
+            let open = match_of[p];
+            if open == usize::MAX {
+                break 'chain;
+            }
+            let s = if toks[p].is_punct(')') { "()" } else { "[]" };
+            suffix.insert_str(0, s);
+            if open == 0 {
+                segs.push(suffix);
+                break 'chain;
+            }
+            p = open - 1;
+        }
+        if toks[p].kind == TokKind::Ident {
+            segs.push(format!("{}{}", toks[p].text, suffix));
+            if tail.is_empty() {
+                tail = toks[p].text.clone();
+            }
+            i = p;
+        } else {
+            if !suffix.is_empty() {
+                segs.push(suffix);
+            }
+            break;
+        }
+        // Continue only through a `.` chain.
+        if i == 0 || !toks[i - 1].is_punct('.') {
+            break;
+        }
+        i -= 1;
+    }
+    segs.reverse();
+    (segs.join("."), tail)
+}
+
+/// Finds `#[cfg(test)]`-gated items and returns their line spans.
+fn find_test_regions(toks: &[Tok], match_of: &[usize]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // `#` `[` … `]`
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = match_of[i + 1];
+            if close != usize::MAX {
+                let attr = &toks[i + 2..close];
+                let is_cfg_test = attr.iter().any(|t| t.is_ident("cfg"))
+                    && attr.iter().any(|t| t.is_ident("test"));
+                if is_cfg_test {
+                    let start_line = toks[i].line;
+                    // Skip any further attributes, then span the item:
+                    // to the `}` matching its first `{`, or to `;`.
+                    let mut j = close + 1;
+                    while j < toks.len()
+                        && toks[j].is_punct('#')
+                        && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+                    {
+                        let c = match_of[j + 1];
+                        if c == usize::MAX {
+                            break;
+                        }
+                        j = c + 1;
+                    }
+                    let mut end_line = start_line;
+                    while j < toks.len() {
+                        if toks[j].is_punct('{') {
+                            let c = match_of[j];
+                            if c != usize::MAX {
+                                end_line = toks[c].line;
+                                i = c;
+                            }
+                            break;
+                        }
+                        if toks[j].is_punct(';') {
+                            end_line = toks[j].line;
+                            i = j;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    out.push((start_line, end_line));
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn call_sites_and_receivers() {
+        let l = lex("self.stripes[self.stripe_of(&key)].lock().get(key).cloned();");
+        let s = Scan::new(&l);
+        let lock = s.calls.iter().find(|c| c.method == "lock").unwrap();
+        assert_eq!(lock.recv, "self.stripes[]");
+        assert_eq!(lock.recv_tail, "stripes");
+        let get = s.calls.iter().find(|c| c.method == "get").unwrap();
+        assert_eq!(get.recv, "self.stripes[].lock()");
+    }
+
+    #[test]
+    fn receiver_through_call_segments() {
+        let l = lex("self.block(b)[off].store(v, Ordering::Relaxed);");
+        let s = Scan::new(&l);
+        let store = s.calls.iter().find(|c| c.method == "store").unwrap();
+        assert_eq!(store.recv, "self.block()[]");
+        assert_eq!(store.recv_tail, "block");
+    }
+
+    #[test]
+    fn turbofish_is_a_call() {
+        let l = lex("xs.iter().collect::<Vec<_>>();");
+        let s = Scan::new(&l);
+        assert!(s.calls.iter().any(|c| c.method == "collect"));
+    }
+
+    #[test]
+    fn cfg_test_region_spans_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let l = lex(src);
+        let s = Scan::new(&l);
+        assert!(!s.in_test_region(1));
+        assert!(s.in_test_region(3));
+        assert!(s.in_test_region(4));
+        assert!(!s.in_test_region(6));
+    }
+
+    #[test]
+    fn cfg_test_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn c() {}\n";
+        let l = lex(src);
+        let s = Scan::new(&l);
+        assert!(s.in_test_region(2));
+        assert!(!s.in_test_region(3));
+    }
+}

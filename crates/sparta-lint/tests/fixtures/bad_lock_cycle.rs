@@ -1,0 +1,14 @@
+// Fixture: two functions acquire the same two lock classes in opposite
+// orders — a static deadlock (rule `lock-cycle`).
+
+pub fn drain(x: &Shared) {
+    let jobs = x.jobs.lock();
+    let mut heap = x.heap.lock();
+    heap.extend(jobs.iter());
+}
+
+pub fn refill(x: &Shared) {
+    let heap = x.heap.lock();
+    let mut jobs = x.jobs.lock();
+    jobs.extend(heap.iter());
+}

@@ -1,0 +1,11 @@
+// Fixture: `.lock().unwrap()` while holding a StripedMap stripe (the
+// closure passed to an entry API runs under the stripe lock) — a
+// poisoned std Mutex would wedge the stripe (rule `lock-unwrap`).
+// This fires regardless of the per-path API bans.
+
+pub fn admit(map: &StripedMap<u32, u32>, side: &SideTable) {
+    map.get_or_insert_with(7, || {
+        let guard = side.inner.lock().unwrap();
+        *guard
+    });
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]` (rule
+//! `missing-forbid`). Lint it with `--as crates/<name>/src/lib.rs`.
+
+#![warn(missing_docs)]
+
+pub mod something {}

@@ -1,0 +1,17 @@
+// Fixture: a Relaxed load mixed into a publish-class group (the place
+// has a Release store) without a `// ordering:` justification — the
+// classic lost-pairing bug (rule `mixed-ordering`).
+
+pub struct Ready {
+    flag: std::sync::atomic::AtomicU64,
+}
+
+impl Ready {
+    pub fn publish(&self) {
+        self.flag.store(1, Ordering::Release);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) == 1
+    }
+}

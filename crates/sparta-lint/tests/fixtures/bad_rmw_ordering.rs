@@ -1,0 +1,17 @@
+// Fixture: a non-AcqRel read-modify-write in a publish-class group
+// (rule `rmw-ordering`). The store makes the place publish-class; the
+// fetch_add must then be AcqRel.
+
+pub struct Sum {
+    sum: std::sync::atomic::AtomicU64,
+}
+
+impl Sum {
+    pub fn reset(&self) {
+        self.sum.store(0, Ordering::Release);
+    }
+
+    pub fn add(&self, delta: u64) {
+        self.sum.fetch_add(delta, Ordering::Release);
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: SeqCst is forbidden outright — even an annotation cannot
+// excuse it (rule `seqcst-forbidden`).
+
+pub fn publish(flag: &std::sync::atomic::AtomicU64) {
+    // ordering: an annotation must NOT silence SeqCst
+    flag.store(1, Ordering::SeqCst);
+}

@@ -1,0 +1,6 @@
+// Fixture: `thread::sleep` in sparta-core — algorithm code must block
+// on queues/condvars (rule `sleep`).
+
+pub fn wait_a_bit() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

@@ -1,0 +1,8 @@
+// Fixture: std `HashMap` in a hot-path module — SipHash on every
+// access; the workspace standard is `FastHashMap` (rule `std-hash`).
+
+use std::collections::HashMap;
+
+pub struct TermMap {
+    scores: HashMap<u32, u64>,
+}

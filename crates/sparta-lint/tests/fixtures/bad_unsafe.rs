@@ -1,0 +1,6 @@
+// Fixture: any `unsafe` is banned workspace-wide, test code included
+// (rule `unsafe-code`).
+
+pub fn peek(p: *const u64) -> u64 {
+    unsafe { *p }
+}

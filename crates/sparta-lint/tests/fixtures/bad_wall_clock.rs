@@ -1,0 +1,8 @@
+// Fixture: `Instant::now()` on the deterministic-replay surface
+// without a `// lint: allow(wall-clock)` justification (rule
+// `wall-clock`).
+
+pub fn elapsed_poll() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}

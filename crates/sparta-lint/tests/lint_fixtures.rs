@@ -1,0 +1,139 @@
+//! The fixture corpus: one file per rule asserted to fire exactly that
+//! rule, and a clean file asserted silent. Fixtures are linted under a
+//! *virtual path* so the path-scoped policy applies as if they lived in
+//! the real tree (the walker skips `fixtures/` directories, so the
+//! corpus never pollutes a workspace run).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lints one fixture under `virtual_path` and returns the fired rules.
+fn rules_for(name: &str, virtual_path: &str) -> Vec<String> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
+    let report = sparta_lint::run_files(&root, &[fixture(name)], Some(virtual_path))
+        .expect("fixture readable");
+    report.diagnostics.iter().map(|d| d.rule.clone()).collect()
+}
+
+const CORE_MOD: &str = "crates/sparta-core/src/sparta/fixture.rs";
+const CORE_ROOT: &str = "crates/sparta-core/src/lib.rs";
+
+#[test]
+fn bad_seqcst_fires_even_annotated() {
+    let rules = rules_for("bad_seqcst.rs", CORE_MOD);
+    assert_eq!(rules, ["seqcst-forbidden"]);
+}
+
+#[test]
+fn bad_mixed_relaxed_fires() {
+    let rules = rules_for("bad_mixed_relaxed.rs", CORE_MOD);
+    assert_eq!(rules, ["mixed-ordering"]);
+}
+
+#[test]
+fn bad_rmw_ordering_fires() {
+    let rules = rules_for("bad_rmw_ordering.rs", CORE_MOD);
+    assert_eq!(rules, ["rmw-ordering"]);
+}
+
+#[test]
+fn bad_lock_cycle_fires() {
+    let rules = rules_for("bad_lock_cycle.rs", CORE_MOD);
+    assert_eq!(rules, ["lock-cycle"]);
+}
+
+#[test]
+fn bad_lock_unwrap_under_stripe_fires_everywhere() {
+    // sparta-index is outside the lock-unwrap ban paths: the stripe
+    // variant must fire on its own.
+    let rules = rules_for(
+        "bad_lock_unwrap_stripe.rs",
+        "crates/sparta-index/src/fixture.rs",
+    );
+    assert_eq!(rules, ["lock-unwrap"]);
+}
+
+#[test]
+fn bad_wall_clock_fires() {
+    let rules = rules_for("bad_wall_clock.rs", CORE_MOD);
+    assert_eq!(rules, ["wall-clock"]);
+}
+
+#[test]
+fn bad_wall_clock_exempt_outside_replay_surface() {
+    // The same source is fine where the wall-clock ban does not apply.
+    let rules = rules_for("bad_wall_clock.rs", "crates/sparta-bench/src/fixture.rs");
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+}
+
+#[test]
+fn bad_std_hash_fires() {
+    // Both the `use` and the field type mention `HashMap`: two sites.
+    let rules = rules_for("bad_std_hash.rs", CORE_MOD);
+    assert_eq!(rules, ["std-hash", "std-hash"]);
+}
+
+#[test]
+fn bad_sleep_fires() {
+    let rules = rules_for("bad_sleep.rs", "crates/sparta-core/src/fixture.rs");
+    assert_eq!(rules, ["sleep"]);
+}
+
+#[test]
+fn bad_unsafe_fires() {
+    let rules = rules_for("bad_unsafe.rs", CORE_MOD);
+    assert_eq!(rules, ["unsafe-code"]);
+}
+
+#[test]
+fn bad_missing_forbid_fires() {
+    let rules = rules_for("bad_missing_forbid.rs", CORE_ROOT);
+    assert_eq!(rules, ["missing-forbid"]);
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
+    let report = sparta_lint::run_files(&root, &[fixture("clean.rs")], Some(CORE_ROOT))
+        .expect("fixture readable");
+    assert!(
+        report.is_clean(),
+        "clean fixture fired: {:?}",
+        report.diagnostics
+    );
+    let totals = report.ordering_totals();
+    assert_eq!(totals.violations, 0);
+    assert!(totals.annotated >= 1, "justified Relaxed load not counted");
+}
+
+/// Acceptance: the *CLI* exits non-zero under `--check` for a bad
+/// fixture and zero for the clean one.
+#[test]
+fn cli_check_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_sparta-lint");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+
+    let bad = Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(root)
+        .args(["--as", CORE_MOD])
+        .arg(fixture("bad_seqcst.rs"))
+        .output()
+        .expect("spawn sparta-lint");
+    assert_eq!(bad.status.code(), Some(1), "bad fixture must exit 1");
+
+    let clean = Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(root)
+        .args(["--as", CORE_ROOT])
+        .arg(fixture("clean.rs"))
+        .output()
+        .expect("spawn sparta-lint");
+    assert_eq!(clean.status.code(), Some(0), "clean fixture must exit 0");
+}

@@ -1,0 +1,44 @@
+//! The lint must hold on the workspace that ships it: a full
+//! `run_workspace` over this repository is part of the test suite, so
+//! `cargo test` alone catches a policy regression even before the
+//! dedicated CI job runs.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_with_full_coverage() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = sparta_lint::run_workspace(root).expect("workspace readable");
+
+    assert!(
+        report.is_clean(),
+        "workspace lint violations:\n{}",
+        report.render_text(true)
+    );
+
+    // The audit must actually be looking at the real tree.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files",
+        report.files_scanned
+    );
+    let totals = report.ordering_totals();
+    assert!(totals.sites > 100, "only {} ordering sites", totals.sites);
+    assert_eq!(report.coverage_percent(), 100.0);
+    assert!(
+        totals.annotated >= 4,
+        "expected the documented ordering justifications to be counted"
+    );
+
+    // JSON export must round-trip through the sparta-obs parser.
+    let json = report.to_json().to_pretty_string(2);
+    let back = sparta_obs::json::parse(&json).expect("self-report JSON parses");
+    assert_eq!(
+        back.get("clean"),
+        Some(&sparta_obs::json::Json::Bool(true)),
+        "JSON clean flag"
+    );
+}

@@ -11,6 +11,7 @@
 //! ChaCha12-based `StdRng`. Anything persisted must therefore record
 //! the generator alongside the seed (the corpus builders do).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
