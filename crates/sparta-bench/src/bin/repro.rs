@@ -15,19 +15,28 @@
 //! repro --validate-json <path>   # schema-checks an emitted document
 //! repro --perf-guard <baseline>  # deterministic work-counter guard;
 //!                                #   --write regenerates the baseline
+//! repro --emit-trace <name>      # flight-recorder timeline of the
+//!                                #   pinned guard cell as Chrome
+//!                                #   trace JSON: out/TRACE_<name>.json
+//! repro --validate-trace <path>  # schema-checks an emitted trace
+//! repro --recorder-overhead [n]  # recorder on-vs-off p50 on the
+//!                                #   guard cell, n repetitions
 //! ```
 //!
 //! Environment:
 //! * `SPARTA_DOCS`    — base corpus size (default 20 000; CWX10 = 10×)
 //! * `SPARTA_QUERIES` — queries per cell   (default 20; paper uses 100)
 //! * `SPARTA_THREADS` — worker threads     (default 4; paper uses 12)
+//! * `SPARTA_RECORDER` — `1` attaches a flight recorder to
+//!   `--emit-json` and `--perf-guard` runs (the guard asserts the
+//!   counters stay identical either way)
 
 #![forbid(unsafe_code)]
 
 use sparta_bench::{Dataset, LatencyStats, Scale, VariantParams};
 use sparta_core::recall::{recall_dynamics, time_to_recall};
 use sparta_core::{algorithm_by_name, Algorithm};
-use sparta_exec::DedicatedExecutor;
+use sparta_exec::{DedicatedExecutor, Executor as _};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -490,6 +499,11 @@ const GUARD_ALGOS: [&str; 4] = ["sparta", "pnra", "pbmw", "pjass"];
 fn perf_guard_measure() -> Vec<(String, u64, u64)> {
     std::env::set_var("SPARTA_DOCS", GUARD_DOCS);
     std::env::set_var("SPARTA_K", GUARD_K);
+    // SPARTA_RECORDER=1 runs the same pinned schedules with a flight
+    // recorder attached — the counters must not notice.
+    let use_recorder = std::env::var("SPARTA_RECORDER")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let ds = Dataset::build(Scale::Cw);
     let qs = ds.queries_of_length(GUARD_TERMS, GUARD_QUERIES);
     let cfg = VariantParams::exact().config(ds.k);
@@ -499,8 +513,16 @@ fn perf_guard_measure() -> Vec<(String, u64, u64)> {
             let a = algo(name);
             let (mut postings, mut heap) = (0u64, 0u64);
             for (i, q) in qs.iter().enumerate() {
-                let exec =
+                let mut exec =
                     sparta_exec::DeterministicExecutor::new(GUARD_SEED.wrapping_add(i as u64));
+                if use_recorder {
+                    let workers = exec.parallelism();
+                    exec = exec.with_recorder(sparta_obs::FlightRecorder::new(
+                        workers,
+                        1 << 12,
+                        sparta_obs::ClockMode::Logical,
+                    ));
+                }
                 let r = a.search(&ds.index, q, &cfg, &exec);
                 postings += r.work.postings_scanned;
                 heap += r.work.heap_updates;
@@ -581,6 +603,119 @@ fn perf_guard(path: &str, write: bool) {
     println!("perf guard ok ({} cells)", cells.len());
 }
 
+/// `--emit-trace <name>`: replays the pinned perf-guard cell under the
+/// deterministic executor with a logical-clock flight recorder
+/// attached, and writes the per-worker timeline as Chrome trace-event
+/// JSON (`out/TRACE_<name>.json`, loadable in chrome://tracing or
+/// Perfetto). Deterministic end to end: two runs emit byte-identical
+/// files.
+fn emit_trace(trace_name: &str) {
+    std::env::set_var("SPARTA_DOCS", GUARD_DOCS);
+    std::env::set_var("SPARTA_K", GUARD_K);
+    let ds = Dataset::build(Scale::Cw);
+    let qs = ds.queries_of_length(GUARD_TERMS, GUARD_QUERIES);
+    let rec = sparta_obs::FlightRecorder::new(4, 1 << 15, sparta_obs::ClockMode::Logical);
+    let cfg = VariantParams::exact()
+        .config(ds.k)
+        .with_trace(true)
+        .with_spans(true)
+        .with_clock(sparta_obs::ClockMode::Logical);
+    for &name in &GUARD_ALGOS {
+        let a = algo(name);
+        for (i, q) in qs.iter().enumerate() {
+            let exec = sparta_exec::DeterministicExecutor::new(GUARD_SEED.wrapping_add(i as u64))
+                .with_recorder(Arc::clone(&rec));
+            a.search(&ds.index, q, &cfg, &exec);
+        }
+    }
+    let text = sparta_obs::chrome_trace_string(&rec);
+    let path = sparta_bench::out_path(
+        std::path::Path::new("out"),
+        &format!("TRACE_{trace_name}"),
+        "json",
+    )
+    .expect("resolve trace path");
+    std::fs::write(&path, &text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!(
+        "wrote {} ({} events recorded, {} dropped, {} workers)",
+        path.display(),
+        rec.total_events(),
+        rec.dropped_events(),
+        rec.worker_count()
+    );
+}
+
+/// `--validate-trace <path>`: parses an emitted Chrome trace and checks
+/// the schema, exiting non-zero on any drift.
+fn validate_trace(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    match sparta_obs::validate_trace_json(&text) {
+        Ok(()) => println!("{path}: trace schema ok"),
+        Err(e) => {
+            eprintln!("{path}: trace schema violation: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--recorder-overhead [reps]`: measures the flight recorder's cost on
+/// the pinned guard cell — p50 latency with the recorder off vs on
+/// (wall clock, dedicated executor) plus a counter-identity check under
+/// the deterministic schedules. Prints an EXPERIMENTS.md-ready line.
+fn recorder_overhead(reps: usize) {
+    // Counters first: the recorder must not change the work done.
+    std::env::remove_var("SPARTA_RECORDER");
+    let base = perf_guard_measure();
+    std::env::set_var("SPARTA_RECORDER", "1");
+    let with = perf_guard_measure();
+    std::env::remove_var("SPARTA_RECORDER");
+    assert_eq!(
+        base, with,
+        "work counters drifted between recorder-off and recorder-on runs"
+    );
+    println!(
+        "counters identical on vs off ({} algorithm cells)",
+        base.len()
+    );
+    // Timing: guard queries, wall clock, recorder off vs on.
+    let ds = Dataset::build(Scale::Cw);
+    let qs: Vec<_> = ds.queries_of_length(GUARD_TERMS, GUARD_QUERIES).to_vec();
+    let params = VariantParams::exact();
+    let t = threads();
+    let measure = |rec: Option<&Arc<sparta_obs::FlightRecorder>>| -> f64 {
+        let mut p50s = Vec::new();
+        for _ in 0..reps {
+            for &name in &GUARD_ALGOS {
+                let s = sparta_bench::measure::run_latency_with(
+                    &ds,
+                    algo(name).as_ref(),
+                    &qs,
+                    &params,
+                    t,
+                    false,
+                    rec,
+                );
+                p50s.push(s.percentile(0.5).as_secs_f64() * 1e3);
+            }
+        }
+        p50s.iter().sum::<f64>() / p50s.len().max(1) as f64
+    };
+    // Warm both paths once so first-touch costs don't skew either side.
+    let warm_rec = sparta_obs::FlightRecorder::new(t, 1 << 12, sparta_obs::ClockMode::Wall);
+    let _ = measure(None);
+    let _ = measure(Some(&warm_rec));
+    let off = measure(None);
+    let rec = sparta_obs::FlightRecorder::new(t, 1 << 12, sparta_obs::ClockMode::Wall);
+    let on = measure(Some(&rec));
+    let overhead = (on - off) / off * 100.0;
+    println!(
+        "recorder overhead: mean p50 off {off:.3}ms, on {on:.3}ms, {overhead:+.2}% \
+         ({} events recorded, {} dropped, reps={reps}, threads={t})",
+        rec.total_events(),
+        rec.dropped_events()
+    );
+}
+
 /// `--validate-json <path>`: parses an emitted document and checks the
 /// schema, exiting non-zero on any drift.
 fn validate_json(path: &str) {
@@ -605,6 +740,21 @@ fn main() {
         Some("--validate-json") => {
             let path = args.get(1).expect("--validate-json needs a path");
             validate_json(path);
+            return;
+        }
+        Some("--emit-trace") => {
+            let name = args.get(1).map(String::as_str).unwrap_or("run");
+            emit_trace(name);
+            return;
+        }
+        Some("--validate-trace") => {
+            let path = args.get(1).expect("--validate-trace needs a path");
+            validate_trace(path);
+            return;
+        }
+        Some("--recorder-overhead") => {
+            let reps = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+            recorder_overhead(reps);
             return;
         }
         Some("--perf-guard") => {

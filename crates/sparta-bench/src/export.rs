@@ -10,14 +10,14 @@
 //! assert the emitter and the consumer agree.
 
 use crate::dataset::Dataset;
-use crate::measure::{run_latency, LatencyStats};
+use crate::measure::{run_latency_with, LatencyStats};
 use crate::variants::VariantParams;
 use sparta_core::recall::recall_dynamics;
 use sparta_core::result::WorkStats;
 use sparta_core::{algorithm_by_name, Algorithm};
 use sparta_exec::DedicatedExecutor;
 use sparta_obs::json::{parse, Json};
-use sparta_obs::{ExecSnapshot, HistogramSnapshot};
+use sparta_obs::{ClockMode, ExecSnapshot, FlightRecorder, HistogramSnapshot};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
@@ -52,6 +52,15 @@ pub struct RecallCurve {
     pub points: Vec<(f64, f64)>,
 }
 
+/// Flight-recorder accounting for a recorder-enabled emission.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderReport {
+    /// Events recorded across all rings over the whole run.
+    pub events_recorded: u64,
+    /// Events overwritten off ring tails (capacity pressure).
+    pub events_dropped: u64,
+}
+
 /// A full benchmark emission.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -69,6 +78,9 @@ pub struct BenchReport {
     pub cells: Vec<BenchCell>,
     /// Recall-over-time curves.
     pub recall_curves: Vec<RecallCurve>,
+    /// Present when the run had a flight recorder attached
+    /// (`SPARTA_RECORDER=1`); emitted as `"flight_recorder"`.
+    pub recorder: Option<RecorderReport>,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -122,7 +134,8 @@ fn cell_json(c: &BenchCell) -> Json {
                 .with("mean", ms(c.stats.mean()))
                 .with("p50", ms(c.stats.percentile(0.5)))
                 .with("p95", ms(c.stats.percentile(0.95)))
-                .with("p99", ms(c.stats.percentile(0.99))),
+                .with("p99", ms(c.stats.percentile(0.99)))
+                .with("p999", ms(c.stats.percentile(0.999))),
         )
         .with("mean_recall", c.stats.mean_recall)
         .with("work", work_json(&c.stats.work))
@@ -147,7 +160,7 @@ fn curve_json(c: &RecallCurve) -> Json {
 impl BenchReport {
     /// Serializes the report.
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut j = Json::obj()
             .with("schema_version", SCHEMA_VERSION)
             .with("name", self.name.as_str())
             .with("docs", self.docs)
@@ -161,17 +174,33 @@ impl BenchReport {
             .with(
                 "recall_curves",
                 Json::Arr(self.recall_curves.iter().map(curve_json).collect()),
-            )
+            );
+        if let Some(r) = &self.recorder {
+            j = j.with(
+                "flight_recorder",
+                Json::obj()
+                    .with("events_recorded", r.events_recorded)
+                    .with("events_dropped", r.events_dropped),
+            );
+        }
+        j
     }
 
     /// Writes `BENCH_<name>.json` under `dir` (created if needed) and
     /// returns the path.
     pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let path = out_path(dir, &format!("BENCH_{}", self.name), "json")?;
         std::fs::write(&path, self.to_json().to_pretty_string(2))?;
         Ok(path)
     }
+}
+
+/// Resolves `dir/<name>.<ext>`, creating `dir` if needed — the single
+/// naming convention shared by `--emit-json` (`BENCH_<name>.json`) and
+/// `--emit-trace` (`TRACE_<name>.json`).
+pub fn out_path(dir: &Path, name: &str, ext: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    Ok(dir.join(format!("{name}.{ext}")))
 }
 
 /// Measures every algorithm × variant × thread-count cell on
@@ -187,6 +216,14 @@ pub fn build_report(
     queries_per_cell: usize,
     terms_per_query: usize,
 ) -> BenchReport {
+    // SPARTA_RECORDER=1 attaches a flight recorder to every measured
+    // run; the report then carries its event accounting, so CI can
+    // assert recorder-on runs do identical work.
+    let max_threads = thread_counts.iter().copied().max().unwrap_or(1).max(1);
+    let recorder = std::env::var("SPARTA_RECORDER")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        .then(|| FlightRecorder::new(max_threads, 1 << 12, ClockMode::Wall));
     let queries = ds.queries_of_length(terms_per_query, queries_per_cell);
     let mut cells = Vec::new();
     for &name in algorithms {
@@ -194,7 +231,15 @@ pub fn build_report(
             algorithm_by_name(name).unwrap_or_else(|| panic!("unknown algorithm {name}"));
         for params in variants {
             for &t in thread_counts {
-                let stats = run_latency(ds, algo.as_ref(), queries, params, t, true);
+                let stats = run_latency_with(
+                    ds,
+                    algo.as_ref(),
+                    queries,
+                    params,
+                    t,
+                    true,
+                    recorder.as_ref(),
+                );
                 cells.push(BenchCell {
                     algorithm: name.to_string(),
                     variant: params.label.to_string(),
@@ -215,6 +260,10 @@ pub fn build_report(
         terms_per_query,
         cells,
         recall_curves,
+        recorder: recorder.map(|r| RecorderReport {
+            events_recorded: r.total_events(),
+            events_dropped: r.dropped_events(),
+        }),
     }
 }
 
@@ -295,7 +344,7 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             require_num(cell, key, &ctx)?;
         }
         let lat = require(cell, "latency_ms", &ctx)?;
-        for key in ["mean", "p50", "p95", "p99"] {
+        for key in ["mean", "p50", "p95", "p99", "p999"] {
             require_num(lat, key, &format!("{ctx} latency_ms"))?;
         }
         let work = require(cell, "work", &ctx)?;
@@ -345,6 +394,13 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             require_num(p, "recall", &ctx)?;
         }
     }
+    // Optional: present only on recorder-enabled runs, but when present
+    // it must be well-formed.
+    if let Some(fr) = doc.get("flight_recorder") {
+        for key in ["events_recorded", "events_dropped"] {
+            require_num(fr, key, "flight_recorder")?;
+        }
+    }
     Ok(())
 }
 
@@ -376,6 +432,7 @@ mod tests {
                 variant: "exact".into(),
                 points: vec![(0.5, 0.4), (1.0, 1.0)],
             }],
+            recorder: None,
         }
     }
 
@@ -409,6 +466,36 @@ mod tests {
         }
         let err = validate_bench_json(&j.to_string()).unwrap_err();
         assert!(err.contains("exec"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn recorder_block_roundtrips_and_validates() {
+        let mut r = tiny_report();
+        r.recorder = Some(RecorderReport {
+            events_recorded: 123,
+            events_dropped: 4,
+        });
+        let text = r.to_json().to_pretty_string(2);
+        validate_bench_json(&text).unwrap();
+        let doc = parse(&text).unwrap();
+        let fr = doc.get("flight_recorder").expect("block emitted");
+        assert_eq!(
+            fr.get("events_recorded").and_then(Json::as_f64),
+            Some(123.0)
+        );
+        // A malformed block must fail even though the block is optional.
+        let broken = text.replace("events_dropped", "events_mangled");
+        assert!(validate_bench_json(&broken).is_err());
+    }
+
+    #[test]
+    fn out_path_builds_convention_and_creates_dir() {
+        let dir = std::env::temp_dir().join(format!("sparta-out-path-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = out_path(&dir, "TRACE_smoke", "json").unwrap();
+        assert!(p.ends_with("TRACE_smoke.json"));
+        assert!(dir.is_dir(), "out_path creates the directory");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub mod measure;
 pub mod variants;
 
 pub use dataset::{Dataset, Scale};
-pub use export::{validate_bench_json, BenchCell, BenchReport, RecallCurve};
+pub use export::{
+    out_path, validate_bench_json, BenchCell, BenchReport, RecallCurve, RecorderReport,
+};
 pub use measure::{percentile, LatencyStats};
 pub use variants::VariantParams;

@@ -7,7 +7,7 @@ use sparta_core::result::WorkStats;
 use sparta_core::Algorithm;
 use sparta_corpus::types::Query;
 use sparta_exec::{DedicatedExecutor, WorkerPool};
-use sparta_obs::{ExecMetrics, ExecSnapshot};
+use sparta_obs::{ExecMetrics, ExecSnapshot, FlightRecorder};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -59,8 +59,26 @@ pub fn run_latency(
     threads: usize,
     measure_recall: bool,
 ) -> LatencyStats {
+    run_latency_with(ds, algo, queries, params, threads, measure_recall, None)
+}
+
+/// [`run_latency`] with an optional flight recorder attached to the
+/// executor — used by recorder-overhead measurements and
+/// `SPARTA_RECORDER=1` report builds.
+pub fn run_latency_with(
+    ds: &Dataset,
+    algo: &dyn Algorithm,
+    queries: &[Query],
+    params: &VariantParams,
+    threads: usize,
+    measure_recall: bool,
+    recorder: Option<&Arc<FlightRecorder>>,
+) -> LatencyStats {
     let metrics = ExecMetrics::new(threads.max(1));
-    let exec = DedicatedExecutor::instrumented(threads.max(1), Arc::clone(&metrics));
+    let mut exec = DedicatedExecutor::instrumented(threads.max(1), Arc::clone(&metrics));
+    if let Some(r) = recorder {
+        exec = exec.with_recorder(Arc::clone(r));
+    }
     let cfg = params.config(ds.k);
     let mut sorted = Vec::with_capacity(queries.len());
     let mut recall_sum = 0.0;

@@ -23,7 +23,8 @@
 //! bits, degrading in-stripe bucket distribution.
 
 use crate::fast_hash::{fast_hash_one, FastBuildHasher, FastHashMap};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
+use sparta_obs::{recorder, EventKind};
 use std::borrow::Borrow;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -88,6 +89,20 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
         ((fast_hash_one(&key) >> 32) as usize) & self.mask
     }
 
+    /// Acquires stripe `idx`'s lock, reporting contended waits to the
+    /// flight recorder. The uncontended fast path (`try_lock` success)
+    /// records nothing and reads no clock — stripe-wait events only
+    /// appear when a thread actually blocked, and an uninstalled
+    /// recorder makes even the slow path a plain `lock()`.
+    #[inline]
+    fn lock_stripe(&self, idx: usize) -> MutexGuard<'_, FastHashMap<K, V>> {
+        let stripe = &self.stripes[idx];
+        match stripe.try_lock() {
+            Some(guard) => guard,
+            None => recorder::timed(EventKind::StripeWait, || stripe.lock()),
+        }
+    }
+
     /// Current number of entries. Exact (maintained with atomic
     /// increments), but may be stale by the time the caller reads it —
     /// exactly the semantics Sparta's `|docMap| < Φ` check needs.
@@ -107,7 +122,7 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        self.stripes[self.stripe_of(key)].lock().get(key).cloned()
+        self.lock_stripe(self.stripe_of(key)).get(key).cloned()
     }
 
     /// Whether `key` is present.
@@ -116,12 +131,12 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        self.stripes[self.stripe_of(key)].lock().contains_key(key)
+        self.lock_stripe(self.stripe_of(key)).contains_key(key)
     }
 
     /// Inserts `value` for `key`, returning the previous value if any.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
-        let prev = self.stripes[self.stripe_of(&key)].lock().insert(key, value);
+        let prev = self.lock_stripe(self.stripe_of(&key)).insert(key, value);
         if prev.is_none() {
             self.len.fetch_add(1, Ordering::AcqRel);
         }
@@ -133,7 +148,7 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
     /// ever created per key even under concurrent calls — this is how
     /// Sparta guarantees a single `DocType` per document id.
     pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, make: F) -> V {
-        let mut stripe = self.stripes[self.stripe_of(&key)].lock();
+        let mut stripe = self.lock_stripe(self.stripe_of(&key));
         if let Some(v) = stripe.get(&key) {
             return v.clone();
         }
@@ -154,7 +169,7 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
         allow_insert: bool,
         make: F,
     ) -> Option<V> {
-        let mut stripe = self.stripes[self.stripe_of(&key)].lock();
+        let mut stripe = self.lock_stripe(self.stripe_of(&key));
         if let Some(v) = stripe.get(&key) {
             return Some(v.clone());
         }
@@ -174,7 +189,7 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        let prev = self.stripes[self.stripe_of(key)].lock().remove(key);
+        let prev = self.lock_stripe(self.stripe_of(key)).remove(key);
         if prev.is_some() {
             self.len.fetch_sub(1, Ordering::AcqRel);
         }
@@ -185,8 +200,8 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
     /// visit is not a consistent snapshot across stripes — sufficient
     /// for the cleaner, which tolerates (and rechecks) staleness.
     pub fn for_each<F: FnMut(&K, &V)>(&self, mut f: F) {
-        for stripe in self.stripes.iter() {
-            let guard = stripe.lock();
+        for i in 0..self.stripes.len() {
+            let guard = self.lock_stripe(i);
             for (k, v) in guard.iter() {
                 f(k, v);
             }
@@ -209,7 +224,7 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
         Q: Hash + Eq + ?Sized,
         F: FnOnce(&mut V),
     {
-        let mut stripe = self.stripes[self.stripe_of(key)].lock();
+        let mut stripe = self.lock_stripe(self.stripe_of(key));
         match stripe.get_mut(key) {
             Some(v) => {
                 f(v);
@@ -221,8 +236,8 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
 
     /// Removes all entries.
     pub fn clear(&self) {
-        for stripe in self.stripes.iter() {
-            let mut guard = stripe.lock();
+        for i in 0..self.stripes.len() {
+            let mut guard = self.lock_stripe(i);
             let n = guard.len();
             guard.clear();
             drop(guard);
@@ -340,6 +355,60 @@ mod tests {
         let mut total = 0;
         m.for_each(|_, v| total += v.load(Ordering::Relaxed));
         assert_eq!(total, 8 * 1000);
+    }
+
+    #[test]
+    fn contended_stripe_lock_records_wait_event() {
+        use sparta_obs::{ClockMode, FlightRecorder};
+        let m: Arc<StripedMap<u32, u32>> = Arc::new(StripedMap::with_stripes(1));
+        m.insert(1, 10);
+        // Hold the map's only stripe, then let another thread (with a
+        // ring installed) block on it: the contended acquisition must
+        // surface as a StripeWait event. The holder cannot *observe*
+        // the waiter blocking, so it yields for a while before
+        // releasing; if the waiter had not reached the lock yet (no
+        // contention, no event), retry the whole scenario.
+        for _attempt in 0..64 {
+            let rec = FlightRecorder::new(1, 16, ClockMode::Logical);
+            let held = m.stripes[0].lock();
+            let (tx, rx) = std::sync::mpsc::channel();
+            let waiter = std::thread::spawn({
+                let m = Arc::clone(&m);
+                let rec = Arc::clone(&rec);
+                move || {
+                    let _g = rec.install(0);
+                    tx.send(()).unwrap();
+                    assert_eq!(m.get(&1), Some(10));
+                }
+            });
+            rx.recv().unwrap();
+            for _ in 0..100_000 {
+                std::hint::spin_loop();
+            }
+            drop(held);
+            waiter.join().unwrap();
+            let mut kinds = Vec::new();
+            rec.ring(0).for_each(|e| kinds.push(e.kind));
+            if kinds.is_empty() {
+                continue; // waiter never contended this round
+            }
+            assert_eq!(kinds, [EventKind::StripeWait]);
+            return;
+        }
+        panic!("waiter never contended the stripe in 64 attempts");
+    }
+
+    #[test]
+    fn uncontended_ops_record_nothing() {
+        use sparta_obs::{ClockMode, FlightRecorder};
+        let rec = FlightRecorder::new(1, 16, ClockMode::Logical);
+        let _g = rec.install(0);
+        let m: StripedMap<u32, u32> = StripedMap::with_stripes(4);
+        m.insert(1, 1);
+        m.get(&1);
+        m.update(&1, |v| *v += 1);
+        m.remove(&1);
+        assert_eq!(rec.total_events(), 0, "fast path must stay silent");
     }
 
     #[test]

@@ -64,11 +64,23 @@ impl TraceSink {
     }
 
     /// Records `doc` reaching `score`.
+    ///
+    /// Every 256th event per sink also mirrors to the flight recorder
+    /// as a `ScoreMark` (payload = doc id), giving `--emit-trace`
+    /// timelines sparse heap-progress markers without flooding the
+    /// fixed-capacity rings. The sampling is by in-sink ordinal, so a
+    /// deterministic schedule marks the same documents every run.
     #[inline]
     pub fn record(&self, doc: DocId, score: u64) {
         if let Some(events) = &self.events {
             let at = self.clock.tick_duration();
-            events.lock().push(TraceEvent { at, doc, score });
+            let mut guard = events.lock();
+            guard.push(TraceEvent { at, doc, score });
+            let n = guard.len();
+            drop(guard);
+            if n & 0xff == 1 {
+                sparta_obs::recorder::record(sparta_obs::EventKind::ScoreMark, u64::from(doc));
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! Latency-mode executor: one query owns the whole thread pool.
 
 use crate::{Executor, JobQueue};
-use sparta_obs::ExecMetrics;
+use sparta_obs::{ExecMetrics, FlightRecorder};
 use std::sync::Arc;
 
 /// Spawns `threads` scoped worker threads for each query ("When
@@ -16,6 +16,7 @@ use std::sync::Arc;
 pub struct DedicatedExecutor {
     threads: usize,
     metrics: Option<Arc<ExecMetrics>>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl DedicatedExecutor {
@@ -25,6 +26,7 @@ impl DedicatedExecutor {
         Self {
             threads,
             metrics: None,
+            recorder: None,
         }
     }
 
@@ -36,39 +38,64 @@ impl DedicatedExecutor {
         Self {
             threads,
             metrics: Some(metrics),
+            recorder: None,
         }
+    }
+
+    /// Attaches a flight recorder: worker `i` installs ring `i` for
+    /// the duration of each query it drains.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The metric registry, if this executor is instrumented.
     pub fn metrics(&self) -> Option<&Arc<ExecMetrics>> {
         self.metrics.as_ref()
     }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
 }
 
 impl Executor for DedicatedExecutor {
     fn run(&self, queue: Arc<JobQueue>) {
+        let rec = self.recorder.as_ref();
         match &self.metrics {
             None => {
                 if self.threads == 1 {
+                    let _g = rec.map(|r| r.install(0));
                     queue.run_worker();
                     return;
                 }
                 std::thread::scope(|s| {
-                    for _ in 0..self.threads {
+                    for i in 0..self.threads {
                         let q = Arc::clone(&queue);
-                        s.spawn(move || q.run_worker());
+                        let r = rec.map(Arc::clone);
+                        s.spawn(move || {
+                            let _g = r.map(|r| r.install(i));
+                            q.run_worker();
+                        });
                     }
                 });
             }
             Some(m) => {
                 if self.threads == 1 {
+                    let _g = rec.map(|r| r.install(0));
                     queue.run_worker_observed(m.worker(0));
                 } else {
                     std::thread::scope(|s| {
                         for i in 0..self.threads {
                             let q = Arc::clone(&queue);
                             let wm = Arc::clone(m.worker(i));
-                            s.spawn(move || q.run_worker_observed(&wm));
+                            let r = rec.map(Arc::clone);
+                            s.spawn(move || {
+                                let _g = r.map(|r| r.install(i));
+                                q.run_worker_observed(&wm);
+                            });
                         }
                     });
                 }

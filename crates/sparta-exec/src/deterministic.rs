@@ -21,6 +21,8 @@
 
 use crate::fault::FaultPlan;
 use crate::{Executor, JobQueue};
+use sparta_obs::ring::EventKind;
+use sparta_obs::FlightRecorder;
 use std::sync::Arc;
 
 /// SplitMix64 (Steele et al.), inlined so `sparta-exec` stays
@@ -53,6 +55,7 @@ pub struct DeterministicExecutor {
     seed: u64,
     parallelism: usize,
     faults: FaultPlan,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl DeterministicExecutor {
@@ -62,6 +65,7 @@ impl DeterministicExecutor {
             seed,
             parallelism: 4,
             faults: FaultPlan::none(),
+            recorder: None,
         }
     }
 
@@ -85,6 +89,23 @@ impl DeterministicExecutor {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Attaches a flight recorder. Each scheduling step runs under the
+    /// ring of *virtual worker* `step % parallelism` — the events a
+    /// real pool would spread over threads land in the same per-worker
+    /// rings, deterministically. Pair with a
+    /// [`ClockMode::Logical`](sparta_obs::ClockMode::Logical) recorder
+    /// for byte-identical traces across same-seed runs.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
 }
 
 impl Executor for DeterministicExecutor {
@@ -103,10 +124,26 @@ impl Executor for DeterministicExecutor {
                 debug_assert!(queue.is_complete());
                 break;
             }
+            // Multiplex the schedule over virtual workers: step s runs
+            // under worker (s % parallelism)'s ring, so one thread
+            // produces the per-worker timelines a real pool would.
+            // Sequential re-installs keep each ring single-writer.
+            let _rec = self
+                .recorder
+                .as_ref()
+                .map(|r| r.install((step % self.parallelism as u64) as usize));
             let pick = (rng.next() % len as u64) as usize;
             let Some(job) = queue.try_pop_nth(pick) else {
                 continue; // unreachable single-threaded; defensive
             };
+            if self.faults.stall_steps.contains(&step) {
+                // Injected wedge: the job vanishes with no completion
+                // bookkeeping, so `outstanding` stays above zero forever
+                // — exactly the state a stall watchdog must detect. Skip
+                // the completeness debug_assert by returning here.
+                drop(job);
+                return;
+            }
             if self.faults.drop_steps.contains(&step) {
                 queue.discard(job);
             } else if self.faults.defer_steps.contains(&step) {
@@ -115,6 +152,17 @@ impl Executor for DeterministicExecutor {
                 queue.run_job(job);
             }
             step += 1;
+        }
+        // Drained: every virtual worker that ran a step goes idle, as
+        // pool workers would. The synthetic Park/Unpark pair closes each
+        // worker's timeline with one complete park interval.
+        if let Some(rec) = &self.recorder {
+            let workers = (self.parallelism as u64).min(step.max(1));
+            for w in 0..workers {
+                let _g = rec.install(w as usize);
+                sparta_obs::recorder::record(EventKind::Park, 0);
+                sparta_obs::recorder::record(EventKind::Unpark, 0);
+            }
         }
     }
 

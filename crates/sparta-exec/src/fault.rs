@@ -22,6 +22,13 @@
 //!   ([`JobQueue::discard`](crate::JobQueue::discard)), modelling a lost
 //!   continuation. The query must still *terminate* (no hang), though
 //!   results may be partial — tests assert liveness, not recall.
+//! * **Stall** — the run *stops* at that step: the chosen job vanishes
+//!   with **no completion bookkeeping**, leaving the queue's
+//!   outstanding count permanently above zero. This models a worker
+//!   dying mid-job (or a lost wakeup wedging a pool) and exists to
+//!   exercise the stall watchdog: unlike the other faults, the queue
+//!   deliberately never completes, so only pair it with watchdog /
+//!   timeout-guarded tests.
 
 use std::collections::BTreeSet;
 
@@ -39,6 +46,9 @@ pub struct FaultPlan {
     pub defer_steps: BTreeSet<u64>,
     /// Steps whose chosen job is discarded without running.
     pub drop_steps: BTreeSet<u64>,
+    /// Steps at which the run wedges: the chosen job vanishes without
+    /// completion bookkeeping and the executor returns immediately.
+    pub stall_steps: BTreeSet<u64>,
 }
 
 impl FaultPlan {
@@ -49,7 +59,10 @@ impl FaultPlan {
 
     /// Returns true if the plan injects no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.panic_steps.is_empty() && self.defer_steps.is_empty() && self.drop_steps.is_empty()
+        self.panic_steps.is_empty()
+            && self.defer_steps.is_empty()
+            && self.drop_steps.is_empty()
+            && self.stall_steps.is_empty()
     }
 
     /// Adds a step at which a panicking job is injected.
@@ -70,6 +83,14 @@ impl FaultPlan {
     #[must_use]
     pub fn drop_at(mut self, step: u64) -> Self {
         self.drop_steps.insert(step);
+        self
+    }
+
+    /// Adds a step at which the run wedges (see the module docs): the
+    /// queue is left with outstanding work forever. Watchdog tests only.
+    #[must_use]
+    pub fn stall_at(mut self, step: u64) -> Self {
+        self.stall_steps.insert(step);
         self
     }
 }

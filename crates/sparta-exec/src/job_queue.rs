@@ -8,7 +8,7 @@
 //! when it reaches zero the query is complete and all waiters wake.
 
 use parking_lot::{Condvar, Mutex};
-use sparta_obs::{Counter, MaxGauge, WorkerMetrics};
+use sparta_obs::{recorder, Counter, EventKind, MaxGauge, WorkerMetrics};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -113,6 +113,7 @@ impl JobQueue {
             guard.len()
         };
         self.depth_highwater.observe(depth as u64);
+        recorder::record(EventKind::QueuePush, depth as u64);
         self.cv.notify_one();
     }
 
@@ -163,7 +164,14 @@ impl JobQueue {
     /// Pops a job without blocking. Used by the shared pool, which
     /// multiplexes several queues per thread.
     pub fn try_pop(&self) -> Option<Job> {
-        self.jobs.lock().pop_front()
+        let (job, depth) = {
+            let mut guard = self.jobs.lock();
+            (guard.pop_front(), guard.len())
+        };
+        if job.is_some() {
+            recorder::record(EventKind::QueuePop, depth as u64);
+        }
+        job
     }
 
     /// Pops the `n`-th queued job (0 = front) without blocking.
@@ -173,13 +181,18 @@ impl JobQueue {
     /// for exploring schedules: picking a pseudo-random position
     /// simulates an arbitrary interleaving of worker threads.
     pub fn try_pop_nth(&self, n: usize) -> Option<Job> {
-        let mut guard = self.jobs.lock();
-        let len = guard.len();
-        if len == 0 {
-            None
-        } else {
-            guard.remove(n % len)
+        let (job, depth) = {
+            let mut guard = self.jobs.lock();
+            let len = guard.len();
+            if len == 0 {
+                return None;
+            }
+            (guard.remove(n % len), guard.len())
+        };
+        if job.is_some() {
+            recorder::record(EventKind::QueuePop, depth as u64);
         }
+        job
     }
 
     /// Runs one popped job and performs completion bookkeeping. The
@@ -193,6 +206,7 @@ impl JobQueue {
     /// cyclic job is dropped mid-flight — its continuation is lost,
     /// exactly like a panicking `FnOnce` whose captured state unwound.
     pub fn run_job(&self, job: Job) -> bool {
+        recorder::record(EventKind::JobStart, self.outstanding() as u64);
         let panicked = match job {
             Job::Once(f) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err(),
             Job::Cyclic(mut job) => {
@@ -210,6 +224,7 @@ impl JobQueue {
                         self.recycled.incr();
                         self.executed.incr();
                         self.requeue(Job::Cyclic(job));
+                        recorder::record(EventKind::JobEnd, 0);
                         return false;
                     }
                     Ok((_, false)) => false,
@@ -221,15 +236,38 @@ impl JobQueue {
             self.panicked.incr();
         }
         self.executed.incr();
+        recorder::record(EventKind::JobEnd, u64::from(panicked));
+        self.finish_one();
+        panicked
+    }
+
+    /// Completion-side bookkeeping shared by [`JobQueue::run_job`] and
+    /// [`JobQueue::discard`]: decrement `outstanding` and, if this was
+    /// the last job, wake every waiter — with a lock bridge that makes
+    /// the wakeup impossible to lose.
+    ///
+    /// The waiters (`wait_complete`, the `run_worker` inner loops) take
+    /// the `jobs` mutex, check `is_complete()` — an *atomic* the mutex
+    /// does not guard — and park on `cv`. Without the bridge, this
+    /// decrement and the notify can both land in the window between a
+    /// waiter's check and its park, and the notify is lost forever:
+    /// `wait_complete` has no timeout, so the waiter sleeps for good
+    /// (the ROADMAP's ~1-in-12 `throughput_pool.rs` hang — drivers
+    /// futex-parked in `wait_complete` while the pool sat idle).
+    /// Briefly acquiring and releasing the `jobs` mutex between the
+    /// final decrement and the notify serializes with the waiter's
+    /// check-then-park critical section: once the bridge acquires the
+    /// lock, any waiter that missed the decrement has already released
+    /// the mutex *by parking*, so the notify reaches it.
+    fn finish_one(&self) {
         // ordering: AcqRel — release publishes this job's side effects
         // to the waiter that observes outstanding() == 0; acquire
         // orders this decrement after the job body above it.
         if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Last outstanding job: wake completion waiters (and any
-            // workers blocked waiting for more jobs).
+            // Lost-wakeup bridge: see the doc comment above.
+            drop(self.jobs.lock());
             self.cv.notify_all();
         }
-        panicked
     }
 
     /// Discards a popped job *without running it*, performing the same
@@ -240,9 +278,7 @@ impl JobQueue {
     pub fn discard(&self, job: Job) {
         drop(job);
         self.dropped.incr();
-        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.cv.notify_all();
-        }
+        self.finish_one();
     }
 
     /// Re-enqueues a popped job at the back of the queue without
@@ -251,13 +287,35 @@ impl JobQueue {
     /// runs eventually, but later than the scheduler would naturally
     /// have run it.
     pub fn requeue(&self, job: Job) {
-        let depth = {
+        self.requeue_batch(std::iter::once(job));
+    }
+
+    /// Re-enqueues a *batch* of popped jobs under one lock acquisition,
+    /// without touching the outstanding count. The queue-depth
+    /// high-water gauge is observed once, after the whole batch: the
+    /// queue only grows while the lock is held, so the post-batch
+    /// length is exactly the burst's deepest point — the gauge cannot
+    /// under-report a recycled-job burst the way per-item sampling
+    /// could if a concurrent pop interleaved mid-burst.
+    pub fn requeue_batch<I: IntoIterator<Item = Job>>(&self, jobs: I) {
+        let (depth, pushed) = {
             let mut guard = self.jobs.lock();
-            guard.push_back(job);
-            guard.len()
+            let before = guard.len();
+            for job in jobs {
+                guard.push_back(job);
+            }
+            (guard.len(), guard.len() - before)
         };
+        if pushed == 0 {
+            return;
+        }
         self.depth_highwater.observe(depth as u64);
-        self.cv.notify_one();
+        recorder::record(EventKind::Requeue, depth as u64);
+        if pushed == 1 {
+            self.cv.notify_one();
+        } else {
+            self.cv.notify_all();
+        }
     }
 
     /// Worker loop: pop and run jobs until the queue completes.
@@ -274,7 +332,9 @@ impl JobQueue {
                 if self.is_complete() {
                     return;
                 }
+                recorder::record(EventKind::Park, 0);
                 self.cv.wait(&mut guard);
+                recorder::record(EventKind::Unpark, 0);
             }
         }
     }
@@ -300,7 +360,9 @@ impl JobQueue {
                 }
                 // lint: allow(wall-clock): executor metrics timing (busy/parked nanos)
                 let parked = Instant::now();
+                recorder::record(EventKind::Park, 0);
                 self.cv.wait(&mut guard);
+                recorder::record(EventKind::Unpark, 0);
                 m.idle_ns.add(parked.elapsed().as_nanos() as u64);
             }
         }
@@ -616,6 +678,96 @@ mod tests {
         assert!(q.is_complete());
         assert_eq!(q.panicked(), 1);
         assert_eq!(q.recycled(), 2);
+    }
+
+    #[test]
+    fn requeue_batch_accounts_burst_depth_once() {
+        let q = JobQueue::new();
+        // Keep the live queue depth at 1 while accumulating popped
+        // jobs, so the pre-batch high-water stays at 1.
+        let mut held = Vec::new();
+        for _ in 0..3 {
+            q.push(Box::new(|| {}));
+            held.push(q.try_pop().unwrap());
+        }
+        assert_eq!(q.depth_highwater(), 1);
+        assert_eq!(q.outstanding(), 3);
+        q.requeue_batch(held);
+        assert_eq!(
+            q.depth_highwater(),
+            3,
+            "the burst's deepest point must be accounted"
+        );
+        assert_eq!(q.outstanding(), 3, "requeue never touches outstanding");
+        q.run_worker();
+        assert!(q.is_complete());
+        assert_eq!(q.executed(), 3);
+    }
+
+    #[test]
+    fn requeue_batch_of_nothing_is_inert() {
+        let q = JobQueue::new();
+        q.requeue_batch(std::iter::empty());
+        assert_eq!(q.depth_highwater(), 0);
+        assert_eq!(q.queued_len(), 0);
+    }
+
+    #[test]
+    fn completion_wakeup_is_never_lost() {
+        // Regression for the ROADMAP hang: the final decrement+notify
+        // used to run without the jobs mutex, so it could land between
+        // wait_complete's is_complete() check and its park — a lost
+        // wakeup with no timeout to save it. finish_one's lock bridge
+        // closes the window; this hammers the race window from both
+        // sides with a deadline instead of hanging CI on regression.
+        use std::time::{Duration, Instant};
+        for _ in 0..200 {
+            let q = JobQueue::new();
+            q.push(Box::new(|| {}));
+            let waiter = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.wait_complete())
+            };
+            let runner = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let job = q.try_pop().unwrap();
+                    q.run_job(job);
+                })
+            };
+            runner.join().unwrap();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !waiter.is_finished() {
+                assert!(
+                    Instant::now() < deadline,
+                    "wait_complete hung: completion wakeup was lost"
+                );
+                std::thread::yield_now();
+            }
+            waiter.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn queue_operations_record_flight_events() {
+        use sparta_obs::{ClockMode, FlightRecorder};
+        let rec = FlightRecorder::new(1, 64, ClockMode::Logical);
+        let q = JobQueue::new();
+        let _g = rec.install(0);
+        q.push(Box::new(|| {}));
+        let job = q.try_pop().unwrap();
+        q.run_job(job);
+        let mut kinds = Vec::new();
+        rec.ring(0).for_each(|e| kinds.push(e.kind));
+        assert_eq!(
+            kinds,
+            [
+                EventKind::QueuePush,
+                EventKind::QueuePop,
+                EventKind::JobStart,
+                EventKind::JobEnd,
+            ]
+        );
     }
 
     #[test]

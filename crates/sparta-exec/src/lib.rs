@@ -27,12 +27,14 @@ pub mod deterministic;
 pub mod fault;
 pub mod job_queue;
 pub mod pool;
+pub mod watchdog;
 
 pub use dedicated::DedicatedExecutor;
 pub use deterministic::DeterministicExecutor;
 pub use fault::FaultPlan;
 pub use job_queue::{CyclicJob, Job, JobQueue};
 pub use pool::WorkerPool;
+pub use watchdog::{StallWatchdog, WatchdogConfig};
 
 use std::sync::Arc;
 

@@ -12,9 +12,10 @@
 //! then admits the next *pending* query (FCFS). Completed queues
 //! (outstanding == 0) are retired during the sweep.
 
+use crate::watchdog::{StallWatchdog, WatchdogConfig};
 use crate::{Executor, JobQueue};
 use parking_lot::{Condvar, Mutex};
-use sparta_obs::ExecMetrics;
+use sparta_obs::{recorder, EventKind, ExecMetrics, FlightRecorder};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -31,6 +32,8 @@ struct Shared {
     rr: AtomicUsize,
     /// Opt-in registry; `None` keeps the worker loop timing-free.
     metrics: Option<Arc<ExecMetrics>>,
+    /// Opt-in flight recorder; workers install their ring on entry.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// A persistent pool of worker threads shared by many queries.
@@ -43,17 +46,33 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Starts `threads` persistent workers.
     pub fn new(threads: usize) -> Self {
-        Self::build(threads, None)
+        Self::build(threads, None, None)
     }
 
     /// Starts `threads` persistent workers that record into `metrics`:
     /// per-job durations and panics, busy/idle split, retired queries'
     /// queue-depth high-water, and queries run.
     pub fn instrumented(threads: usize, metrics: Arc<ExecMetrics>) -> Self {
-        Self::build(threads, Some(metrics))
+        Self::build(threads, Some(metrics), None)
     }
 
-    fn build(threads: usize, metrics: Option<Arc<ExecMetrics>>) -> Self {
+    /// Starts `threads` persistent workers that additionally record
+    /// flight-recorder events (job start/end, queue traffic,
+    /// park/unpark transitions) into `recorder` — each worker installs
+    /// its ring for the lifetime of its loop. Metrics stay optional.
+    pub fn with_recorder(
+        threads: usize,
+        metrics: Option<Arc<ExecMetrics>>,
+        recorder: Arc<FlightRecorder>,
+    ) -> Self {
+        Self::build(threads, metrics, Some(recorder))
+    }
+
+    fn build(
+        threads: usize,
+        metrics: Option<Arc<ExecMetrics>>,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> Self {
         assert!(threads >= 1);
         let shared = Arc::new(Shared {
             active: Mutex::new(Vec::new()),
@@ -62,6 +81,7 @@ impl WorkerPool {
             shutdown: AtomicBool::new(false),
             rr: AtomicUsize::new(0),
             metrics,
+            recorder,
         });
         let handles = (0..threads)
             .map(|i| {
@@ -79,6 +99,38 @@ impl WorkerPool {
     /// The metric registry, if this pool is instrumented.
     pub fn metrics(&self) -> Option<&Arc<ExecMetrics>> {
         self.shared.metrics.as_ref()
+    }
+
+    /// The flight recorder, if this pool records events.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.shared.recorder.as_ref()
+    }
+
+    /// Spawns a [`StallWatchdog`] watching this pool's recorder:
+    /// when no worker records an event for `config.quiet` while jobs
+    /// are still outstanding (queued, running, or pending admission),
+    /// it dumps every worker's ring and the pool state. Returns `None`
+    /// if the pool has no recorder.
+    ///
+    /// The probe scopes each pool lock in its own block — it never
+    /// holds `active` and `pending` together, so it adds no edge to
+    /// the lock graph.
+    pub fn watchdog(&self, config: WatchdogConfig) -> Option<StallWatchdog> {
+        let rec = Arc::clone(self.shared.recorder.as_ref()?);
+        let sh = Arc::clone(&self.shared);
+        let probe = move || {
+            let (active_queries, outstanding) = {
+                let active = sh.active.lock();
+                let out: usize = active.iter().map(|q| q.outstanding()).sum();
+                (active.len(), out)
+            };
+            let pending = sh.pending.lock().len();
+            let detail = format!(
+                "pool: {active_queries} active query(ies), {outstanding} outstanding job(s), {pending} pending query(ies)"
+            );
+            (outstanding + pending, detail)
+        };
+        Some(StallWatchdog::spawn(rec, probe, config))
     }
 
     /// Submits a query's job queue to the FCFS backlog. Returns
@@ -127,6 +179,15 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(sh: &Shared, worker: usize) {
+    // Install this worker's ring for the lifetime of the loop: every
+    // recorder::record below (and inside run_job / StripedMap / spans)
+    // lands in it. No recorder → all of those are one-branch no-ops.
+    let _rec_guard = sh.recorder.as_ref().map(|r| r.install(worker));
+    // Park/Unpark are recorded on busy↔idle *transitions*, not on every
+    // 200µs wait_for cycle — an idle pool must go recorder-quiet, or
+    // the stall watchdog could never distinguish "wedged" from
+    // "parked and periodically re-checking".
+    let mut idle = false;
     loop {
         if sh.shutdown.load(Ordering::Acquire) {
             return;
@@ -154,6 +215,10 @@ fn worker_loop(sh: &Shared, worker: usize) {
                     let q = Arc::clone(&active[(start + i) % n]);
                     if let Some(job) = q.try_pop() {
                         drop(active);
+                        if idle {
+                            idle = false;
+                            recorder::record(EventKind::Unpark, 0);
+                        }
                         match &sh.metrics {
                             None => {
                                 q.run_job(job);
@@ -195,6 +260,10 @@ fn worker_loop(sh: &Shared, worker: usize) {
         // Nothing to do: wait for a push/submission/completion.
         let mut guard = sh.pending.lock();
         if guard.is_empty() && !sh.shutdown.load(Ordering::Acquire) {
+            if !idle {
+                idle = true;
+                recorder::record(EventKind::Park, 0);
+            }
             // lint: allow(wall-clock): executor metrics timing (busy/parked nanos)
             let parked = Instant::now();
             sh.cv

@@ -14,6 +14,12 @@
 //!   measurement-only sites carry `// lint: allow(wall-clock): …`.
 //! - **`sleep`** — `thread::sleep` banned in `sparta-core`: algorithm
 //!   code must block on condvars/queues, never on wall time.
+//! - **`alloc`** — allocation banned on the flight recorder's record
+//!   path (`sparta-obs`'s `ring.rs`/`recorder.rs`): allocating
+//!   constructors (`Vec::new`, `Box::from`, …), owning conversions
+//!   (`to_vec`, `collect`, …) and `vec!`/`format!` must not appear
+//!   outside construction, which carries
+//!   `// lint: allow(alloc): <reason>`.
 //! - **`unsafe-code`** — no `unsafe` anywhere in the workspace.
 //! - **`missing-forbid`** — every crate root must carry
 //!   `#![forbid(unsafe_code)]` so the previous rule is also enforced
@@ -31,6 +37,7 @@ pub struct ApiScope {
     pub std_hash: bool,
     pub wall_clock: bool,
     pub sleep: bool,
+    pub alloc: bool,
     /// False only for vendored shims, which get hygiene checks but not
     /// workspace-policy lints.
     pub unsafe_code: bool,
@@ -101,6 +108,45 @@ pub fn scan_apis(path: &str, scan: &Scan, scope: ApiScope, diags: &mut Vec<Diagn
             }
         }
 
+        if scope.alloc {
+            const TYPES: [&str; 10] = [
+                "Box", "Vec", "VecDeque", "String", "Arc", "Rc", "BTreeMap", "BTreeSet", "HashMap",
+                "HashSet",
+            ];
+            const CTORS: [&str; 4] = ["new", "with_capacity", "from", "default"];
+            const METHODS: [&str; 5] = [
+                "to_string",
+                "to_owned",
+                "to_vec",
+                "into_boxed_slice",
+                "collect",
+            ];
+            let ty_ctor = TYPES.iter().any(|ty| t.is_ident(ty))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|t| CTORS.iter().any(|c| t.is_ident(c)));
+            let owning_method =
+                i > 0 && toks[i - 1].is_punct('.') && METHODS.iter().any(|m| t.is_ident(m));
+            let alloc_macro = (t.is_ident("vec") || t.is_ident("format"))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if (ty_ctor || owning_method || alloc_macro) && !scan.lex.annotated(line, "alloc") {
+                diags.push(Diagnostic::new(
+                    "alloc",
+                    path,
+                    line,
+                    format!(
+                        "`{}` allocates on the flight recorder's record path — rings \
+                         must be allocation-free after construction; move the \
+                         allocation to construction and justify with \
+                         `// lint: allow(alloc): <reason>`",
+                        t.text
+                    ),
+                ));
+            }
+        }
+
         if scope.sleep
             && t.is_ident("thread")
             && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
@@ -165,6 +211,15 @@ mod tests {
         std_hash: true,
         wall_clock: true,
         sleep: true,
+        alloc: false,
+        unsafe_code: true,
+    };
+
+    const ALLOC_ONLY: ApiScope = ApiScope {
+        std_hash: false,
+        wall_clock: false,
+        sleep: false,
+        alloc: true,
         unsafe_code: true,
     };
 
@@ -207,6 +262,51 @@ mod tests {
         let d = run(src, ALL);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "unsafe-code");
+    }
+
+    #[test]
+    fn alloc_fires_on_ctors_methods_and_macros() {
+        let d = run("let v = Vec::new();", ALLOC_ONLY);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "alloc");
+        let d = run("let b = Box::from(x);", ALLOC_ONLY);
+        assert_eq!(d.len(), 1);
+        let d = run("let s = x.to_string();", ALLOC_ONLY);
+        assert_eq!(d.len(), 1);
+        let d = run("let v: Vec<u64> = it.collect();", ALLOC_ONLY);
+        assert_eq!(d.len(), 1);
+        let d = run(
+            "let v = vec![0u64; 4]; let s = format!(\"{x}\");",
+            ALLOC_ONLY,
+        );
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn alloc_silent_on_non_allocating_code() {
+        // Arc::clone bumps a refcount, slot loads are plain reads, and
+        // `Vec<...>` in type position never hits the `::ctor` pattern.
+        let d = run(
+            "let r = Arc::clone(&ring); let x = slot.load(Ordering::Acquire);\n\
+             fn f(v: &Vec<u64>) -> u64 { v[0] }",
+            ALLOC_ONLY,
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn alloc_annotation_and_cfg_test_suppress() {
+        let d = run(
+            "// lint: allow(alloc): one-time ring construction\n\
+             let slots = Vec::with_capacity(cap);",
+            ALLOC_ONLY,
+        );
+        assert!(d.is_empty());
+        let d = run(
+            "#[cfg(test)]\nmod tests {\n  fn t() { let v = vec![1, 2, 3]; }\n}\n",
+            ALLOC_ONLY,
+        );
+        assert!(d.is_empty());
     }
 
     #[test]

@@ -74,6 +74,14 @@ impl Policy {
         path.starts_with("crates/sparta-core/src/")
     }
 
+    /// The flight recorder's record path: allocation banned after ring
+    /// construction (workers record from inside the scheduler loop;
+    /// an allocation there can deadlock a diagnostic of an allocator
+    /// stall and skews the recorder's own overhead).
+    pub fn bans_alloc(path: &str) -> bool {
+        path == "crates/sparta-obs/src/ring.rs" || path == "crates/sparta-obs/src/recorder.rs"
+    }
+
     /// Std-Mutex `.lock().unwrap()` ban (parking_lot is the standard).
     pub fn bans_lock_unwrap(path: &str) -> bool {
         path.starts_with("crates/sparta-core/src/")
@@ -128,6 +136,7 @@ pub fn lint_source(path: &str, src: &str, report: &mut Report, edges: &mut Vec<l
         std_hash: Policy::bans_std_hash(path) && !in_test_path,
         wall_clock: Policy::bans_wall_clock(path) && !in_test_path,
         sleep: Policy::bans_sleep(path) && !in_test_path,
+        alloc: Policy::bans_alloc(path) && !in_test_path,
         unsafe_code: true,
     };
     apis::scan_apis(path, &scan, scope, &mut report.diagnostics);

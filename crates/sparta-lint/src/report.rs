@@ -198,8 +198,10 @@ mod tests {
 
     #[test]
     fn json_roundtrips_through_obs_parser() {
-        let mut r = Report::default();
-        r.files_scanned = 3;
+        let mut r = Report {
+            files_scanned: 3,
+            ..Report::default()
+        };
         r.diagnostics.push(Diagnostic::new(
             "std-hash",
             "b.rs",

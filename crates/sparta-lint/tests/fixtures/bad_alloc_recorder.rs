@@ -1,0 +1,17 @@
+//! Fixture: allocation on the flight recorder's record path. Linted
+//! under the virtual path `crates/sparta-obs/src/ring.rs`, where the
+//! `alloc` rule applies; the same source is fine elsewhere.
+
+pub fn record_event(kind: u8, payload: u64) -> u64 {
+    // Scratch buffer built per event: exactly what the rule exists to
+    // catch — the record path must reuse pre-sized ring slots.
+    let scratch = Vec::with_capacity(2);
+    drop(scratch);
+    kind as u64 ^ payload
+}
+
+pub fn construction_is_justified(cap: usize) -> usize {
+    // lint: allow(alloc): one-time ring construction, not record path.
+    let slots: Vec<u64> = Vec::with_capacity(cap);
+    slots.capacity()
+}

@@ -98,6 +98,17 @@ fn bad_missing_forbid_fires() {
 }
 
 #[test]
+fn bad_alloc_fires_on_record_path_only() {
+    // One unjustified `Vec::with_capacity` on the record path; the
+    // annotated construction site stays silent.
+    let rules = rules_for("bad_alloc_recorder.rs", "crates/sparta-obs/src/ring.rs");
+    assert_eq!(rules, ["alloc"]);
+    // Outside the recorder's record path the alloc ban does not apply.
+    let rules = rules_for("bad_alloc_recorder.rs", CORE_MOD);
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+}
+
+#[test]
 fn clean_fixture_is_silent() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
     let report = sparta_lint::run_files(&root, &[fixture("clean.rs")], Some(CORE_ROOT))

@@ -17,10 +17,19 @@
 //!   ([`json::Json`]) with a parser, used by `sparta-bench`'s
 //!   `BENCH_*.json` emitter and its schema-validating smoke test.
 //!
+//! * [`recorder`] / [`ring`] / [`trace_export`] — the **flight
+//!   recorder**: a fixed-capacity, lock-free, allocation-free event
+//!   ring per worker (job start/end, queue push/pop, park/unpark,
+//!   requeues, stripe-lock waits, span begin/end), installed into a
+//!   thread local by the executors, dumped by the stall watchdog, and
+//!   exported as Chrome trace-event JSON for `chrome://tracing` /
+//!   Perfetto.
+//!
 //! Everything here follows the disabled-sink design of
 //! `sparta-core::TraceSink`: a disabled [`QueryTrace`] costs one
-//! branch per instrumentation site, so observability is free unless a
-//! query opts in.
+//! branch per instrumentation site (and an uninstalled flight
+//! recorder one thread-local branch), so observability is free unless
+//! a query opts in.
 //!
 //! This crate deliberately depends on std alone.
 
@@ -31,10 +40,18 @@ pub mod clock;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod registry;
+pub mod ring;
 pub mod span;
+pub mod trace_export;
 
 pub use clock::{ClockMode, ObsClock};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MaxGauge};
+pub use recorder::{FlightRecorder, RecorderGuard};
 pub use registry::{ExecMetrics, ExecSnapshot, WorkerMetrics};
+pub use ring::{Event, EventKind, EventRing};
 pub use span::{phase_totals, Phase, PhaseTotal, QueryTrace, SpanEvent, SpanGuard};
+pub use trace_export::{
+    chrome_trace, chrome_trace_string, dump_text, validate_trace_json, TRACE_SCHEMA_VERSION,
+};

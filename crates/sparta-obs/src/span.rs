@@ -46,6 +46,17 @@ impl Phase {
         Phase::HeapMerge,
     ];
 
+    /// Position in [`Phase::ALL`] — the flight recorder's span event
+    /// payload.
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Phase::index`]; `None` out of range.
+    pub fn from_index(i: u8) -> Option<Phase> {
+        Phase::ALL.get(usize::from(i)).copied()
+    }
+
     /// Stable snake_case name used in exports.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -105,12 +116,20 @@ impl QueryTrace {
     }
 
     /// Opens a span; it closes (and records) when the guard drops.
+    /// When this thread has a flight-recorder ring installed, the
+    /// open/close also mirror as `SpanBegin`/`SpanEnd` ring events
+    /// (stamped by the *recorder's* clock), so `--emit-trace`
+    /// timelines show phase slices without any per-algorithm wiring.
     #[inline]
     pub fn span(&self, phase: Phase) -> SpanGuard<'_> {
         SpanGuard {
             trace: self,
             phase,
             start: if self.spans.is_some() {
+                crate::recorder::record(
+                    crate::ring::EventKind::SpanBegin,
+                    u64::from(phase.index()),
+                );
                 self.clock.tick()
             } else {
                 0
@@ -157,6 +176,10 @@ impl Drop for SpanGuard<'_> {
         if self.trace.spans.is_some() {
             let end = self.trace.clock.tick();
             self.trace.record(self.phase, self.start, end);
+            crate::recorder::record(
+                crate::ring::EventKind::SpanEnd,
+                u64::from(self.phase.index()),
+            );
         }
     }
 }

@@ -20,12 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod wakeup_model;
+
 use sparta_core::config::SearchConfig;
 use sparta_core::oracle::Oracle;
 use sparta_core::result::TopKResult;
 use sparta_core::Algorithm;
 use sparta_corpus::{CorpusModel, Query, QueryLog, SynthCorpus, TfIdfScorer};
-use sparta_exec::DeterministicExecutor;
+use sparta_exec::{DeterministicExecutor, WorkerPool};
 use sparta_index::{Index, IndexBuilder};
 use std::sync::Arc;
 
@@ -96,6 +98,43 @@ where
             );
             std::panic::resume_unwind(cause);
         }
+    }
+}
+
+/// Runs `check` once per seed against a fresh [`WorkerPool`] whose
+/// size is derived from the seed (1..=4 workers), for `n` consecutive
+/// seeds starting at [`base_seed`]. Each iteration constructs the pool,
+/// runs the check, and drops the pool — so every seed exercises worker
+/// spawn, the park/unpark path while the check runs, and the full
+/// retire/join shutdown handshake, across the different worker counts.
+/// Panics inside `check` are re-thrown after printing the failing seed
+/// and the `SPARTA_TEST_SEED` replay command, like [`sweep_schedules`].
+pub fn sweep_pool_schedules<F>(n: u64, mut check: F)
+where
+    F: FnMut(u64, &WorkerPool),
+{
+    let base = base_seed();
+    for i in 0..n {
+        let seed = base.wrapping_add(i);
+        // SplitMix64 finalizer: decorrelate worker count from the seed
+        // sequence so consecutive seeds do not walk sizes in lockstep.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let threads = 1 + (z ^ (z >> 31)) as usize % 4;
+        let pool = WorkerPool::new(threads);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check(seed, &pool);
+        }));
+        if let Err(cause) = outcome {
+            eprintln!(
+                "pool schedule sweep failed at seed {seed} ({threads} workers, \
+                 base {base}, schedule {i}/{n}); \
+                 replay with: SPARTA_TEST_SEED={seed} cargo test"
+            );
+            std::panic::resume_unwind(cause);
+        }
+        drop(pool);
     }
 }
 

@@ -4,15 +4,35 @@
 //! including with many queries in flight concurrently.
 
 use sparta::prelude::*;
+use sparta_exec::{StallWatchdog, WatchdogConfig};
+use sparta_obs::{ClockMode, FlightRecorder};
 use sparta_testkit::build_index as build;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// A recorder-instrumented pool guarded by the stall watchdog: if any
+/// throughput test wedges (no recorder events for 30s with work
+/// outstanding), the watchdog dumps every worker's event ring to
+/// stderr before the CI timeout kills the job — turning a silent hang
+/// into a diagnosable one.
+fn guarded_pool(threads: usize) -> (WorkerPool, StallWatchdog) {
+    let rec = FlightRecorder::new(threads, 1 << 12, ClockMode::Wall);
+    let pool = WorkerPool::with_recorder(threads, None, rec);
+    let wd = pool
+        .watchdog(WatchdogConfig {
+            quiet: Duration::from_secs(30),
+            ..WatchdogConfig::default()
+        })
+        .expect("pool has a recorder");
+    (pool, wd)
+}
 
 #[test]
 fn pool_results_match_dedicated() {
     let (ix, corpus) = build(31);
     let log = QueryLog::generate(corpus.stats(), 2, 4, 5);
     let cfg = SearchConfig::exact(15).with_seg_size(64).with_phi(256);
-    let pool = WorkerPool::new(3);
+    let (pool, _watchdog) = guarded_pool(3);
     let dedicated = DedicatedExecutor::new(3);
     for q in log.all() {
         for algo in sparta::core::registry::case_study_algorithms() {
@@ -34,7 +54,8 @@ fn concurrent_queries_share_pool_correctly() {
     let (ix, corpus) = build(32);
     let log = QueryLog::generate(corpus.stats(), 4, 3, 6);
     let cfg = SearchConfig::exact(10).with_seg_size(64);
-    let pool = Arc::new(WorkerPool::new(4));
+    let (pool, _watchdog) = guarded_pool(4);
+    let pool = Arc::new(pool);
     let queries: Vec<Query> = log.all().cloned().collect();
     // Expected results, computed serially.
     let expected: Vec<Vec<u64>> = queries
@@ -63,7 +84,7 @@ fn pool_survives_many_sequential_queries() {
     let (ix, corpus) = build(33);
     let log = QueryLog::generate(corpus.stats(), 1, 6, 7);
     let cfg = SearchConfig::exact(10);
-    let pool = WorkerPool::new(2);
+    let (pool, _watchdog) = guarded_pool(2);
     let oracle_recall_one = |q: &Query| {
         let oracle = Oracle::compute(ix.as_ref(), q, 10);
         let r = PJass.search(&ix, q, &cfg, &pool);
