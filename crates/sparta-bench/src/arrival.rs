@@ -1,0 +1,157 @@
+//! Open-loop arrival processes for the load harness.
+//!
+//! An **open-loop** generator decides arrival instants ahead of time
+//! from the offered rate alone — queries arrive whether or not the
+//! server has kept up, which is what exposes queueing and shedding
+//! (a closed loop would self-throttle and hide the knee). Schedules
+//! are pure functions of `(process, n, seed)`: integer nanoseconds
+//! from a seeded SplitMix64, so the same seed replays byte-identically
+//! on any host.
+
+/// How query arrivals are spaced in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival times with mean
+    /// `1/qps` (the classic M/·/· offered load).
+    Poisson {
+        /// Offered rate, queries per second.
+        qps: f64,
+    },
+    /// Clustered arrivals: groups of `burst_size` queries land
+    /// (almost) together, groups spaced so the *average* rate is still
+    /// `qps`. Stresses admission much harder than Poisson at the same
+    /// offered rate.
+    Burst {
+        /// Average offered rate, queries per second.
+        qps: f64,
+        /// Queries per burst.
+        burst_size: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short label used in reports ("poisson" / "burst").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Burst { .. } => "burst",
+        }
+    }
+
+    /// The configured average offered rate.
+    pub fn qps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { qps } => qps,
+            ArrivalProcess::Burst { qps, .. } => qps,
+        }
+    }
+
+    /// Arrival instants for `n` queries as nanosecond offsets from the
+    /// start of the run, sorted ascending. Deterministic in
+    /// `(self, n, seed)`.
+    pub fn schedule(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        let mut out = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Poisson { qps } => {
+                assert!(qps > 0.0, "offered rate must be positive");
+                let mut t = 0u64;
+                for _ in 0..n {
+                    t = t.saturating_add(exp_ns(&mut rng, qps));
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::Burst { qps, burst_size } => {
+                assert!(qps > 0.0, "offered rate must be positive");
+                assert!(burst_size >= 1, "burst size must be at least 1");
+                // Bursts are spaced so the long-run rate is `qps`;
+                // inside a burst, queries spread over 1% of the
+                // inter-burst gap with seeded jitter.
+                let gap_ns = (burst_size as f64 / qps * 1e9) as u64;
+                let spread = (gap_ns / 100).max(1);
+                let mut burst = 0u64;
+                let mut in_burst = 0usize;
+                for _ in 0..n {
+                    if in_burst == burst_size {
+                        in_burst = 0;
+                        burst += 1;
+                    }
+                    let jitter = rng.next_u64() % spread;
+                    out.push(burst.saturating_mul(gap_ns).saturating_add(jitter));
+                    in_burst += 1;
+                }
+                out.sort_unstable();
+            }
+        }
+        out
+    }
+}
+
+/// One exponential inter-arrival gap with rate `qps`, in nanoseconds
+/// (inverse-CDF on a uniform in (0, 1]; at least 1 ns so time always
+/// advances).
+fn exp_ns(rng: &mut SplitMix64, qps: f64) -> u64 {
+    let u = rng.next_f64();
+    let gap = -(u.ln()) / qps * 1e9;
+    (gap as u64).max(1)
+}
+
+/// The same tiny seeded generator the deterministic executor uses —
+/// local copy so schedules cannot drift if the executor's evolves.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in (0, 1] — never 0, so `ln` is finite.
+    pub fn next_f64(&mut self) -> f64 {
+        let bits = self.next_u64() >> 11; // 53 significant bits
+        (bits + 1) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_schedule_is_sorted_and_exact_count() {
+        let p = ArrivalProcess::Poisson { qps: 1000.0 };
+        let s = p.schedule(500, 42);
+        assert_eq!(s.len(), 500);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn burst_schedule_clusters() {
+        let p = ArrivalProcess::Burst {
+            qps: 1000.0,
+            burst_size: 10,
+        };
+        let s = p.schedule(100, 7);
+        assert_eq!(s.len(), 100);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        // Ten bursts of ten: the gap between consecutive bursts is two
+        // orders of magnitude larger than the spread within one.
+        let gap_ns = (10.0 / 1000.0 * 1e9) as u64;
+        for b in 0..10 {
+            let chunk = &s[b * 10..(b + 1) * 10];
+            let lo = *chunk.first().unwrap();
+            let hi = *chunk.last().unwrap();
+            assert!(hi - lo <= gap_ns / 100, "burst {b} spread too wide");
+        }
+    }
+}

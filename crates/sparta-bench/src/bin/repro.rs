@@ -453,6 +453,152 @@ fn ramdisk() {
     println!(" pRA pays one random access per document scored)");
 }
 
+/// `load [flags]`: the open-loop latency-under-load sweep against the
+/// admission controller (default: deterministic simulation) or a live
+/// TCP server (`--tcp`). With `--emit-json <name>` the sweep is
+/// embedded as the `"load"` block of `out/BENCH_<name>.json`.
+///
+/// Flags: `--qps a,b,c` offered rates, `--queries N` per level,
+/// `--seed N`, `--burst N` (burst arrivals of size N instead of
+/// Poisson), `--max-in-flight N`, `--queue-capacity N`,
+/// `--service-us N` (simulated mean service time), `--tcp`.
+fn load_cmd(args: &[String]) {
+    use sparta_bench::{run_load_sim, run_load_tcp, BenchReport, LoadConfig};
+    use sparta_server::admission::AdmissionConfig;
+    use sparta_server::protocol::QueryRequest;
+    use sparta_server::scheduler::BatchScheduler;
+
+    let mut cfg = LoadConfig::default();
+    let mut emit: Option<String> = None;
+    let mut tcp = false;
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--emit-json" => emit = Some(value(&mut it, arg)),
+            "--seed" => cfg.seed = value(&mut it, arg).parse().expect("--seed: u64"),
+            "--qps" => {
+                cfg.qps_levels = value(&mut it, arg)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--qps: comma-separated floats"))
+                    .collect();
+                assert!(!cfg.qps_levels.is_empty(), "--qps needs at least one level");
+            }
+            "--queries" => {
+                cfg.queries_per_level = value(&mut it, arg).parse().expect("--queries: usize")
+            }
+            "--burst" => {
+                cfg.burst_size = Some(value(&mut it, arg).parse().expect("--burst: usize"))
+            }
+            "--max-in-flight" => {
+                cfg.admission = AdmissionConfig::new(
+                    value(&mut it, arg).parse().expect("--max-in-flight: usize"),
+                    cfg.admission.queue_capacity,
+                )
+            }
+            "--queue-capacity" => {
+                cfg.admission = AdmissionConfig::new(
+                    cfg.admission.max_in_flight,
+                    value(&mut it, arg)
+                        .parse()
+                        .expect("--queue-capacity: usize"),
+                )
+            }
+            "--service-us" => {
+                cfg.service_ns = value(&mut it, arg)
+                    .parse::<u64>()
+                    .expect("--service-us: u64")
+                    * 1_000
+            }
+            "--tcp" => tcp = true,
+            other => panic!("unknown load flag {other:?}"),
+        }
+    }
+
+    let (load, docs, k) = if tcp {
+        let ds = Dataset::cached(Scale::Cw);
+        let metrics = sparta_obs::ServerMetrics::new();
+        let scheduler = BatchScheduler::new(
+            Arc::clone(&ds.index),
+            sparta_core::SearchConfig::exact(ds.k),
+            threads(),
+            cfg.admission,
+            metrics,
+        );
+        let handle = sparta_server::serve("127.0.0.1:0", scheduler).expect("bind loopback server");
+        let requests: Vec<QueryRequest> = ds
+            .queries_of_length(4, 64)
+            .iter()
+            .map(|q| QueryRequest {
+                k: ds.k as u32,
+                algorithm: "sparta".to_string(),
+                terms: q.terms.clone(),
+            })
+            .collect();
+        let report = run_load_tcp(handle.addr(), handle.metrics(), &cfg, &requests);
+        handle.shutdown();
+        (report, sparta_bench::dataset::base_docs(), ds.k)
+    } else {
+        (run_load_sim(&cfg), 0, 0)
+    };
+
+    println!(
+        "load sweep: {} arrivals, mode={}, seed={:#x}, budget={} queue={}",
+        load.arrival, load.mode, load.seed, load.max_in_flight, load.queue_capacity
+    );
+    println!(
+        "{:>10} {:>8} {:>8} {:>6} {:>10} {:>10} {:>10} {:>9}",
+        "offered/s", "accepted", "shed", "queued", "p50 ms", "p99 ms", "p999 ms", "depth_hw"
+    );
+    for l in &load.levels {
+        let lat = |p: f64| {
+            let sorted: Vec<Duration> = l
+                .latencies_ns
+                .iter()
+                .map(|&n| Duration::from_nanos(n))
+                .collect();
+            sparta_bench::percentile(&sorted, p).as_secs_f64() * 1e3
+        };
+        println!(
+            "{:>10.0} {:>8} {:>8} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>9}",
+            l.offered_qps,
+            l.snapshot.accepted,
+            l.snapshot.shed,
+            l.snapshot.queued,
+            lat(0.50),
+            lat(0.99),
+            lat(0.999),
+            l.snapshot.queue_depth_highwater
+        );
+    }
+
+    if let Some(name) = emit {
+        let report = BenchReport {
+            name,
+            docs,
+            k,
+            queries_per_cell: cfg.queries_per_level,
+            terms_per_query: 0,
+            cells: Vec::new(),
+            recall_curves: Vec::new(),
+            recorder: None,
+            load: Some(load),
+        };
+        let path = report
+            .write_to(std::path::Path::new("out"))
+            .expect("write load JSON");
+        println!(
+            "wrote {} ({} levels)",
+            path.display(),
+            report.load.as_ref().unwrap().levels.len()
+        );
+    }
+}
+
 /// `--emit-json <name>`: measures the case-study grid (every parallel
 /// algorithm × {exact, high} × {1, 2, SPARTA_THREADS} threads) and
 /// writes `out/BENCH_<name>.json`.
@@ -755,6 +901,10 @@ fn main() {
         Some("--recorder-overhead") => {
             let reps = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
             recorder_overhead(reps);
+            return;
+        }
+        Some("load") => {
+            load_cmd(&args[1..]);
             return;
         }
         Some("--perf-guard") => {

@@ -10,6 +10,7 @@
 //! assert the emitter and the consumer agree.
 
 use crate::dataset::Dataset;
+use crate::load::LoadReport;
 use crate::measure::{run_latency_with, LatencyStats};
 use crate::variants::VariantParams;
 use sparta_core::recall::recall_dynamics;
@@ -81,6 +82,9 @@ pub struct BenchReport {
     /// Present when the run had a flight recorder attached
     /// (`SPARTA_RECORDER=1`); emitted as `"flight_recorder"`.
     pub recorder: Option<RecorderReport>,
+    /// Present on `repro load` emissions: the latency-under-load sweep
+    /// (emitted as `"load"`). A load-only report may have no cells.
+    pub load: Option<LoadReport>,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -183,6 +187,9 @@ impl BenchReport {
                     .with("events_dropped", r.events_dropped),
             );
         }
+        if let Some(l) = &self.load {
+            j = j.with("load", l.to_json());
+        }
         j
     }
 
@@ -264,6 +271,7 @@ pub fn build_report(
             events_recorded: r.total_events(),
             events_dropped: r.dropped_events(),
         }),
+        load: None,
     }
 }
 
@@ -330,7 +338,10 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let cells = require(&doc, "cells", "report")?
         .as_arr()
         .ok_or("report: cells is not an array")?;
-    if cells.is_empty() {
+    // A load-only emission (`repro load`) carries its measurements in
+    // the "load" block and legitimately has no cells; anything else
+    // with no cells measured nothing and is a bug.
+    if cells.is_empty() && doc.get("load").is_none() {
         return Err("report: cells is empty".into());
     }
     for (i, cell) in cells.iter().enumerate() {
@@ -401,6 +412,53 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             require_num(fr, key, "flight_recorder")?;
         }
     }
+    // Optional: present only on `repro load` emissions, but when
+    // present the latency-under-load sweep must be complete — at
+    // least one level, each with admission counters, the latency
+    // percentiles, and a queue-depth series.
+    if let Some(load) = doc.get("load") {
+        for key in ["arrival", "mode"] {
+            require(load, key, "load")?
+                .as_str()
+                .ok_or_else(|| format!("load: key {key:?} is not a string"))?;
+        }
+        for key in ["seed", "service_ns", "max_in_flight", "queue_capacity"] {
+            require_num(load, key, "load")?;
+        }
+        let levels = require(load, "levels", "load")?
+            .as_arr()
+            .ok_or("load: levels is not an array")?;
+        if levels.is_empty() {
+            return Err("load: levels is empty".into());
+        }
+        for (i, level) in levels.iter().enumerate() {
+            let ctx = format!("load level {i}");
+            for key in [
+                "offered_qps",
+                "offered",
+                "accepted",
+                "queued",
+                "shed",
+                "abandoned",
+                "completed",
+                "queue_depth_highwater",
+                "in_flight_highwater",
+            ] {
+                require_num(level, key, &ctx)?;
+            }
+            let lat = require(level, "latency_ms", &ctx)?;
+            for key in ["count", "mean", "p50", "p99", "p999"] {
+                require_num(lat, key, &format!("{ctx} latency_ms"))?;
+            }
+            let depth = require(level, "queue_depth", &ctx)?
+                .as_arr()
+                .ok_or_else(|| format!("{ctx}: queue_depth is not an array"))?;
+            for p in depth {
+                require_num(p, "ns", &ctx)?;
+                require_num(p, "depth", &ctx)?;
+            }
+        }
+    }
     Ok(())
 }
 
@@ -433,6 +491,7 @@ mod tests {
                 points: vec![(0.5, 0.4), (1.0, 1.0)],
             }],
             recorder: None,
+            load: None,
         }
     }
 

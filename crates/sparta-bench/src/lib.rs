@@ -17,14 +17,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arrival;
 pub mod dataset;
 pub mod export;
+pub mod load;
 pub mod measure;
 pub mod variants;
 
+pub use arrival::ArrivalProcess;
 pub use dataset::{Dataset, Scale};
 pub use export::{
     out_path, validate_bench_json, BenchCell, BenchReport, RecallCurve, RecorderReport,
 };
+pub use load::{run_load_sim, run_load_tcp, LoadConfig, LoadLevel, LoadReport};
 pub use measure::{percentile, LatencyStats};
 pub use variants::VariantParams;

@@ -1,0 +1,441 @@
+//! Latency-under-load: the open-loop harness that drives the query
+//! server's admission controller across offered-QPS levels.
+//!
+//! Two modes share one report shape:
+//!
+//! * **Simulated** ([`run_load_sim`]) — an event-driven simulation on
+//!   a virtual nanosecond timeline. Arrivals come from a seeded
+//!   [`ArrivalProcess`]; each admitted query "runs" for a seeded
+//!   service time; the *real* [`AdmissionController`] makes every
+//!   admit/queue/shed decision, so its accounting and FIFO grant
+//!   policy are what the curves measure. No wall clock anywhere:
+//!   the same seed yields a byte-identical report on any machine.
+//! * **TCP** ([`run_load_tcp`]) — the same arrival schedule paced in
+//!   real time against a live [`sparta_server`] instance over
+//!   loopback, measuring true end-to-end latency (not reproducible
+//!   byte-for-byte; CI validates its schema, not its bytes).
+//!
+//! Each level reports p50/p99/p999 latency, the admission counters
+//! (accepted/queued/shed/abandoned/completed), and a queue-depth
+//! series — the "latency-under-load curve" of the service writeup.
+
+use crate::arrival::{ArrivalProcess, SplitMix64};
+use crate::measure::percentile;
+use sparta_obs::json::Json;
+use sparta_obs::ServerSnapshot;
+use sparta_server::admission::{AdmissionConfig, AdmissionController, Permit, QueueSlot, TryAdmit};
+use sparta_server::protocol::{Frame, QueryRequest};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parameters shared by every level of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Offered rates to sweep (queries per second).
+    pub qps_levels: Vec<f64>,
+    /// Queries offered per level.
+    pub queries_per_level: usize,
+    /// Burst size; `None` = Poisson arrivals.
+    pub burst_size: Option<usize>,
+    /// Root seed; each level derives its own stream from it.
+    pub seed: u64,
+    /// Admission limits.
+    pub admission: AdmissionConfig,
+    /// Mean simulated service time per query, nanoseconds (sim mode).
+    pub service_ns: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            // Sweep from well under to well over the simulated
+            // capacity (max_in_flight / service_time = 2000 qps), so
+            // the curve shows the knee and the shedding regime.
+            qps_levels: vec![200.0, 1000.0, 5000.0],
+            queries_per_level: 200,
+            burst_size: None,
+            seed: 0x5EED_10AD,
+            admission: AdmissionConfig::new(4, 16),
+            service_ns: 2_000_000,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The arrival process at `qps`.
+    pub fn process(&self, qps: f64) -> ArrivalProcess {
+        match self.burst_size {
+            Some(burst_size) => ArrivalProcess::Burst { qps, burst_size },
+            None => ArrivalProcess::Poisson { qps },
+        }
+    }
+}
+
+/// Measurements for one offered-QPS level.
+#[derive(Debug, Clone)]
+pub struct LoadLevel {
+    /// Offered rate this level was driven at.
+    pub offered_qps: f64,
+    /// Queries offered.
+    pub offered: u64,
+    /// Admission counters over this level (delta, not cumulative).
+    pub snapshot: ServerSnapshot,
+    /// Completed-query latencies in nanoseconds, sorted ascending.
+    pub latencies_ns: Vec<u64>,
+    /// `(t_ns, depth)` whenever the wait-queue depth changed.
+    pub queue_depth: Vec<(u64, u64)>,
+}
+
+/// One full load run: every level plus the knobs that produced it.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// "poisson" or "burst".
+    pub arrival: String,
+    /// "sim" or "tcp".
+    pub mode: String,
+    /// Root seed.
+    pub seed: u64,
+    /// Mean service time (sim mode; 0 for tcp).
+    pub service_ns: u64,
+    /// In-flight budget the controller enforced.
+    pub max_in_flight: u64,
+    /// Wait-queue capacity.
+    pub queue_capacity: u64,
+    /// Per-level measurements, in sweep order.
+    pub levels: Vec<LoadLevel>,
+}
+
+fn latency_block(latencies_ns: &[u64]) -> Json {
+    let sorted: Vec<Duration> = latencies_ns
+        .iter()
+        .map(|&n| Duration::from_nanos(n))
+        .collect();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mean = if sorted.is_empty() {
+        Duration::ZERO
+    } else {
+        sorted.iter().sum::<Duration>() / sorted.len() as u32
+    };
+    Json::obj()
+        .with("count", sorted.len() as u64)
+        .with("mean", ms(mean))
+        .with("p50", ms(percentile(&sorted, 0.50)))
+        .with("p99", ms(percentile(&sorted, 0.99)))
+        .with("p999", ms(percentile(&sorted, 0.999)))
+}
+
+impl LoadLevel {
+    /// Serializes the level.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("offered_qps", self.offered_qps)
+            .with("offered", self.offered)
+            .with("accepted", self.snapshot.accepted)
+            .with("queued", self.snapshot.queued)
+            .with("shed", self.snapshot.shed)
+            .with("abandoned", self.snapshot.abandoned)
+            .with("completed", self.snapshot.completed)
+            .with("queue_depth_highwater", self.snapshot.queue_depth_highwater)
+            .with("in_flight_highwater", self.snapshot.in_flight_highwater)
+            .with("latency_ms", latency_block(&self.latencies_ns))
+            .with(
+                "queue_depth",
+                Json::Arr(
+                    self.queue_depth
+                        .iter()
+                        .map(|&(t, d)| Json::obj().with("ns", t).with("depth", d))
+                        .collect(),
+                ),
+            )
+    }
+}
+
+impl LoadReport {
+    /// Serializes the run (the report's `"load"` block).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("arrival", self.arrival.as_str())
+            .with("mode", self.mode.as_str())
+            .with("seed", self.seed)
+            .with("service_ns", self.service_ns)
+            .with("max_in_flight", self.max_in_flight)
+            .with("queue_capacity", self.queue_capacity)
+            .with(
+                "levels",
+                Json::Arr(self.levels.iter().map(LoadLevel::to_json).collect()),
+            )
+    }
+}
+
+/// Seeded service time: mean `base_ns`, uniform in `[0.5, 1.5) × base`.
+fn service_time(base_ns: u64, rng: &mut SplitMix64) -> u64 {
+    let jitter = 0.5 + rng.next_f64();
+    ((base_ns as f64 * jitter) as u64).max(1)
+}
+
+/// Simulates one offered-QPS level against a real admission
+/// controller on a virtual timeline. Deterministic in `(cfg, qps,
+/// level_seed)`.
+fn run_level_sim(cfg: &LoadConfig, qps: f64, level_seed: u64) -> LoadLevel {
+    let n = cfg.queries_per_level;
+    let ctrl = AdmissionController::new(cfg.admission, sparta_obs::ServerMetrics::new());
+    let arrivals = cfg.process(qps).schedule(n, level_seed);
+    let mut service_rng = SplitMix64::new(level_seed ^ 0x5EE6_F00D);
+    let service: Vec<u64> = (0..n)
+        .map(|_| service_time(cfg.service_ns, &mut service_rng))
+        .collect();
+
+    // Virtual-time event loop. Completions sort by (time, index) via
+    // `Reverse` in a max-heap, so ties resolve deterministically; a
+    // completion at time t is processed before an arrival at t (slots
+    // free up first, which is what a real scheduler's release→accept
+    // ordering does).
+    let mut completions: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut permits: Vec<Option<Permit>> = (0..n).map(|_| None).collect();
+    let mut waiting: VecDeque<(usize, QueueSlot)> = VecDeque::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut depth_series: Vec<(u64, u64)> = Vec::new();
+    let mut last_depth = u64::MAX;
+
+    let record_depth =
+        |t: u64, ctrl: &Arc<AdmissionController>, series: &mut Vec<(u64, u64)>, last: &mut u64| {
+            let d = ctrl.queue_depth() as u64;
+            if d != *last {
+                series.push((t, d));
+                *last = d;
+            }
+        };
+
+    let mut next = 0usize;
+    while next < n || !completions.is_empty() {
+        let arrival_next = arrivals.get(next).copied();
+        let completion_next = completions.peek().map(|r| r.0 .0);
+        let take_completion = match (arrival_next, completion_next) {
+            (Some(a), Some(c)) => c <= a,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => unreachable!("loop condition"),
+        };
+        if take_completion {
+            let std::cmp::Reverse((t, idx)) = completions.pop().expect("peeked");
+            permits[idx] = None; // drop → release slot, grant queue head
+            latencies.push(t - arrivals[idx]);
+            // Exactly one grant can have happened; the FIFO head is
+            // the grantee if anyone was waiting.
+            if let Some((widx, slot)) = waiting.pop_front() {
+                match slot.try_claim() {
+                    Ok(p) => {
+                        permits[widx] = Some(p);
+                        completions.push(std::cmp::Reverse((t + service[widx], widx)));
+                    }
+                    Err(slot) => waiting.push_front((widx, slot)),
+                }
+            }
+            record_depth(t, &ctrl, &mut depth_series, &mut last_depth);
+        } else {
+            let t = arrival_next.expect("take_completion is false");
+            match ctrl.try_admit() {
+                TryAdmit::Admitted(p) => {
+                    permits[next] = Some(p);
+                    completions.push(std::cmp::Reverse((t + service[next], next)));
+                }
+                TryAdmit::Queued(slot) => waiting.push_back((next, slot)),
+                TryAdmit::Shed => {}
+            }
+            record_depth(t, &ctrl, &mut depth_series, &mut last_depth);
+            next += 1;
+        }
+    }
+    assert!(waiting.is_empty(), "every queued query must drain");
+    latencies.sort_unstable();
+    let snapshot = ctrl.metrics().snapshot();
+
+    LoadLevel {
+        offered_qps: qps,
+        offered: n as u64,
+        snapshot,
+        latencies_ns: latencies,
+        queue_depth: depth_series,
+    }
+}
+
+/// Runs the full simulated sweep.
+pub fn run_load_sim(cfg: &LoadConfig) -> LoadReport {
+    let levels = cfg
+        .qps_levels
+        .iter()
+        .enumerate()
+        .map(|(i, &qps)| run_level_sim(cfg, qps, cfg.seed.wrapping_add(i as u64)))
+        .collect();
+    LoadReport {
+        arrival: cfg.process(1.0).label().to_string(),
+        mode: "sim".to_string(),
+        seed: cfg.seed,
+        service_ns: cfg.service_ns,
+        max_in_flight: cfg.admission.max_in_flight as u64,
+        queue_capacity: cfg.admission.queue_capacity as u64,
+        levels,
+    }
+}
+
+/// Counter deltas between two snapshots (highwaters carry over as the
+/// later absolute value — they cannot be meaningfully diffed).
+fn snapshot_delta(before: &ServerSnapshot, after: &ServerSnapshot) -> ServerSnapshot {
+    ServerSnapshot {
+        accepted: after.accepted - before.accepted,
+        queued: after.queued - before.queued,
+        shed: after.shed - before.shed,
+        abandoned: after.abandoned - before.abandoned,
+        completed: after.completed - before.completed,
+        queue_depth_highwater: after.queue_depth_highwater,
+        in_flight_highwater: after.in_flight_highwater,
+    }
+}
+
+/// Drives one level against a live server over TCP: one connection per
+/// query, paced open-loop by the arrival schedule, wall-clock
+/// latencies.
+fn run_level_tcp(
+    addr: std::net::SocketAddr,
+    metrics: &Arc<sparta_obs::ServerMetrics>,
+    cfg: &LoadConfig,
+    qps: f64,
+    level_seed: u64,
+    requests: &[QueryRequest],
+) -> LoadLevel {
+    let n = cfg.queries_per_level;
+    let arrivals = cfg.process(qps).schedule(n, level_seed);
+    let before = metrics.snapshot();
+    let start = std::time::Instant::now();
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let offset = Duration::from_nanos(arrivals[i]);
+            let req = requests[i % requests.len()].clone();
+            std::thread::spawn(move || {
+                let mut client = sparta_server::Client::connect(addr).ok()?;
+                let now = start.elapsed();
+                if offset > now {
+                    std::thread::sleep(offset - now);
+                }
+                let sent = std::time::Instant::now();
+                match client.query(&req) {
+                    Ok(Frame::Response { .. }) => Some(sent.elapsed().as_nanos() as u64),
+                    _ => None,
+                }
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = handles
+        .into_iter()
+        .filter_map(|h| h.join().ok().flatten())
+        .collect();
+    latencies.sort_unstable();
+    LoadLevel {
+        offered_qps: qps,
+        offered: n as u64,
+        snapshot: snapshot_delta(&before, &metrics.snapshot()),
+        latencies_ns: latencies,
+        // The TCP path has no virtual timeline to sample on; the
+        // high-water gauge in the snapshot carries the depth story.
+        queue_depth: Vec::new(),
+    }
+}
+
+/// Runs the full sweep against a live server at `addr`.
+pub fn run_load_tcp(
+    addr: std::net::SocketAddr,
+    metrics: &Arc<sparta_obs::ServerMetrics>,
+    cfg: &LoadConfig,
+    requests: &[QueryRequest],
+) -> LoadReport {
+    assert!(!requests.is_empty(), "need at least one request template");
+    let levels = cfg
+        .qps_levels
+        .iter()
+        .enumerate()
+        .map(|(i, &qps)| {
+            run_level_tcp(
+                addr,
+                metrics,
+                cfg,
+                qps,
+                cfg.seed.wrapping_add(i as u64),
+                requests,
+            )
+        })
+        .collect();
+    LoadReport {
+        arrival: cfg.process(1.0).label().to_string(),
+        mode: "tcp".to_string(),
+        seed: cfg.seed,
+        service_ns: 0,
+        max_in_flight: cfg.admission.max_in_flight as u64,
+        queue_capacity: cfg.admission.queue_capacity as u64,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_accounting_is_exact_per_level() {
+        let cfg = LoadConfig::default();
+        let report = run_load_sim(&cfg);
+        assert_eq!(report.levels.len(), 3);
+        for level in &report.levels {
+            let s = &level.snapshot;
+            assert_eq!(s.attempts(), level.offered, "every arrival accounted");
+            assert_eq!(s.accepted, s.completed, "accepted queries all complete");
+            assert_eq!(s.abandoned, 0, "sim never abandons");
+            assert_eq!(
+                level.latencies_ns.len() as u64,
+                s.completed,
+                "one latency per completion"
+            );
+        }
+        // The overloaded level must actually shed.
+        assert!(
+            report.levels.last().unwrap().snapshot.shed > 0,
+            "5000 qps against 2000 qps capacity must shed"
+        );
+        // The underloaded level should not.
+        assert_eq!(report.levels[0].snapshot.shed, 0);
+    }
+
+    #[test]
+    fn sim_is_deterministic() {
+        let cfg = LoadConfig::default();
+        let a = run_load_sim(&cfg);
+        let b = run_load_sim(&cfg);
+        let aj = a.to_json().to_pretty_string(2);
+        let bj = b.to_json().to_pretty_string(2);
+        assert_eq!(aj, bj, "same seed must replay byte-identically");
+        let mut cfg2 = LoadConfig::default();
+        cfg2.seed ^= 1;
+        let c = run_load_sim(&cfg2);
+        assert_ne!(
+            aj,
+            c.to_json().to_pretty_string(2),
+            "different seed must actually change the run"
+        );
+    }
+
+    #[test]
+    fn burst_arrivals_queue_deeper_than_poisson() {
+        let mut poisson = LoadConfig::default();
+        poisson.qps_levels = vec![1000.0];
+        let mut burst = poisson.clone();
+        burst.burst_size = Some(20);
+        let p = run_load_sim(&poisson).levels.remove(0);
+        let b = run_load_sim(&burst).levels.remove(0);
+        assert!(
+            b.snapshot.queue_depth_highwater >= p.snapshot.queue_depth_highwater,
+            "bursts at the same average rate must not queue shallower (burst {} vs poisson {})",
+            b.snapshot.queue_depth_highwater,
+            p.snapshot.queue_depth_highwater
+        );
+    }
+}

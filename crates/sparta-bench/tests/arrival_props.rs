@@ -1,0 +1,109 @@
+//! Properties of the seeded arrival processes: exact event counts,
+//! statistically correct rates, and byte-identical replay — the load
+//! harness's reproducibility claim rests on these.
+
+use sparta_bench::ArrivalProcess;
+use sparta_testkit::base_seed;
+
+fn processes() -> Vec<ArrivalProcess> {
+    vec![
+        ArrivalProcess::Poisson { qps: 100.0 },
+        ArrivalProcess::Poisson { qps: 5_000.0 },
+        ArrivalProcess::Burst {
+            qps: 1_000.0,
+            burst_size: 8,
+        },
+        ArrivalProcess::Burst {
+            qps: 250.0,
+            burst_size: 32,
+        },
+    ]
+}
+
+#[test]
+fn schedules_have_exact_count_and_are_sorted() {
+    for p in processes() {
+        for i in 0..40u64 {
+            let seed = base_seed().wrapping_add(i);
+            for n in [0usize, 1, 7, 100] {
+                let s = p.schedule(n, seed);
+                assert_eq!(s.len(), n, "{p:?} seed {seed}: wrong event count");
+                assert!(
+                    s.windows(2).all(|w| w[0] <= w[1]),
+                    "{p:?} seed {seed}: schedule not sorted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_replays_byte_identically() {
+    for p in processes() {
+        let seed = base_seed();
+        let a = p.schedule(5_000, seed);
+        let b = p.schedule(5_000, seed);
+        assert_eq!(a, b, "{p:?}: same seed must replay identically");
+        // And the bytes, not just the values, for the emitted-JSON
+        // byte-identity claim.
+        let bytes_a: Vec<u8> = a.iter().flat_map(|t| t.to_le_bytes()).collect();
+        let bytes_b: Vec<u8> = b.iter().flat_map(|t| t.to_le_bytes()).collect();
+        assert_eq!(bytes_a, bytes_b);
+        let c = p.schedule(5_000, seed.wrapping_add(1));
+        assert_ne!(a, c, "{p:?}: a different seed must change the schedule");
+    }
+}
+
+#[test]
+fn poisson_mean_interarrival_matches_rate() {
+    // Law of large numbers at n = 50 000: the sample mean gap must sit
+    // within 3% of 1/qps (σ/√n ≈ 0.45% of the mean here).
+    for qps in [200.0f64, 1_000.0, 10_000.0] {
+        let p = ArrivalProcess::Poisson { qps };
+        let n = 50_000;
+        let s = p.schedule(n, base_seed());
+        let span_ns = s[n - 1] - s[0];
+        let mean_gap = span_ns as f64 / (n - 1) as f64;
+        let expected = 1e9 / qps;
+        let err = (mean_gap - expected).abs() / expected;
+        assert!(
+            err < 0.03,
+            "qps {qps}: mean gap {mean_gap:.1} ns vs expected {expected:.1} ns (err {err:.4})"
+        );
+    }
+}
+
+#[test]
+fn burst_long_run_rate_matches_qps() {
+    let qps = 1_000.0;
+    let burst_size = 10;
+    let p = ArrivalProcess::Burst { qps, burst_size };
+    let n = 10_000;
+    let s = p.schedule(n, base_seed());
+    // n/burst_size bursts spaced burst_size/qps apart: the whole run
+    // spans ≈ n/qps seconds, so the realized average rate is qps.
+    let span_s = (s[n - 1] - s[0]) as f64 / 1e9;
+    let rate = (n - 1) as f64 / span_s;
+    let err = (rate - qps).abs() / qps;
+    assert!(
+        err < 0.05,
+        "burst rate {rate:.1} qps vs offered {qps} (err {err:.4})"
+    );
+}
+
+#[test]
+fn poisson_gaps_are_actually_dispersed() {
+    // Exponential gaps have coefficient of variation 1; a generator
+    // accidentally emitting constant gaps (CV ≈ 0) would pass the mean
+    // test but hide all queueing behaviour.
+    let p = ArrivalProcess::Poisson { qps: 1_000.0 };
+    let s = p.schedule(20_000, base_seed());
+    let gaps: Vec<f64> = s.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+    let cv = var.sqrt() / mean;
+    assert!(
+        (cv - 1.0).abs() < 0.1,
+        "coefficient of variation {cv:.3}, expected ≈ 1 for exponential gaps"
+    );
+}

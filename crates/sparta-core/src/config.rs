@@ -44,6 +44,11 @@ pub struct SearchConfig {
     /// the default; the logical clock makes traces bit-identical under
     /// the deterministic executor.
     pub clock: ClockMode,
+    /// Per-query tag stamped onto the job queue a search creates
+    /// (0 = untagged). The query server derives one config per request
+    /// from a shared template and tags it with the request id, so a
+    /// queue multiplexed through the shared pool stays attributable.
+    pub query_tag: u64,
 }
 
 impl SearchConfig {
@@ -60,6 +65,7 @@ impl SearchConfig {
             prune_gamma: None,
             spans: false,
             clock: ClockMode::Wall,
+            query_tag: 0,
         }
     }
 
@@ -136,6 +142,22 @@ impl SearchConfig {
         self
     }
 
+    /// Builder: sets k. A long-lived service holds one template config
+    /// and derives each request's config from it (`template.with_k(…)`),
+    /// so per-request reuse never mutates shared state.
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k >= 1);
+        self.k = k;
+        self
+    }
+
+    /// Builder: sets the per-query tag stamped onto the search's job
+    /// queue (see [`SearchConfig::query_tag`]).
+    pub fn with_query_tag(mut self, tag: u64) -> Self {
+        self.query_tag = tag;
+        self
+    }
+
     /// Builder: sets Sparta's probabilistic-pruning factor γ.
     ///
     /// # Panics
@@ -206,6 +228,28 @@ mod tests {
         assert_eq!(l.jass_p, 0.005);
         let e = h.with_variant(Variant::Exact);
         assert!(e.is_exact());
+    }
+
+    #[test]
+    fn template_reuse_derives_per_query_configs() {
+        let template = SearchConfig::exact(1000).with_seg_size(512).with_phi(4096);
+        let a = template.with_k(10).with_query_tag(7);
+        let b = template.with_k(100).with_query_tag(8);
+        assert_eq!(a.k, 10);
+        assert_eq!(a.query_tag, 7);
+        assert_eq!(b.k, 100);
+        assert_eq!(b.query_tag, 8);
+        // The template itself is untouched (Copy semantics).
+        assert_eq!(template.k, 1000);
+        assert_eq!(template.query_tag, 0);
+        assert_eq!(a.seg_size, template.seg_size);
+        assert_eq!(a.phi, template.phi);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_k_rejected() {
+        let _ = SearchConfig::exact(10).with_k(0);
     }
 
     #[test]

@@ -341,7 +341,7 @@ impl Algorithm for Sparta {
             };
         }
         let state = Arc::new(State::new(m, *cfg));
-        let queue = JobQueue::new();
+        let queue = JobQueue::tagged(cfg.query_tag);
         {
             let _plan = state.spans.span(Phase::Plan);
             for (i, &t) in query.terms.iter().enumerate() {
@@ -360,6 +360,19 @@ impl Algorithm for Sparta {
         let merge = state.spans.span(Phase::HeapMerge);
         let mut hits = state.heap.sorted_hits();
         hits.truncate(cfg.k);
+        // Re-record every final member with its settled sum:
+        // `SpartaHeap::update` traces *inserts* only, so a member whose
+        // score kept growing after its last insert would replay with a
+        // stale partial sum — at the trace's final sample a non-member
+        // whose traced score exceeds that stale sum then displaces the
+        // member from the reconstructed top-k, and an exact run's
+        // recall curve ends below 1.0 (schedule-dependent under ≥2
+        // traversal threads). Recording here keeps the hot insert path
+        // unchanged and stamps these events after every worker event,
+        // so the final replay sample sees the true sums.
+        for h in &hits {
+            state.trace.record(h.doc, h.score);
+        }
         drop(merge);
         let docmap_final = state.doc_map.load().len() as u64;
         let work = WorkStats {

@@ -74,6 +74,9 @@ impl From<Box<dyn FnOnce() + Send>> for Job {
 pub struct JobQueue {
     jobs: Mutex<VecDeque<Job>>,
     cv: Condvar,
+    /// Caller-assigned query tag (0 = untagged). Shared-pool consumers
+    /// use it to correlate a queue with the request that spawned it.
+    tag: u64,
     /// Jobs queued or currently executing.
     outstanding: AtomicUsize,
     /// Jobs executed in total (statistics).
@@ -95,6 +98,22 @@ impl JobQueue {
     /// Creates an empty queue.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
+    }
+
+    /// Creates an empty queue carrying a per-query `tag`. Tags flow
+    /// through shared executors untouched; the query server assigns one
+    /// per admitted request so a queue observed inside the pool (stall
+    /// dumps, retirement accounting) can be traced back to its request.
+    pub fn tagged(tag: u64) -> Arc<Self> {
+        Arc::new(Self {
+            tag,
+            ..Self::default()
+        })
+    }
+
+    /// The caller-assigned query tag (0 = untagged).
+    pub fn tag(&self) -> u64 {
+        self.tag
     }
 
     /// Enqueues a job. Accepts a boxed closure (`Box::new(move || …)`)
@@ -396,6 +415,7 @@ impl Default for JobQueue {
         Self {
             jobs: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
+            tag: 0,
             outstanding: AtomicUsize::new(0),
             executed: Counter::new(),
             panicked: Counter::new(),
@@ -425,6 +445,16 @@ mod tests {
         assert_eq!(sum.load(Ordering::Relaxed), 55);
         assert!(q.is_complete());
         assert_eq!(q.executed(), 10);
+    }
+
+    #[test]
+    fn tagged_queue_carries_tag() {
+        assert_eq!(JobQueue::new().tag(), 0);
+        let q = JobQueue::tagged(42);
+        assert_eq!(q.tag(), 42);
+        q.push(Box::new(|| {}));
+        q.run_worker();
+        assert_eq!(q.tag(), 42, "tag survives execution");
     }
 
     #[test]

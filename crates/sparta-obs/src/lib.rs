@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod registry;
 pub mod ring;
+pub mod server;
 pub mod span;
 pub mod trace_export;
 
@@ -51,6 +52,7 @@ pub use metrics::{Counter, Histogram, HistogramSnapshot, MaxGauge};
 pub use recorder::{FlightRecorder, RecorderGuard};
 pub use registry::{ExecMetrics, ExecSnapshot, WorkerMetrics};
 pub use ring::{Event, EventKind, EventRing};
+pub use server::{ServerMetrics, ServerSnapshot};
 pub use span::{phase_totals, Phase, PhaseTotal, QueryTrace, SpanEvent, SpanGuard};
 pub use trace_export::{
     chrome_trace, chrome_trace_string, dump_text, validate_trace_json, TRACE_SCHEMA_VERSION,

@@ -1,0 +1,117 @@
+//! Admission-control metrics for the query server.
+//!
+//! `sparta-server`'s admission controller reports every decision here:
+//! how many queries were accepted straight into execution, parked in
+//! the bounded wait queue, shed at the door, abandoned while waiting,
+//! and completed. The counters are the same lock-free primitives the
+//! executor registries use ([`Counter`] / [`MaxGauge`]), so recording a
+//! decision costs one atomic RMW and a scrape is wait-free.
+//!
+//! The accounting invariant the admission tests pin on every explored
+//! schedule: once all in-flight work has drained,
+//!
+//! ```text
+//! accepted == completed
+//! accepted + shed + abandoned == admission attempts
+//! ```
+//!
+//! and no query is ever both shed and answered.
+
+use crate::metrics::{Counter, MaxGauge};
+use std::sync::Arc;
+
+/// The query server's admission/scheduling registry.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Queries granted an execution slot (immediately or after queueing).
+    pub accepted: Counter,
+    /// Queries that entered the bounded wait queue (they are later
+    /// counted as accepted or abandoned as well).
+    pub queued: Counter,
+    /// Queries rejected because both the in-flight budget and the wait
+    /// queue were full.
+    pub shed: Counter,
+    /// Queued queries cancelled before they were granted a slot
+    /// (client gone, wait budget exhausted).
+    pub abandoned: Counter,
+    /// Execution slots released (every accepted query eventually
+    /// completes, panics included — slot release is RAII).
+    pub completed: Counter,
+    /// Deepest the wait queue has ever been.
+    pub queue_depth_highwater: MaxGauge,
+    /// Most queries ever executing concurrently.
+    pub in_flight_highwater: MaxGauge,
+}
+
+impl ServerMetrics {
+    /// An empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Point-in-time aggregate of every counter.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot {
+            accepted: self.accepted.get(),
+            queued: self.queued.get(),
+            shed: self.shed.get(),
+            abandoned: self.abandoned.get(),
+            completed: self.completed.get(),
+            queue_depth_highwater: self.queue_depth_highwater.get(),
+            in_flight_highwater: self.in_flight_highwater.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`ServerMetrics`] registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerSnapshot {
+    /// Queries granted an execution slot.
+    pub accepted: u64,
+    /// Queries that waited in the bounded queue.
+    pub queued: u64,
+    /// Queries rejected at admission.
+    pub shed: u64,
+    /// Queued queries cancelled before a grant.
+    pub abandoned: u64,
+    /// Execution slots released.
+    pub completed: u64,
+    /// Deepest the wait queue has ever been.
+    pub queue_depth_highwater: u64,
+    /// Most queries ever executing concurrently.
+    pub in_flight_highwater: u64,
+}
+
+impl ServerSnapshot {
+    /// Total admission attempts this snapshot accounts for.
+    pub fn attempts(&self) -> u64 {
+        self.accepted + self.shed + self.abandoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = ServerMetrics::new();
+        m.accepted.incr();
+        m.accepted.incr();
+        m.queued.incr();
+        m.shed.incr();
+        m.abandoned.incr();
+        m.completed.incr();
+        m.queue_depth_highwater.observe(3);
+        m.in_flight_highwater.observe(2);
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.queued, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.queue_depth_highwater, 3);
+        assert_eq!(s.in_flight_highwater, 2);
+        assert_eq!(s.attempts(), 4);
+    }
+}

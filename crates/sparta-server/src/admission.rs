@@ -1,0 +1,383 @@
+//! Admission control: a bounded in-flight budget with a bounded FIFO
+//! wait queue, shedding everything beyond both.
+//!
+//! A query's life at the door:
+//!
+//! ```text
+//!             ┌────────── budget free ──────────► Admitted(Permit)
+//! try_admit ──┤
+//!             ├── budget full, queue has room ──► Queued(QueueSlot)
+//!             │        │ head granted a released slot
+//!             │        ▼
+//!             │     claim / wait ───────────────► Permit
+//!             │        │ dropped unclaimed
+//!             │        ▼
+//!             │     abandoned
+//!             └── budget full, queue full ──────► Shed
+//! ```
+//!
+//! [`Permit`] is RAII: dropping it (normal return or unwind) releases
+//! the slot, which is handed to the queue head if one is waiting —
+//! FIFO, no barging — and counts `completed`. Every decision is
+//! recorded in a shared [`ServerMetrics`], and the accounting is exact
+//! on every schedule (see `tests/server_admission.rs`): after a drain,
+//! `accepted == completed`, `accepted + shed + abandoned == attempts`,
+//! and no query is both shed and answered.
+//!
+//! Locking: one mutex (`gate`) around the whole admission state, never
+//! held while blocking and never nested inside another lock, so the
+//! controller adds no edges to the workspace lock-order graph.
+
+use parking_lot::{Condvar, Mutex};
+use sparta_obs::ServerMetrics;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Queries allowed to execute concurrently (≥ 1).
+    pub max_in_flight: usize,
+    /// Queries allowed to wait for a slot; 0 disables queueing and
+    /// sheds everything beyond the budget.
+    pub queue_capacity: usize,
+}
+
+impl AdmissionConfig {
+    /// A budget of `max_in_flight` with `queue_capacity` waiters.
+    pub fn new(max_in_flight: usize, queue_capacity: usize) -> Self {
+        assert!(max_in_flight >= 1);
+        Self {
+            max_in_flight,
+            queue_capacity,
+        }
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self::new(4, 16)
+    }
+}
+
+/// Mutable admission state, all under the one `gate` mutex.
+#[derive(Debug, Default)]
+struct Gate {
+    /// Slots currently held by permits (or transferred to granted
+    /// tickets that have not claimed yet).
+    in_flight: usize,
+    /// Waiting tickets, FIFO.
+    waiting: VecDeque<u64>,
+    /// Tickets that inherited a released slot but have not claimed it.
+    granted: Vec<u64>,
+    /// Next ticket id.
+    next_ticket: u64,
+}
+
+/// Bounded admission with FIFO queueing and load shedding.
+#[derive(Debug)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    gate: Mutex<Gate>,
+    cv: Condvar,
+    metrics: Arc<ServerMetrics>,
+}
+
+/// Outcome of a non-blocking admission attempt.
+#[derive(Debug)]
+pub enum TryAdmit {
+    /// A slot was free; run now.
+    Admitted(Permit),
+    /// The budget is full but the queue had room; claim or wait.
+    Queued(QueueSlot),
+    /// Budget and queue are both full.
+    Shed,
+}
+
+impl AdmissionController {
+    /// A controller recording into `metrics`.
+    pub fn new(cfg: AdmissionConfig, metrics: Arc<ServerMetrics>) -> Arc<Self> {
+        Arc::new(Self {
+            cfg,
+            gate: Mutex::new(Gate::default()),
+            cv: Condvar::new(),
+            metrics,
+        })
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// Current wait-queue depth (waiting, not yet granted).
+    pub fn queue_depth(&self) -> usize {
+        self.gate.lock().waiting.len()
+    }
+
+    /// Slots currently held (including granted-but-unclaimed ones).
+    pub fn in_flight(&self) -> usize {
+        self.gate.lock().in_flight
+    }
+
+    /// Non-blocking admission. Deterministic: the outcome depends only
+    /// on the controller's state at the instant the gate is taken.
+    pub fn try_admit(self: &Arc<Self>) -> TryAdmit {
+        let mut g = self.gate.lock();
+        if g.in_flight < self.cfg.max_in_flight {
+            g.in_flight += 1;
+            let now = g.in_flight as u64;
+            drop(g);
+            self.metrics.in_flight_highwater.observe(now);
+            self.metrics.accepted.incr();
+            TryAdmit::Admitted(Permit {
+                ctrl: Arc::clone(self),
+            })
+        } else if g.waiting.len() < self.cfg.queue_capacity {
+            let ticket = g.next_ticket;
+            g.next_ticket += 1;
+            g.waiting.push_back(ticket);
+            let depth = g.waiting.len() as u64;
+            drop(g);
+            self.metrics.queue_depth_highwater.observe(depth);
+            self.metrics.queued.incr();
+            TryAdmit::Queued(QueueSlot {
+                ctrl: Arc::clone(self),
+                ticket,
+                claimed: false,
+            })
+        } else {
+            drop(g);
+            self.metrics.shed.incr();
+            TryAdmit::Shed
+        }
+    }
+
+    /// Blocking admission: waits in the queue if needed. `None` means
+    /// the query was shed.
+    pub fn admit(self: &Arc<Self>) -> Option<Permit> {
+        match self.try_admit() {
+            TryAdmit::Admitted(p) => Some(p),
+            TryAdmit::Queued(slot) => Some(slot.wait()),
+            TryAdmit::Shed => None,
+        }
+    }
+
+    /// Releases one slot: hands it to the queue head if anyone waits,
+    /// otherwise frees it. Shared by permit drop and the abandonment
+    /// path of a granted-but-unclaimed slot.
+    fn release_slot(&self) {
+        let mut g = self.gate.lock();
+        if let Some(next) = g.waiting.pop_front() {
+            // The slot transfers to the head ticket: `in_flight` is
+            // unchanged because the grantee now owns it.
+            g.granted.push(next);
+        } else {
+            debug_assert!(g.in_flight >= 1);
+            g.in_flight -= 1;
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+}
+
+/// An execution slot. Dropping it releases the slot (handing it to the
+/// queue head if one waits) and counts the query as completed — RAII,
+/// so a panicking query still releases on unwind.
+#[derive(Debug)]
+pub struct Permit {
+    ctrl: Arc<AdmissionController>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.ctrl.release_slot();
+        self.ctrl.metrics.completed.incr();
+    }
+}
+
+/// A position in the wait queue. Exactly one of three things happens
+/// to it: it is claimed into a [`Permit`] (non-blocking `try_claim` or
+/// blocking `wait`), or it is dropped unclaimed and counted as
+/// abandoned.
+#[derive(Debug)]
+pub struct QueueSlot {
+    ctrl: Arc<AdmissionController>,
+    ticket: u64,
+    claimed: bool,
+}
+
+impl QueueSlot {
+    fn into_permit(mut self) -> Permit {
+        self.claimed = true;
+        let ctrl = Arc::clone(&self.ctrl);
+        ctrl.metrics.accepted.incr();
+        Permit { ctrl }
+    }
+
+    /// Non-blocking: claims the slot if a release has granted it to
+    /// this ticket. Used by the deterministic admission tests, which
+    /// poll instead of parking.
+    pub fn try_claim(self) -> Result<Permit, QueueSlot> {
+        let granted = {
+            let mut g = self.ctrl.gate.lock();
+            match g.granted.iter().position(|&t| t == self.ticket) {
+                Some(i) => {
+                    g.granted.swap_remove(i);
+                    true
+                }
+                None => false,
+            }
+        };
+        if granted {
+            Ok(self.into_permit())
+        } else {
+            Err(self)
+        }
+    }
+
+    /// Blocks until the slot is granted, then claims it.
+    pub fn wait(self) -> Permit {
+        {
+            let mut g = self.ctrl.gate.lock();
+            loop {
+                if let Some(i) = g.granted.iter().position(|&t| t == self.ticket) {
+                    g.granted.swap_remove(i);
+                    break;
+                }
+                self.ctrl.cv.wait(&mut g);
+            }
+        }
+        self.into_permit()
+    }
+}
+
+impl Drop for QueueSlot {
+    fn drop(&mut self) {
+        if self.claimed {
+            return;
+        }
+        // Abandoned. Either still waiting (just leave the queue) or
+        // already granted a slot (give the slot back like a permit
+        // would, but count abandoned instead of accepted/completed).
+        let granted = {
+            let mut g = self.ctrl.gate.lock();
+            if let Some(i) = g.waiting.iter().position(|&t| t == self.ticket) {
+                g.waiting.remove(i);
+                false
+            } else if let Some(i) = g.granted.iter().position(|&t| t == self.ticket) {
+                g.granted.swap_remove(i);
+                true
+            } else {
+                // Unreachable: an unclaimed ticket is in exactly one
+                // of the two sets. Count nothing rather than panic in
+                // a destructor.
+                return;
+            }
+        };
+        if granted {
+            self.ctrl.release_slot();
+        }
+        self.ctrl.metrics.abandoned.incr();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl(max_in_flight: usize, queue: usize) -> Arc<AdmissionController> {
+        AdmissionController::new(
+            AdmissionConfig::new(max_in_flight, queue),
+            ServerMetrics::new(),
+        )
+    }
+
+    #[test]
+    fn admits_up_to_budget_then_queues_then_sheds() {
+        let c = ctrl(2, 1);
+        let p1 = match c.try_admit() {
+            TryAdmit::Admitted(p) => p,
+            other => panic!("expected admit, got {other:?}"),
+        };
+        let _p2 = match c.try_admit() {
+            TryAdmit::Admitted(p) => p,
+            other => panic!("expected admit, got {other:?}"),
+        };
+        let slot = match c.try_admit() {
+            TryAdmit::Queued(s) => s,
+            other => panic!("expected queue, got {other:?}"),
+        };
+        assert!(matches!(c.try_admit(), TryAdmit::Shed));
+        // Releasing a permit grants the queued ticket, FIFO.
+        drop(p1);
+        let slot = match slot.try_claim() {
+            Ok(p) => {
+                drop(p);
+                None
+            }
+            Err(s) => Some(s),
+        };
+        assert!(slot.is_none(), "released slot must grant the queue head");
+        let s = c.metrics().snapshot();
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.queued, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.abandoned, 0);
+    }
+
+    #[test]
+    fn abandoned_waiting_slot_counts_and_frees_nothing() {
+        let c = ctrl(1, 2);
+        let p = c.admit().expect("first query admitted");
+        let slot = match c.try_admit() {
+            TryAdmit::Queued(s) => s,
+            other => panic!("expected queue, got {other:?}"),
+        };
+        drop(slot); // abandon while still waiting
+        drop(p);
+        let s = c.metrics().snapshot();
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(c.in_flight(), 0);
+        assert_eq!(c.queue_depth(), 0);
+    }
+
+    #[test]
+    fn abandoned_granted_slot_releases_its_inherited_slot() {
+        let c = ctrl(1, 1);
+        let p = c.admit().expect("admitted");
+        let slot = match c.try_admit() {
+            TryAdmit::Queued(s) => s,
+            other => panic!("expected queue, got {other:?}"),
+        };
+        drop(p); // grants the slot to `slot`
+        drop(slot); // abandoned after grant: must free the slot
+        assert_eq!(c.in_flight(), 0);
+        let s = c.metrics().snapshot();
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.abandoned, 1);
+        // The freed slot is usable again.
+        assert!(matches!(c.try_admit(), TryAdmit::Admitted(_)));
+    }
+
+    #[test]
+    fn permit_release_on_unwind() {
+        let c = ctrl(1, 0);
+        let c2 = Arc::clone(&c);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _p = c2.admit().expect("admitted");
+            panic!("query died");
+        }));
+        assert!(r.is_err());
+        assert_eq!(c.in_flight(), 0, "unwind must release the slot");
+        assert_eq!(c.metrics().snapshot().completed, 1);
+    }
+}

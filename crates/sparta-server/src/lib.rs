@@ -1,0 +1,46 @@
+//! Sparta as a service: a long-lived query server over the workspace's
+//! retrieval substrate.
+//!
+//! The paper evaluates Sparta one query at a time; a deployment runs
+//! it behind a frontend that must decide, under load, which queries to
+//! run now, which to make wait, and which to refuse. This crate is
+//! that frontend, kept deliberately dependency-free (std TCP plus the
+//! workspace's own crates):
+//!
+//! * [`protocol`] — length-prefixed request/response frames with total,
+//!   panic-free decoding ([`Frame`], [`ProtocolError`]).
+//! * [`admission`] — a bounded in-flight budget with a bounded FIFO
+//!   wait queue and load shedding; RAII [`Permit`]s make the
+//!   accounting exact on every schedule, and every decision lands in
+//!   [`sparta_obs::ServerMetrics`].
+//! * [`scheduler`] — the batching layer: every admitted query derives
+//!   a per-request [`SearchConfig`](sparta_core::SearchConfig) from a
+//!   shared template (`with_k` + `with_query_tag`) and runs on **one
+//!   shared** [`WorkerPool`](sparta_exec::WorkerPool), which
+//!   multiplexes concurrent queries round-robin instead of paying one
+//!   pool per query.
+//! * [`server`] / [`client`] — the TCP edge: accept loop, polling
+//!   handlers, cooperative shutdown that joins every thread.
+//!
+//! The open-loop load harness in `sparta-bench` (`repro load`) drives
+//! either the in-process scheduler (deterministic, logical-clock,
+//! byte-identical reports) or this TCP edge (real sockets, wall
+//! clock); see README "Running the server".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionController, Permit, QueueSlot, TryAdmit};
+pub use client::Client;
+pub use protocol::{
+    read_frame, write_frame, ErrorCode, Frame, ProtocolError, QueryRequest, TraceSummary, WireHit,
+    MAX_PAYLOAD,
+};
+pub use scheduler::{BatchScheduler, MAX_K};
+pub use server::{serve, ServerHandle, POLL_INTERVAL};

@@ -1,0 +1,140 @@
+//! Batching scheduler: every admitted query runs on one shared
+//! [`WorkerPool`] instead of a pool per query.
+//!
+//! Each request derives its own [`SearchConfig`] from the server's
+//! template (`template.with_k(req.k).with_query_tag(tag)`), so the
+//! shared pool multiplexes many tagged job queues round-robin — the
+//! batching the paper's throughput mode describes (§5.4): concurrent
+//! queries coalesce onto the same workers rather than oversubscribing
+//! the machine with one pool each. The tag stamped on the queue keeps
+//! every job attributable to its query in flight-recorder dumps.
+//!
+//! The scheduler owns the admission step: `execute` either returns a
+//! [`Frame::Response`] or a [`Frame::Error`] (shed, bad request,
+//! unknown algorithm, or a caught query panic — the permit is RAII, so
+//! even a panicking query releases its slot).
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::protocol::{ErrorCode, Frame, QueryRequest, TraceSummary, WireHit};
+use sparta_core::registry::algorithm_by_name;
+use sparta_core::SearchConfig;
+use sparta_corpus::Query;
+use sparta_exec::WorkerPool;
+use sparta_index::Index;
+use sparta_obs::ServerMetrics;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on per-request k, protecting the shared pool from a
+/// single request allocating an enormous heap.
+pub const MAX_K: u32 = 10_000;
+
+/// Runs admitted queries on a shared worker pool.
+pub struct BatchScheduler {
+    pool: Arc<WorkerPool>,
+    admission: Arc<AdmissionController>,
+    index: Arc<dyn Index>,
+    template: SearchConfig,
+    // ordering: Relaxed — monotone tag allocator; uniqueness is all
+    // that matters, no ordering with other memory.
+    next_tag: AtomicU64,
+}
+
+impl BatchScheduler {
+    /// A scheduler over `index` with `workers` pool threads.
+    pub fn new(
+        index: Arc<dyn Index>,
+        template: SearchConfig,
+        workers: usize,
+        admission: AdmissionConfig,
+        metrics: Arc<ServerMetrics>,
+    ) -> Self {
+        Self {
+            pool: Arc::new(WorkerPool::new(workers.max(1))),
+            admission: AdmissionController::new(admission, metrics),
+            index,
+            template,
+            next_tag: AtomicU64::new(1),
+        }
+    }
+
+    /// The admission controller (exposed for load harnesses that drive
+    /// admission directly).
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// Validates a request without running it. `Ok` carries the
+    /// resolved algorithm name.
+    fn validate(req: &QueryRequest) -> Result<(), Frame> {
+        let err = |code, message: &str| Frame::Error {
+            code,
+            message: message.to_string(),
+        };
+        if req.k == 0 || req.k > MAX_K {
+            return Err(err(
+                ErrorCode::BadRequest,
+                &format!("k must be in 1..={MAX_K}"),
+            ));
+        }
+        if algorithm_by_name(&req.algorithm).is_none() {
+            return Err(err(
+                ErrorCode::UnknownAlgorithm,
+                &format!("unknown algorithm {:?}", req.algorithm),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Admits and runs one query, blocking in the wait queue if the
+    /// in-flight budget is full. Always returns a frame to send back.
+    pub fn execute(&self, req: &QueryRequest) -> Frame {
+        if let Err(e) = Self::validate(req) {
+            return e;
+        }
+        let permit = match self.admission.admit() {
+            Some(p) => p,
+            None => {
+                return Frame::Error {
+                    code: ErrorCode::Shed,
+                    message: "server overloaded: in-flight budget and queue full".to_string(),
+                }
+            }
+        };
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let cfg = self.template.with_k(req.k as usize).with_query_tag(tag);
+        let algo = algorithm_by_name(&req.algorithm).expect("validated above");
+        let query = Query::new(req.terms.clone());
+        let index = Arc::clone(&self.index);
+        let pool = Arc::clone(&self.pool);
+        // The permit is dropped (slot released, completed counted) on
+        // both the normal and the unwinding path.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _permit = permit;
+            algo.search(&index, &query, &cfg, &*pool)
+        }));
+        match result {
+            Ok(r) => Frame::Response {
+                query_tag: tag,
+                hits: r
+                    .hits
+                    .iter()
+                    .map(|h| WireHit {
+                        doc: h.doc,
+                        score: h.score,
+                    })
+                    .collect(),
+                summary: TraceSummary {
+                    elapsed_ns: r.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                    postings_scanned: r.work.postings_scanned,
+                    heap_updates: r.work.heap_updates,
+                    cleaner_passes: r.work.cleaner_passes,
+                },
+            },
+            Err(_) => Frame::Error {
+                code: ErrorCode::Internal,
+                message: format!("query {tag} panicked during execution"),
+            },
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The TCP frontend: accept loop, per-connection handlers, clean
+//! shutdown.
+//!
+//! One thread accepts connections; each connection gets a handler
+//! thread that reads framed requests and answers through the shared
+//! [`BatchScheduler`](crate::BatchScheduler). Shutdown is cooperative:
+//! [`ServerHandle::shutdown`] raises a flag, pokes the accept loop
+//! with a throwaway connection, and joins every thread — no detached
+//! threads survive, so the stall watchdog stays quiet after a test.
+//!
+//! Handlers poll the shutdown flag between frames via a short read
+//! timeout; an idle connection therefore notices shutdown within
+//! [`POLL_INTERVAL`] without any wall-clock dependence in the hot
+//! path (this crate is outside the core wall-clock lint scope — the
+//! timeout exists only at the transport edge).
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, Frame, ProtocolError};
+use crate::scheduler::BatchScheduler;
+use parking_lot::Mutex;
+use sparta_obs::ServerMetrics;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often an idle connection re-checks the shutdown flag.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A running query server. Dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    scheduler: Arc<BatchScheduler>,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The admission/scheduling metrics registry.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// The scheduler (exposed so in-process harnesses can bypass TCP).
+    pub fn scheduler(&self) -> &Arc<BatchScheduler> {
+        &self.scheduler
+    }
+
+    /// Stops accepting, wakes every handler, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        // ordering: Release publishes the stop request; handlers and
+        // the accept loop read it with Acquire.
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        loop {
+            let Some(h) = self.conns.lock().pop() else {
+                break;
+            };
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Starts a server bound to `addr` (use `"127.0.0.1:0"` for an
+/// ephemeral port) answering queries through `scheduler`.
+pub fn serve(addr: &str, scheduler: BatchScheduler) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let scheduler = Arc::new(scheduler);
+    let metrics = Arc::clone(scheduler.admission().metrics());
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept = {
+        let scheduler = Arc::clone(&scheduler);
+        let stop = Arc::clone(&stop);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("sparta-accept".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    // ordering: Acquire pairs with the Release store in
+                    // stop_and_join.
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let scheduler = Arc::clone(&scheduler);
+                    let stop = Arc::clone(&stop);
+                    let handle = std::thread::Builder::new()
+                        .name("sparta-conn".to_string())
+                        .spawn(move || handle_connection(stream, &scheduler, &stop))
+                        .expect("spawn connection handler");
+                    conns.lock().push(handle);
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        scheduler,
+        metrics,
+        stop,
+        accept: Some(accept),
+        conns,
+    })
+}
+
+/// Serves one connection until EOF, a protocol error, or shutdown.
+fn handle_connection(stream: TcpStream, scheduler: &BatchScheduler, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        // ordering: Acquire pairs with the Release store in
+        // stop_and_join.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match read_frame(&mut reader) {
+            Ok(Frame::Request(req)) => {
+                let reply = scheduler.execute(&req);
+                if write_frame(&mut writer, &reply).is_err() {
+                    return; // client gone
+                }
+            }
+            Ok(_) => {
+                // Clients must only send requests.
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        code: ErrorCode::BadRequest,
+                        message: "only Request frames are accepted".to_string(),
+                    },
+                );
+                return;
+            }
+            Err(ProtocolError::Io(ErrorKind::WouldBlock | ErrorKind::TimedOut)) => {
+                // Idle poll tick; loop to re-check the stop flag.
+                continue;
+            }
+            Err(ProtocolError::Closed) => return,
+            Err(e) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}

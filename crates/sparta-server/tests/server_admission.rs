@@ -1,0 +1,234 @@
+//! Admission accounting under every explored schedule.
+//!
+//! Each simulated query is two jobs — an admission step and a
+//! completion step — pushed onto one [`JobQueue`] and run by the
+//! seeded [`DeterministicExecutor`], which permutes job order per
+//! seed. Queued queries poll `try_claim` with a bounded budget, then
+//! abandon. On **every** interleaving, with and without injected
+//! panics and dropped jobs, the controller's books must balance:
+//!
+//! * `accepted == completed` once all permits are released,
+//! * `accepted + shed + abandoned == admission attempts`,
+//! * no query is ever both shed and answered,
+//! * the controller ends empty (`in_flight == 0`, `queue_depth == 0`).
+
+use sparta_exec::{DeterministicExecutor, Executor, FaultPlan, JobQueue};
+use sparta_obs::ServerMetrics;
+use sparta_server::admission::{AdmissionConfig, AdmissionController, Permit, QueueSlot, TryAdmit};
+use sparta_testkit::{base_seed, sweep_schedules};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-query outcome flags, written from the job closures.
+struct Flags {
+    answered: Vec<AtomicBool>,
+    shed: Vec<AtomicBool>,
+    abandoned: Vec<AtomicBool>,
+}
+
+impl Flags {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Self {
+            answered: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            shed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            abandoned: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        })
+    }
+}
+
+/// How many `try_claim` polls a queued query spends before abandoning.
+/// Generous enough that fault-free schedules always drain the queue,
+/// bounded so a schedule that dropped the releasing job still ends.
+const POLL_BUDGET: u32 = 200;
+
+/// Pushes the completion job for query `i`: take the stored permit and
+/// release it.
+fn push_finish(
+    queue: &Arc<JobQueue>,
+    slots: &Arc<Vec<Mutex<Option<Permit>>>>,
+    flags: &Arc<Flags>,
+    i: usize,
+) {
+    let slots = Arc::clone(slots);
+    let flags = Arc::clone(flags);
+    queue.push(Box::new(move || {
+        let permit = slots[i].lock().unwrap().take();
+        drop(permit);
+        flags.answered[i].store(true, Ordering::Relaxed);
+    }) as Box<dyn FnOnce() + Send>);
+}
+
+/// Pushes one polling step for queued query `i`.
+fn push_poll(
+    queue: &Arc<JobQueue>,
+    slots: &Arc<Vec<Mutex<Option<Permit>>>>,
+    flags: &Arc<Flags>,
+    slot: QueueSlot,
+    i: usize,
+    budget: u32,
+) {
+    let queue2 = Arc::clone(queue);
+    let slots2 = Arc::clone(slots);
+    let flags2 = Arc::clone(flags);
+    queue.push(Box::new(move || match slot.try_claim() {
+        Ok(permit) => {
+            *slots2[i].lock().unwrap() = Some(permit);
+            push_finish(&queue2, &slots2, &flags2, i);
+        }
+        Err(slot) => {
+            if budget == 0 {
+                drop(slot); // abandon: leaves the queue, counts abandoned
+                flags2.abandoned[i].store(true, Ordering::Relaxed);
+            } else {
+                push_poll(&queue2, &slots2, &flags2, slot, i, budget - 1);
+            }
+        }
+    }) as Box<dyn FnOnce() + Send>);
+}
+
+/// Builds the job graph for `n` queries against a fresh controller and
+/// runs it on `exec`. Returns the controller and the outcome flags;
+/// any permits stranded by dropped jobs are released before returning.
+fn run_case(
+    exec: &DeterministicExecutor,
+    n: usize,
+    cfg: AdmissionConfig,
+) -> (Arc<AdmissionController>, Arc<Flags>) {
+    let ctrl = AdmissionController::new(cfg, ServerMetrics::new());
+    let queue = JobQueue::new();
+    let slots: Arc<Vec<Mutex<Option<Permit>>>> =
+        Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+    let flags = Flags::new(n);
+    for i in 0..n {
+        let ctrl2 = Arc::clone(&ctrl);
+        let queue2 = Arc::clone(&queue);
+        let slots2 = Arc::clone(&slots);
+        let flags2 = Arc::clone(&flags);
+        queue.push(Box::new(move || match ctrl2.try_admit() {
+            TryAdmit::Admitted(permit) => {
+                *slots2[i].lock().unwrap() = Some(permit);
+                push_finish(&queue2, &slots2, &flags2, i);
+            }
+            TryAdmit::Queued(slot) => {
+                push_poll(&queue2, &slots2, &flags2, slot, i, POLL_BUDGET);
+            }
+            TryAdmit::Shed => {
+                flags2.shed[i].store(true, Ordering::Relaxed);
+            }
+        }) as Box<dyn FnOnce() + Send>);
+    }
+    exec.run(Arc::clone(&queue));
+    assert!(
+        queue.is_complete(),
+        "deterministic run must drain the queue"
+    );
+    // A dropped finish job strands its permit in the slot vector;
+    // release them so `completed` accounts for every acceptance.
+    for s in slots.iter() {
+        drop(s.lock().unwrap().take());
+    }
+    (ctrl, flags)
+}
+
+/// The invariants every schedule must satisfy after the drain.
+fn assert_books_balance(ctrl: &Arc<AdmissionController>, flags: &Flags, seed: u64) {
+    let s = ctrl.metrics().snapshot();
+    assert_eq!(
+        s.accepted, s.completed,
+        "seed {seed}: every accepted query must complete (snapshot {s:?})"
+    );
+    assert_eq!(
+        s.accepted + s.shed + s.abandoned,
+        s.attempts(),
+        "seed {seed}: attempts must decompose exactly"
+    );
+    assert_eq!(ctrl.in_flight(), 0, "seed {seed}: slots leaked");
+    assert_eq!(ctrl.queue_depth(), 0, "seed {seed}: waiters leaked");
+    assert!(
+        s.queued >= s.abandoned,
+        "seed {seed}: only queued queries can abandon"
+    );
+    for i in 0..flags.answered.len() {
+        let answered = flags.answered[i].load(Ordering::Relaxed);
+        let shed = flags.shed[i].load(Ordering::Relaxed);
+        let abandoned = flags.abandoned[i].load(Ordering::Relaxed);
+        assert!(
+            !(shed && answered),
+            "seed {seed}: query {i} was both shed and answered"
+        );
+        assert!(
+            !(abandoned && answered),
+            "seed {seed}: query {i} both abandoned and answered"
+        );
+        assert!(
+            !(shed && abandoned),
+            "seed {seed}: query {i} both shed and abandoned"
+        );
+    }
+}
+
+#[test]
+fn accounting_exact_on_every_schedule() {
+    // 12 queries through a 2-slot budget with a 3-deep queue: every
+    // schedule mixes immediate admits, queue waits, and sheds.
+    sweep_schedules(150, |seed, exec| {
+        let (ctrl, flags) = run_case(exec, 12, AdmissionConfig::new(2, 3));
+        assert_books_balance(&ctrl, &flags, seed);
+        let s = ctrl.metrics().snapshot();
+        assert_eq!(s.attempts(), 12, "seed {seed}: every query must attempt");
+        // Fault-free: every query ends in exactly one terminal state.
+        for i in 0..12 {
+            let terminal = flags.answered[i].load(Ordering::Relaxed) as u32
+                + flags.shed[i].load(Ordering::Relaxed) as u32
+                + flags.abandoned[i].load(Ordering::Relaxed) as u32;
+            assert_eq!(terminal, 1, "seed {seed}: query {i} has no terminal state");
+        }
+    });
+}
+
+#[test]
+fn shed_only_configuration_never_queues() {
+    sweep_schedules(60, |seed, exec| {
+        let (ctrl, flags) = run_case(exec, 8, AdmissionConfig::new(1, 0));
+        assert_books_balance(&ctrl, &flags, seed);
+        let s = ctrl.metrics().snapshot();
+        assert_eq!(s.queued, 0, "seed {seed}: capacity 0 must never queue");
+        assert_eq!(s.abandoned, 0, "seed {seed}");
+        assert_eq!(s.accepted + s.shed, 8, "seed {seed}");
+    });
+}
+
+#[test]
+fn accounting_survives_panic_and_drop_injection() {
+    let base = base_seed();
+    for i in 0..60u64 {
+        let seed = base.wrapping_add(i);
+        // Vary where the faults land with the seed so the sweep covers
+        // start jobs, finish jobs, and poll jobs.
+        let plan = FaultPlan::none()
+            .panic_at(seed % 9)
+            .drop_at(3 + seed % 11)
+            .drop_at(17 + seed % 5);
+        let exec = DeterministicExecutor::new(seed).with_faults(plan);
+        let (ctrl, flags) = run_case(&exec, 12, AdmissionConfig::new(2, 3));
+        // Dropped start jobs mean some queries never attempt; the books
+        // must still balance for those that did.
+        assert_books_balance(&ctrl, &flags, seed);
+        let s = ctrl.metrics().snapshot();
+        assert!(
+            s.attempts() <= 12,
+            "seed {seed}: more attempts than queries"
+        );
+    }
+}
+
+#[test]
+fn parallelism_sweep_matches_virtual_worker_count() {
+    // The recorder multiplexes schedules over virtual workers; the
+    // admission books must not depend on that choice.
+    for parallelism in [1usize, 2, 4, 8] {
+        let exec = DeterministicExecutor::new(base_seed()).with_parallelism(parallelism);
+        let (ctrl, flags) = run_case(&exec, 10, AdmissionConfig::new(3, 2));
+        assert_books_balance(&ctrl, &flags, base_seed());
+    }
+}

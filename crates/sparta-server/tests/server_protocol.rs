@@ -1,0 +1,205 @@
+//! Protocol conformance: every frame round-trips bit-exactly over an
+//! in-memory transport, and no input — truncated, oversized, or
+//! garbage — can make the decoder panic.
+
+use sparta_server::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, ProtocolError, QueryRequest, TraceSummary, WireHit,
+    MAX_PAYLOAD,
+};
+use std::io::Cursor;
+
+fn request(k: u32, algorithm: &str, terms: Vec<u32>) -> Frame {
+    Frame::Request(QueryRequest {
+        k,
+        algorithm: algorithm.to_string(),
+        terms,
+    })
+}
+
+fn response(tag: u64, hits: Vec<WireHit>) -> Frame {
+    Frame::Response {
+        query_tag: tag,
+        hits,
+        summary: TraceSummary {
+            elapsed_ns: 123_456,
+            postings_scanned: 9_999,
+            heap_updates: 321,
+            cleaner_passes: 7,
+        },
+    }
+}
+
+fn all_frame_kinds() -> Vec<Frame> {
+    vec![
+        request(10, "sparta", vec![1, 2, 3]),
+        request(1, "pbmw", vec![]),
+        request(u32::MAX, "x", vec![u32::MAX; 100]),
+        response(0, vec![]),
+        response(
+            u64::MAX,
+            vec![
+                WireHit { doc: 0, score: 0 },
+                WireHit {
+                    doc: u32::MAX,
+                    score: u64::MAX,
+                },
+            ],
+        ),
+        Frame::Error {
+            code: ErrorCode::Shed,
+            message: "overloaded".to_string(),
+        },
+        Frame::Error {
+            code: ErrorCode::BadRequest,
+            message: String::new(),
+        },
+        Frame::Error {
+            code: ErrorCode::UnknownAlgorithm,
+            message: "no such algorithm \u{1F50D}".to_string(),
+        },
+        Frame::Error {
+            code: ErrorCode::Internal,
+            message: "x".repeat(1000),
+        },
+    ]
+}
+
+#[test]
+fn every_frame_kind_round_trips() {
+    for frame in all_frame_kinds() {
+        let bytes = frame.encode();
+        let mut cursor = Cursor::new(bytes);
+        let back = read_frame(&mut cursor).expect("well-formed frame decodes");
+        assert_eq!(back, frame, "round trip must be lossless");
+        // And the payload decoder agrees with the stream reader.
+        let payload = frame.encode_payload();
+        assert_eq!(Frame::decode_payload(&payload).unwrap(), frame);
+    }
+}
+
+#[test]
+fn frames_round_trip_back_to_back_on_one_stream() {
+    let frames = all_frame_kinds();
+    let mut wire = Vec::new();
+    for f in &frames {
+        write_frame(&mut wire, f).unwrap();
+    }
+    let mut cursor = Cursor::new(wire);
+    for f in &frames {
+        assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+    }
+    assert_eq!(read_frame(&mut cursor), Err(ProtocolError::Closed));
+}
+
+#[test]
+fn empty_stream_reports_closed_not_truncated() {
+    let mut cursor = Cursor::new(Vec::<u8>::new());
+    assert_eq!(read_frame(&mut cursor), Err(ProtocolError::Closed));
+}
+
+#[test]
+fn truncation_at_every_byte_is_an_error_never_a_panic() {
+    for frame in all_frame_kinds() {
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            let mut cursor = Cursor::new(bytes[..cut].to_vec());
+            let err = read_frame(&mut cursor).expect_err("cut frame cannot decode");
+            match err {
+                ProtocolError::Closed => assert_eq!(cut, 0, "only a clean EOF is Closed"),
+                ProtocolError::Truncated => assert!(cut > 0),
+                other => panic!("cut at {cut}: expected Closed/Truncated, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_allocating() {
+    let mut wire = ((MAX_PAYLOAD + 1) as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&[0u8; 16]); // far less than the declared length
+    let mut cursor = Cursor::new(wire);
+    assert_eq!(
+        read_frame(&mut cursor),
+        Err(ProtocolError::Oversized((MAX_PAYLOAD + 1) as u32))
+    );
+}
+
+#[test]
+fn unknown_tag_is_rejected() {
+    for tag in [0x00u8, 0x04, 0x7F, 0xFF] {
+        let err = Frame::decode_payload(&[tag, 1, 2, 3]).unwrap_err();
+        assert_eq!(err, ProtocolError::UnknownTag(tag), "tag {tag:#04x}");
+    }
+}
+
+#[test]
+fn malformed_payloads_are_rejected() {
+    // Empty payload.
+    assert!(matches!(
+        Frame::decode_payload(&[]),
+        Err(ProtocolError::Malformed(_))
+    ));
+    // Request whose declared term count exceeds the payload.
+    let mut p = request(5, "sparta", vec![1, 2]).encode_payload();
+    let cut = p.len() - 4; // drop the last term's bytes
+    p.truncate(cut);
+    assert!(matches!(
+        Frame::decode_payload(&p),
+        Err(ProtocolError::Malformed(_))
+    ));
+    // Trailing garbage after a valid frame body.
+    let mut p = request(5, "sparta", vec![1, 2]).encode_payload();
+    p.push(0xAB);
+    assert_eq!(
+        Frame::decode_payload(&p),
+        Err(ProtocolError::Malformed("trailing bytes after frame"))
+    );
+    // Algorithm name that is not UTF-8.
+    let mut p = vec![0x01];
+    p.extend_from_slice(&5u32.to_le_bytes());
+    p.push(2); // name length
+    p.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8
+    p.extend_from_slice(&0u16.to_le_bytes());
+    assert_eq!(
+        Frame::decode_payload(&p),
+        Err(ProtocolError::Malformed("algorithm name not UTF-8"))
+    );
+    // Error frame with an unknown code.
+    let p = [0x03u8, 99, 0, 0];
+    assert_eq!(
+        Frame::decode_payload(&p),
+        Err(ProtocolError::Malformed("unknown error code"))
+    );
+}
+
+/// Seeded garbage sweep: random payloads of random lengths must decode
+/// to `Ok` or `Err`, never panic, and the prefix reader must never
+/// over-read. Deterministic under `SPARTA_TEST_SEED`.
+#[test]
+fn garbage_never_panics() {
+    let mut seed = sparta_testkit::base_seed();
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for round in 0..2000 {
+        let len = (next() % 256) as usize;
+        let mut payload = Vec::with_capacity(len);
+        for _ in 0..len {
+            payload.push(next() as u8);
+        }
+        // Bias some rounds toward almost-valid frames: force a real tag.
+        if round % 3 == 0 && !payload.is_empty() {
+            payload[0] = (round % 3 + 1) as u8;
+        }
+        let _ = Frame::decode_payload(&payload);
+        // The same bytes with a length prefix through the stream path.
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        let mut cursor = Cursor::new(wire);
+        let _ = read_frame(&mut cursor);
+    }
+}

@@ -1,0 +1,102 @@
+//! Query server: serve a corpus over loopback TCP and query it.
+//!
+//! ```sh
+//! cargo run --release --example query_server
+//! ```
+//!
+//! Builds a small index, starts `sparta-server` on an ephemeral
+//! loopback port, then drives it with the blocking [`Client`]: a
+//! valid query, a bad request (the connection survives), and a final
+//! metrics snapshot showing the admission ledger balancing.
+
+use sparta::prelude::*;
+use sparta_obs::ServerMetrics;
+use sparta_server::{
+    serve, AdmissionConfig, BatchScheduler, Client, ErrorCode, Frame, QueryRequest,
+};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Index a tiny corpus (same pipeline as the quickstart).
+    let docs = [
+        "Sparta is a practical parallel algorithm for fast approximate top-k retrieval",
+        "The threshold algorithm retrieves the top k objects by aggregating features",
+        "Block-max WAND prunes document-order traversal using per-block score bounds",
+        "Score-order algorithms traverse posting lists in decreasing impact order",
+        "Parallel retrieval on multi-core hardware needs careful synchronization",
+        "The cleaner task prunes candidates whose upper bounds fell below the threshold",
+        "Verbose voice queries challenge real-time top-k retrieval latency budgets",
+        "A shared-nothing parallelization partitions the index by document id",
+    ];
+    let mut tok = Tokenizer::new();
+    let bags: Vec<_> = docs.iter().map(|d| tok.add_document(d)).collect();
+    let stats = tok.stats();
+    let index: Arc<dyn Index> =
+        Arc::new(IndexBuilder::new(TfIdfScorer).build_memory_from_bags(&bags, &stats));
+
+    // 2. Start the server: 2 search workers, admit 2 in flight, queue 4.
+    let scheduler = BatchScheduler::new(
+        Arc::clone(&index),
+        SearchConfig::exact(3),
+        2,
+        AdmissionConfig::new(2, 4),
+        ServerMetrics::new(),
+    );
+    let handle = serve("127.0.0.1:0", scheduler).expect("bind loopback");
+    println!("serving on a loopback port");
+
+    // 3. A valid query over the wire.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let query = tok.query("parallel top-k retrieval algorithm");
+    let reply = client
+        .query(&QueryRequest {
+            k: 3,
+            algorithm: "sparta".to_string(),
+            terms: query.terms.clone(),
+        })
+        .expect("query answered");
+    match &reply {
+        Frame::Response { hits, summary, .. } => {
+            println!("top-{} documents (served):", hits.len());
+            for (rank, hit) in hits.iter().enumerate() {
+                println!(
+                    "  #{} doc {} (score {}): {:?}",
+                    rank + 1,
+                    hit.doc,
+                    hit.score,
+                    docs[hit.doc as usize]
+                );
+            }
+            println!("work: {} postings scanned", summary.postings_scanned);
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+
+    // 4. A bad request gets a typed error and the connection survives.
+    let reply = client
+        .query(&QueryRequest {
+            k: 3,
+            algorithm: "nope".to_string(),
+            terms: query.terms.clone(),
+        })
+        .expect("server must answer");
+    match &reply {
+        Frame::Error { code, message } => {
+            assert_eq!(*code, ErrorCode::UnknownAlgorithm);
+            println!("rejected as expected: {message}");
+        }
+        other => panic!("expected an error, got {other:?}"),
+    }
+
+    // 5. The admission ledger balances: one accepted, one completed.
+    let snap = handle.metrics().snapshot();
+    println!(
+        "admission: accepted={} completed={} shed={} abandoned={}",
+        snap.accepted, snap.completed, snap.shed, snap.abandoned
+    );
+    assert_eq!(snap.accepted, 1);
+    assert_eq!(snap.completed, 1);
+
+    handle.shutdown();
+    println!("server shut down cleanly");
+}
