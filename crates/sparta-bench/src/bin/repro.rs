@@ -529,7 +529,8 @@ fn load_cmd(args: &[String]) {
             cfg.admission,
             metrics,
         );
-        let handle = sparta_server::serve("127.0.0.1:0", scheduler).expect("bind loopback server");
+        let handle = sparta_server::serve_with_admin("127.0.0.1:0", "127.0.0.1:0", scheduler)
+            .expect("bind loopback server");
         let requests: Vec<QueryRequest> = ds
             .queries_of_length(4, 64)
             .iter()
@@ -539,8 +540,31 @@ fn load_cmd(args: &[String]) {
                 terms: q.terms.clone(),
             })
             .collect();
-        let report = run_load_tcp(handle.addr(), handle.metrics(), &cfg, &requests);
+        let report = run_load_tcp(
+            handle.addr(),
+            handle.metrics(),
+            &cfg,
+            &requests,
+            handle.admin_addr(),
+        );
         handle.shutdown();
+        if let Some(scrape) = &report.server {
+            let e2e = scrape
+                .stages
+                .iter()
+                .find(|s| s.stage == "end_to_end")
+                .map(|s| (s.count, s.sum_ns))
+                .unwrap_or((0, 0));
+            println!(
+                "admin scrape: {} scrapes, monotone={}, server accepted={} shed={} e2e_count={} e2e_sum_ns={}",
+                scrape.scrapes,
+                scrape.monotone,
+                scrape.snapshot.accepted,
+                scrape.snapshot.shed,
+                e2e.0,
+                e2e.1
+            );
+        }
         (report, sparta_bench::dataset::base_docs(), ds.k)
     } else {
         (run_load_sim(&cfg), 0, 0)

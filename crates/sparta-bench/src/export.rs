@@ -458,6 +458,40 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 require_num(p, "depth", &ctx)?;
             }
         }
+        // Optional: present only when the TCP sweep scraped an admin
+        // endpoint; when present, the server-side truth must be
+        // complete — scrape accounting, the admission counters, and a
+        // per-stage totals array.
+        if let Some(server) = load.get("server") {
+            require_num(server, "scrapes", "load server")?;
+            match require(server, "monotone", "load server")? {
+                Json::Bool(_) => {}
+                _ => return Err("load server: monotone is not a bool".into()),
+            }
+            for key in [
+                "attempts",
+                "accepted",
+                "queued",
+                "shed",
+                "abandoned",
+                "completed",
+                "queue_depth_highwater",
+                "in_flight_highwater",
+            ] {
+                require_num(server, key, "load server")?;
+            }
+            let stages = require(server, "stages", "load server")?
+                .as_arr()
+                .ok_or("load server: stages is not an array")?;
+            for (i, stage) in stages.iter().enumerate() {
+                let ctx = format!("load server stage {i}");
+                require(stage, "stage", &ctx)?
+                    .as_str()
+                    .ok_or_else(|| format!("{ctx}: stage is not a string"))?;
+                require_num(stage, "count", &ctx)?;
+                require_num(stage, "sum_ns", &ctx)?;
+            }
+        }
     }
     Ok(())
 }
@@ -544,6 +578,51 @@ mod tests {
         );
         // A malformed block must fail even though the block is optional.
         let broken = text.replace("events_dropped", "events_mangled");
+        assert!(validate_bench_json(&broken).is_err());
+    }
+
+    #[test]
+    fn load_server_block_roundtrips_and_validates() {
+        use crate::load::{LoadLevel, LoadReport, ServerScrape, StageStat};
+        let mut r = tiny_report();
+        r.load = Some(LoadReport {
+            arrival: "poisson".into(),
+            mode: "tcp".into(),
+            seed: 7,
+            service_ns: 0,
+            max_in_flight: 4,
+            queue_capacity: 16,
+            levels: vec![LoadLevel {
+                offered_qps: 100.0,
+                offered: 10,
+                snapshot: sparta_obs::ServerSnapshot::default(),
+                latencies_ns: vec![1_000, 2_000],
+                queue_depth: Vec::new(),
+            }],
+            server: Some(ServerScrape {
+                scrapes: 2,
+                monotone: true,
+                snapshot: sparta_obs::ServerSnapshot::default(),
+                stages: vec![StageStat {
+                    stage: "execute".into(),
+                    count: 10,
+                    sum_ns: 12345,
+                }],
+            }),
+        });
+        let text = r.to_json().to_pretty_string(2);
+        validate_bench_json(&text).unwrap();
+        let doc = parse(&text).unwrap();
+        let server = doc
+            .get("load")
+            .and_then(|l| l.get("server"))
+            .expect("server block emitted");
+        assert_eq!(server.get("scrapes").and_then(Json::as_f64), Some(2.0));
+        assert!(matches!(server.get("monotone"), Some(Json::Bool(true))));
+        // A malformed block must fail even though the block is optional.
+        let broken = text.replace("\"monotone\": true", "\"monotone\": 1");
+        assert!(validate_bench_json(&broken).is_err());
+        let broken = text.replace("\"sum_ns\"", "\"sum_mangled\"");
         assert!(validate_bench_json(&broken).is_err());
     }
 

@@ -29,6 +29,8 @@ pub use dataset::{Dataset, Scale};
 pub use export::{
     out_path, validate_bench_json, BenchCell, BenchReport, RecallCurve, RecorderReport,
 };
-pub use load::{run_load_sim, run_load_tcp, LoadConfig, LoadLevel, LoadReport};
+pub use load::{
+    run_load_sim, run_load_tcp, LoadConfig, LoadLevel, LoadReport, ServerScrape, StageStat,
+};
 pub use measure::{percentile, LatencyStats};
 pub use variants::VariantParams;

@@ -13,7 +13,12 @@
 //! * **TCP** ([`run_load_tcp`]) — the same arrival schedule paced in
 //!   real time against a live [`sparta_server`] instance over
 //!   loopback, measuring true end-to-end latency (not reproducible
-//!   byte-for-byte; CI validates its schema, not its bytes).
+//!   byte-for-byte; CI validates its schema, not its bytes). When the
+//!   server exposes an admin port, the harness scrapes `/metrics` at
+//!   every sweep boundary and folds the server-side truth — admission
+//!   counters, queue high-water, per-stage latency totals — into the
+//!   report as a [`ServerScrape`], cross-checking that every scraped
+//!   counter is monotone across the sweep.
 //!
 //! Each level reports p50/p99/p999 latency, the admission counters
 //! (accepted/queued/shed/abandoned/completed), and a queue-depth
@@ -87,6 +92,64 @@ pub struct LoadLevel {
     pub queue_depth: Vec<(u64, u64)>,
 }
 
+/// One stage's scraped totals from the admin `/metrics` exposition.
+#[derive(Debug, Clone)]
+pub struct StageStat {
+    /// Stage label (`admission_wait`, …) or `end_to_end`.
+    pub stage: String,
+    /// Scraped `_count` — completed queries measured in this stage.
+    pub count: u64,
+    /// Scraped `_sum` — total nanoseconds spent in this stage.
+    pub sum_ns: u64,
+}
+
+/// Server-side truth scraped from the admin `/metrics` endpoint at the
+/// end of a TCP sweep — the cross-check that client-observed load and
+/// server-recorded load tell the same story.
+#[derive(Debug, Clone)]
+pub struct ServerScrape {
+    /// Successful scrapes over the sweep (boundaries + final).
+    pub scrapes: u64,
+    /// Whether every monotone series (`*_total`, `*_sum`, `*_count`,
+    /// `*_bucket`) was non-decreasing across consecutive scrapes.
+    pub monotone: bool,
+    /// Cumulative admission counters from the final scrape.
+    pub snapshot: ServerSnapshot,
+    /// Per-stage latency totals from the final scrape.
+    pub stages: Vec<StageStat>,
+}
+
+impl ServerScrape {
+    /// Serializes the scrape (the load block's `"server"` field).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("scrapes", self.scrapes)
+            .with("monotone", self.monotone)
+            .with("attempts", self.snapshot.attempts())
+            .with("accepted", self.snapshot.accepted)
+            .with("queued", self.snapshot.queued)
+            .with("shed", self.snapshot.shed)
+            .with("abandoned", self.snapshot.abandoned)
+            .with("completed", self.snapshot.completed)
+            .with("queue_depth_highwater", self.snapshot.queue_depth_highwater)
+            .with("in_flight_highwater", self.snapshot.in_flight_highwater)
+            .with(
+                "stages",
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            Json::obj()
+                                .with("stage", s.stage.as_str())
+                                .with("count", s.count)
+                                .with("sum_ns", s.sum_ns)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
 /// One full load run: every level plus the knobs that produced it.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -104,6 +167,9 @@ pub struct LoadReport {
     pub queue_capacity: u64,
     /// Per-level measurements, in sweep order.
     pub levels: Vec<LoadLevel>,
+    /// Admin-endpoint scrape results (TCP mode with an admin port;
+    /// `None` in sim mode, keeping sim reports byte-identical).
+    pub server: Option<ServerScrape>,
 }
 
 fn latency_block(latencies_ns: &[u64]) -> Json {
@@ -154,17 +220,20 @@ impl LoadLevel {
 impl LoadReport {
     /// Serializes the run (the report's `"load"` block).
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut obj = Json::obj()
             .with("arrival", self.arrival.as_str())
             .with("mode", self.mode.as_str())
             .with("seed", self.seed)
             .with("service_ns", self.service_ns)
             .with("max_in_flight", self.max_in_flight)
-            .with("queue_capacity", self.queue_capacity)
-            .with(
-                "levels",
-                Json::Arr(self.levels.iter().map(LoadLevel::to_json).collect()),
-            )
+            .with("queue_capacity", self.queue_capacity);
+        if let Some(server) = &self.server {
+            obj = obj.with("server", server.to_json());
+        }
+        obj.with(
+            "levels",
+            Json::Arr(self.levels.iter().map(LoadLevel::to_json).collect()),
+        )
     }
 }
 
@@ -276,6 +345,113 @@ pub fn run_load_sim(cfg: &LoadConfig) -> LoadReport {
         max_in_flight: cfg.admission.max_in_flight as u64,
         queue_capacity: cfg.admission.queue_capacity as u64,
         levels,
+        server: None,
+    }
+}
+
+/// The stage labels [`scrape_admin`] extracts, in exposition order.
+const SCRAPE_STAGES: [&str; 4] = ["admission_wait", "queue_wait", "execute", "response_write"];
+
+/// One `/metrics` scrape, decoded: the admission snapshot, the stage
+/// totals, and every sample (for the monotonicity cross-check).
+fn scrape_admin(
+    admin: std::net::SocketAddr,
+) -> Option<(ServerSnapshot, Vec<StageStat>, Vec<(String, f64)>)> {
+    let (status, body) = sparta_server::http_get(admin, "/metrics").ok()?;
+    if status != 200 {
+        return None;
+    }
+    let samples = sparta_obs::parse_exposition(&body).ok()?;
+    let get = |series: &str| sparta_obs::sample_value(&samples, series).unwrap_or(0.0) as u64;
+    let snapshot = ServerSnapshot {
+        accepted: get("sparta_server_admission_accepted_total"),
+        queued: get("sparta_server_admission_queued_total"),
+        shed: get("sparta_server_admission_shed_total"),
+        abandoned: get("sparta_server_admission_abandoned_total"),
+        completed: get("sparta_server_completed_total"),
+        queue_depth_highwater: get("sparta_server_queue_depth_highwater"),
+        in_flight_highwater: get("sparta_server_in_flight_highwater"),
+    };
+    let mut stages: Vec<StageStat> = SCRAPE_STAGES
+        .iter()
+        .map(|stage| StageStat {
+            stage: (*stage).to_string(),
+            count: get(&format!(
+                "sparta_server_stage_duration_nanoseconds_count{{stage=\"{stage}\"}}"
+            )),
+            sum_ns: get(&format!(
+                "sparta_server_stage_duration_nanoseconds_sum{{stage=\"{stage}\"}}"
+            )),
+        })
+        .collect();
+    stages.push(StageStat {
+        stage: "end_to_end".to_string(),
+        count: get("sparta_server_e2e_duration_nanoseconds_count"),
+        sum_ns: get("sparta_server_e2e_duration_nanoseconds_sum"),
+    });
+    Some((snapshot, stages, samples))
+}
+
+/// Whether a series is monotone by construction (counters, histogram
+/// sums/counts, cumulative buckets) and thus must never decrease
+/// between scrapes of the same live server.
+fn is_monotone_series(series: &str) -> bool {
+    let name = series.split('{').next().unwrap_or(series);
+    ["_total", "_sum", "_count", "_bucket"]
+        .iter()
+        .any(|suffix| name.ends_with(suffix))
+}
+
+/// Scrapes the admin endpoint at sweep boundaries and cross-checks
+/// monotonicity between consecutive scrapes.
+struct ScrapeState {
+    admin: std::net::SocketAddr,
+    scrapes: u64,
+    monotone: bool,
+    prev: Vec<(String, f64)>,
+    last: Option<(ServerSnapshot, Vec<StageStat>)>,
+}
+
+impl ScrapeState {
+    fn new(admin: std::net::SocketAddr) -> Self {
+        Self {
+            admin,
+            scrapes: 0,
+            monotone: true,
+            prev: Vec::new(),
+            last: None,
+        }
+    }
+
+    fn scrape(&mut self) {
+        let Some((snapshot, stages, samples)) = scrape_admin(self.admin) else {
+            // A failed scrape breaks the evidence chain; report it.
+            self.monotone = false;
+            return;
+        };
+        self.scrapes += 1;
+        for (series, value) in &samples {
+            if !is_monotone_series(series) {
+                continue;
+            }
+            if let Some(prev) = sparta_obs::sample_value(&self.prev, series) {
+                if *value < prev {
+                    self.monotone = false;
+                }
+            }
+        }
+        self.prev = samples;
+        self.last = Some((snapshot, stages));
+    }
+
+    fn finish(self) -> Option<ServerScrape> {
+        let (snapshot, stages) = self.last?;
+        Some(ServerScrape {
+            scrapes: self.scrapes,
+            monotone: self.monotone,
+            snapshot,
+            stages,
+        })
     }
 }
 
@@ -342,29 +518,36 @@ fn run_level_tcp(
     }
 }
 
-/// Runs the full sweep against a live server at `addr`.
+/// Runs the full sweep against a live server at `addr`. When `admin`
+/// is given, the server's `/metrics` endpoint is scraped before the
+/// sweep and after every level; the final scrape (plus a sweep-wide
+/// monotonicity verdict) lands in [`LoadReport::server`].
 pub fn run_load_tcp(
     addr: std::net::SocketAddr,
     metrics: &Arc<sparta_obs::ServerMetrics>,
     cfg: &LoadConfig,
     requests: &[QueryRequest],
+    admin: Option<std::net::SocketAddr>,
 ) -> LoadReport {
     assert!(!requests.is_empty(), "need at least one request template");
-    let levels = cfg
-        .qps_levels
-        .iter()
-        .enumerate()
-        .map(|(i, &qps)| {
-            run_level_tcp(
-                addr,
-                metrics,
-                cfg,
-                qps,
-                cfg.seed.wrapping_add(i as u64),
-                requests,
-            )
-        })
-        .collect();
+    let mut scraper = admin.map(ScrapeState::new);
+    if let Some(s) = &mut scraper {
+        s.scrape();
+    }
+    let mut levels = Vec::with_capacity(cfg.qps_levels.len());
+    for (i, &qps) in cfg.qps_levels.iter().enumerate() {
+        levels.push(run_level_tcp(
+            addr,
+            metrics,
+            cfg,
+            qps,
+            cfg.seed.wrapping_add(i as u64),
+            requests,
+        ));
+        if let Some(s) = &mut scraper {
+            s.scrape();
+        }
+    }
     LoadReport {
         arrival: cfg.process(1.0).label().to_string(),
         mode: "tcp".to_string(),
@@ -373,6 +556,7 @@ pub fn run_load_tcp(
         max_in_flight: cfg.admission.max_in_flight as u64,
         queue_capacity: cfg.admission.queue_capacity as u64,
         levels,
+        server: scraper.and_then(ScrapeState::finish),
     }
 }
 

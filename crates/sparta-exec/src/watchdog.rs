@@ -25,8 +25,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Callback invoked with the full dump text each time the watchdog
+/// fires — the hook the server's slow-query log uses to capture wedge
+/// evidence from a live process instead of scraping stderr.
+pub type DumpHook = Arc<dyn Fn(&str) + Send + Sync>;
+
 /// Tunables for [`StallWatchdog::spawn`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct WatchdogConfig {
     /// How long `total_events()` must stay flat (with work outstanding)
     /// before the watchdog declares a stall and dumps.
@@ -40,6 +45,22 @@ pub struct WatchdogConfig {
     /// monitor keeps polling but stays silent (a wedged pool would
     /// otherwise re-dump every quiet period).
     pub max_dumps: usize,
+    /// If set, called with the dump text on every firing (in addition
+    /// to stderr and `dump_path`). Runs on the monitor thread; it must
+    /// not block on the executor it is watching.
+    pub on_dump: Option<DumpHook>,
+}
+
+impl std::fmt::Debug for WatchdogConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatchdogConfig")
+            .field("quiet", &self.quiet)
+            .field("poll", &self.poll)
+            .field("dump_path", &self.dump_path)
+            .field("max_dumps", &self.max_dumps)
+            .field("on_dump", &self.on_dump.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for WatchdogConfig {
@@ -49,6 +70,7 @@ impl Default for WatchdogConfig {
             poll: Duration::from_millis(50),
             dump_path: None,
             max_dumps: 1,
+            on_dump: None,
         }
     }
 }
@@ -169,6 +191,9 @@ fn dump(recorder: &FlightRecorder, outstanding: usize, detail: &str, config: &Wa
             eprintln!("sparta stall watchdog: failed to write dump to {path:?}: {e}");
         }
     }
+    if let Some(hook) = &config.on_dump {
+        hook(&text);
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +207,33 @@ mod tests {
             poll: Duration::from_millis(5),
             dump_path: None,
             max_dumps: 1,
+            on_dump: None,
         }
+    }
+
+    #[test]
+    fn dump_hook_receives_the_dump_text() {
+        let rec = FlightRecorder::new(1, 16, ClockMode::Logical);
+        {
+            let _g = rec.install(0);
+            sparta_obs::recorder::record(EventKind::Park, 0);
+        }
+        let captured = Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&captured);
+        let mut cfg = fast_config();
+        cfg.on_dump = Some(Arc::new(move |text: &str| {
+            sink.lock().unwrap().push(text.to_string());
+        }));
+        let wd = StallWatchdog::spawn(Arc::clone(&rec), || (2, "probe: wedged".into()), cfg);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while wd.fired() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(wd);
+        let dumps = captured.lock().unwrap();
+        assert_eq!(dumps.len(), 1, "max_dumps=1 caps the hook too");
+        assert!(dumps[0].contains("stall watchdog"));
+        assert!(dumps[0].contains("probe: wedged"));
     }
 
     #[test]

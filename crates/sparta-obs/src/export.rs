@@ -10,6 +10,7 @@
 
 use crate::metrics::{bucket_upper_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
 use crate::registry::ExecSnapshot;
+use crate::server::{ServerSnapshot, StageSnapshot};
 use std::fmt::Write as _;
 
 /// Builder for one text-exposition document.
@@ -192,6 +193,120 @@ pub fn exec_snapshot_text(executor: &str, snap: &ExecSnapshot) -> String {
     doc.finish()
 }
 
+/// Renders an admission snapshot as a full exposition document under
+/// the `sparta_server_*` metric namespace. The rendered counters carry
+/// the accounting invariant: `sparta_server_admission_attempts_total`
+/// always equals accepted + shed + abandoned.
+pub fn server_snapshot_text(snap: &ServerSnapshot) -> String {
+    let mut doc = PrometheusText::new();
+    doc.counter(
+        "sparta_server_admission_attempts_total",
+        "Admission attempts (accepted + shed + abandoned).",
+        &[],
+        snap.attempts(),
+    );
+    doc.counter(
+        "sparta_server_admission_accepted_total",
+        "Queries granted an execution slot.",
+        &[],
+        snap.accepted,
+    );
+    doc.counter(
+        "sparta_server_admission_queued_total",
+        "Queries that waited in the bounded queue.",
+        &[],
+        snap.queued,
+    );
+    doc.counter(
+        "sparta_server_admission_shed_total",
+        "Queries rejected at admission.",
+        &[],
+        snap.shed,
+    );
+    doc.counter(
+        "sparta_server_admission_abandoned_total",
+        "Queued queries cancelled before a grant.",
+        &[],
+        snap.abandoned,
+    );
+    doc.counter(
+        "sparta_server_completed_total",
+        "Execution slots released.",
+        &[],
+        snap.completed,
+    );
+    doc.gauge(
+        "sparta_server_queue_depth_highwater",
+        "Deepest the wait queue has ever been.",
+        &[],
+        snap.queue_depth_highwater as f64,
+    );
+    doc.gauge(
+        "sparta_server_in_flight_highwater",
+        "Most queries ever executing concurrently.",
+        &[],
+        snap.in_flight_highwater as f64,
+    );
+    doc.finish()
+}
+
+/// Renders the per-stage latency decomposition: one histogram series
+/// per stage (labelled `stage="..."`) plus the end-to-end histogram.
+pub fn stage_snapshot_text(st: &StageSnapshot) -> String {
+    let mut doc = PrometheusText::new();
+    for (name, h) in st.stages() {
+        doc.histogram(
+            "sparta_server_stage_duration_nanoseconds",
+            "Per-stage latency of completed queries.",
+            &[("stage", name)],
+            h,
+        );
+    }
+    doc.histogram(
+        "sparta_server_e2e_duration_nanoseconds",
+        "End-to-end latency of completed queries.",
+        &[],
+        &st.end_to_end,
+    );
+    doc.finish()
+}
+
+/// Parses a text exposition document back into `(series, value)`
+/// samples, where `series` is the metric name with its label set
+/// verbatim (e.g. `foo_bucket{stage="execute",le="+Inf"}`). Comment
+/// and blank lines are skipped; any other line that is not
+/// `series value` is an error — this is the consumer-side check CI
+/// runs against a live `/metrics` scrape.
+pub fn parse_exposition(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut samples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", i + 1))?;
+        if series.is_empty() {
+            return Err(format!("line {}: empty series name", i + 1));
+        }
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: bad value {v:?}: {e}", i + 1))?,
+        };
+        samples.push((series.to_string(), value));
+    }
+    Ok(samples)
+}
+
+/// Looks up one series in parsed samples (exact match on name+labels).
+pub fn sample_value(samples: &[(String, f64)], series: &str) -> Option<f64> {
+    samples.iter().find(|(s, _)| s == series).map(|&(_, v)| v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +379,57 @@ mod tests {
             assert!(text.contains(series), "missing series: {series}\n{text}");
         }
         assert!(text.contains("sparta_exec_idle_ratio{executor=\"dedicated\"} 0.33"));
+    }
+
+    #[test]
+    fn stage_document_labels_every_stage() {
+        let stages = crate::server::StageLatency::default();
+        stages.admission_wait.record(3);
+        stages.queue_wait.record(0);
+        stages.execute.record(100);
+        stages.response_write.record(8);
+        stages.end_to_end.record(120);
+        let text = stage_snapshot_text(&stages.snapshot());
+        for stage in ["admission_wait", "queue_wait", "execute", "response_write"] {
+            let series =
+                format!("sparta_server_stage_duration_nanoseconds_count{{stage=\"{stage}\"}} 1");
+            assert!(text.contains(&series), "missing {series}\n{text}");
+        }
+        assert!(text.contains("sparta_server_e2e_duration_nanoseconds_sum 120\n"));
+        assert!(text.contains("sparta_server_e2e_duration_nanoseconds_count 1\n"));
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_parser() {
+        let stages = crate::server::StageLatency::default();
+        stages.execute.record(100);
+        stages.end_to_end.record(120);
+        let text = stage_snapshot_text(&stages.snapshot());
+        let samples = parse_exposition(&text).expect("well-formed exposition");
+        assert_eq!(
+            sample_value(
+                &samples,
+                "sparta_server_stage_duration_nanoseconds_sum{stage=\"execute\"}"
+            ),
+            Some(100.0)
+        );
+        assert_eq!(
+            sample_value(
+                &samples,
+                "sparta_server_e2e_duration_nanoseconds_bucket{le=\"+Inf\"}"
+            ),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("no_value_here\n").is_err());
+        assert!(parse_exposition("series nan_is_fine NaNx\n").is_err());
+        assert!(parse_exposition(" 7\n").is_err());
+        // Comments and blanks are fine; +Inf parses.
+        let ok = parse_exposition("# HELP x y\n\nx_bucket{le=\"+Inf\"} +Inf\n").unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(ok[0].1.is_infinite());
     }
 }

@@ -48,11 +48,15 @@ pub mod span;
 pub mod trace_export;
 
 pub use clock::{ClockMode, ObsClock};
+pub use export::{
+    exec_snapshot_text, parse_exposition, sample_value, server_snapshot_text, stage_snapshot_text,
+    PrometheusText,
+};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MaxGauge};
 pub use recorder::{FlightRecorder, RecorderGuard};
 pub use registry::{ExecMetrics, ExecSnapshot, WorkerMetrics};
 pub use ring::{Event, EventKind, EventRing};
-pub use server::{ServerMetrics, ServerSnapshot};
+pub use server::{ServerMetrics, ServerSnapshot, StageLatency, StageSnapshot};
 pub use span::{phase_totals, Phase, PhaseTotal, QueryTrace, SpanEvent, SpanGuard};
 pub use trace_export::{
     chrome_trace, chrome_trace_string, dump_text, validate_trace_json, TRACE_SCHEMA_VERSION,

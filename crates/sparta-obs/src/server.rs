@@ -1,4 +1,5 @@
-//! Admission-control metrics for the query server.
+//! Admission-control metrics and per-query stage decomposition for the
+//! query server.
 //!
 //! `sparta-server`'s admission controller reports every decision here:
 //! how many queries were accepted straight into execution, parked in
@@ -16,8 +17,16 @@
 //! ```
 //!
 //! and no query is ever both shed and answered.
+//!
+//! [`StageLatency`] decomposes each completed query's end-to-end
+//! latency into the four stages of the request path — admission wait,
+//! queue wait, execution, response write — each a log2-bucket
+//! [`Histogram`], plus the end-to-end histogram itself. Stages are
+//! disjoint sub-intervals of the end-to-end interval measured with one
+//! monotone clock, so on every snapshot the stage sums *bound* the
+//! end-to-end sum ([`StageSnapshot::bounds_end_to_end`]).
 
-use crate::metrics::{Counter, MaxGauge};
+use crate::metrics::{Counter, Histogram, HistogramSnapshot, MaxGauge};
 use std::sync::Arc;
 
 /// The query server's admission/scheduling registry.
@@ -41,6 +50,8 @@ pub struct ServerMetrics {
     pub queue_depth_highwater: MaxGauge,
     /// Most queries ever executing concurrently.
     pub in_flight_highwater: MaxGauge,
+    /// Per-stage latency decomposition of completed queries.
+    pub stages: StageLatency,
 }
 
 impl ServerMetrics {
@@ -89,6 +100,89 @@ impl ServerSnapshot {
     }
 }
 
+/// Per-stage latency histograms for the server request path.
+///
+/// Every query that is admitted and answered records one observation
+/// in each stage histogram (0 for stages it skipped, e.g. `queue_wait`
+/// when a slot was free immediately) and one in `end_to_end`, so all
+/// five counts advance in lockstep. Units are nanoseconds under a wall
+/// clock and clock ticks under a logical clock — the recording side
+/// injects the [`ObsClock`](crate::ObsClock), this registry just holds
+/// the buckets.
+#[derive(Debug, Default)]
+pub struct StageLatency {
+    /// Time from request entry to the admission decision (gate lock
+    /// plus the accept/queue/shed choice).
+    pub admission_wait: Histogram,
+    /// Time parked in the bounded FIFO wait queue (0 when admitted
+    /// straight into a free slot).
+    pub queue_wait: Histogram,
+    /// Time executing the search on the worker pool.
+    pub execute: Histogram,
+    /// Time writing the response frame back to the client.
+    pub response_write: Histogram,
+    /// Request entry to response fully written.
+    pub end_to_end: Histogram,
+}
+
+impl StageLatency {
+    /// Point-in-time copy of all five histograms.
+    pub fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            admission_wait: self.admission_wait.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            execute: self.execute.snapshot(),
+            response_write: self.response_write.snapshot(),
+            end_to_end: self.end_to_end.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`StageLatency`] registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Admission-decision wait.
+    pub admission_wait: HistogramSnapshot,
+    /// FIFO wait-queue time.
+    pub queue_wait: HistogramSnapshot,
+    /// Search execution time.
+    pub execute: HistogramSnapshot,
+    /// Response serialization + socket write time.
+    pub response_write: HistogramSnapshot,
+    /// Whole request path.
+    pub end_to_end: HistogramSnapshot,
+}
+
+impl StageSnapshot {
+    /// The four stages in request-path order, with their exposition
+    /// label — the single source of stage names for renderers,
+    /// scrapers, and tests.
+    pub fn stages(&self) -> [(&'static str, &HistogramSnapshot); 4] {
+        [
+            ("admission_wait", &self.admission_wait),
+            ("queue_wait", &self.queue_wait),
+            ("execute", &self.execute),
+            ("response_write", &self.response_write),
+        ]
+    }
+
+    /// Sum of the four stage sums (saturating).
+    pub fn stage_sum(&self) -> u64 {
+        self.stages()
+            .iter()
+            .fold(0u64, |acc, (_, h)| acc.saturating_add(h.sum))
+    }
+
+    /// The decomposition invariant: stages are disjoint sub-intervals
+    /// of the end-to-end interval, so their sums can never exceed the
+    /// end-to-end sum (scrapes racing writers may observe a stage
+    /// increment before the matching end-to-end increment; quiescent
+    /// snapshots satisfy this exactly).
+    pub fn bounds_end_to_end(&self) -> bool {
+        self.stage_sum() <= self.end_to_end.sum
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +207,45 @@ mod tests {
         assert_eq!(s.queue_depth_highwater, 3);
         assert_eq!(s.in_flight_highwater, 2);
         assert_eq!(s.attempts(), 4);
+    }
+
+    #[test]
+    fn stage_sums_bound_end_to_end() {
+        let m = ServerMetrics::new();
+        // Two queries: stages are sub-intervals, e2e covers them plus
+        // the gaps the decomposition does not attribute.
+        for (adm, queue, exec, write, e2e) in [(5, 0, 100, 10, 130), (2, 40, 80, 5, 140)] {
+            m.stages.admission_wait.record(adm);
+            m.stages.queue_wait.record(queue);
+            m.stages.execute.record(exec);
+            m.stages.response_write.record(write);
+            m.stages.end_to_end.record(e2e);
+        }
+        let st = m.stages.snapshot();
+        assert_eq!(st.stage_sum(), 5 + 100 + 10 + 2 + 40 + 80 + 5);
+        assert!(st.bounds_end_to_end());
+        // All five histograms advance in lockstep.
+        for (_, h) in st.stages() {
+            assert_eq!(h.count, st.end_to_end.count);
+        }
+        assert_eq!(st.end_to_end.count, 2);
+    }
+
+    #[test]
+    fn stage_bound_violation_is_detected() {
+        let st = StageSnapshot {
+            execute: HistogramSnapshot {
+                count: 1,
+                sum: 10,
+                ..Default::default()
+            },
+            end_to_end: HistogramSnapshot {
+                count: 1,
+                sum: 9,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(!st.bounds_end_to_end());
     }
 }

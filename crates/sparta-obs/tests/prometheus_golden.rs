@@ -1,0 +1,74 @@
+//! Golden test for the Prometheus rendering of a [`ServerSnapshot`]:
+//! the exposition is an external contract (scrape configs, recording
+//! rules, the bench harness's scraper all key on these exact series),
+//! so any drift must be a conscious, test-visible change.
+
+use sparta_obs::{parse_exposition, sample_value, server_snapshot_text, ServerSnapshot};
+
+fn known_snapshot() -> ServerSnapshot {
+    ServerSnapshot {
+        accepted: 7,
+        queued: 4,
+        shed: 2,
+        abandoned: 1,
+        completed: 7,
+        queue_depth_highwater: 3,
+        in_flight_highwater: 2,
+    }
+}
+
+#[test]
+fn server_snapshot_exposition_matches_golden_text() {
+    let expected = "\
+# HELP sparta_server_admission_attempts_total Admission attempts (accepted + shed + abandoned).
+# TYPE sparta_server_admission_attempts_total counter
+sparta_server_admission_attempts_total 10
+# HELP sparta_server_admission_accepted_total Queries granted an execution slot.
+# TYPE sparta_server_admission_accepted_total counter
+sparta_server_admission_accepted_total 7
+# HELP sparta_server_admission_queued_total Queries that waited in the bounded queue.
+# TYPE sparta_server_admission_queued_total counter
+sparta_server_admission_queued_total 4
+# HELP sparta_server_admission_shed_total Queries rejected at admission.
+# TYPE sparta_server_admission_shed_total counter
+sparta_server_admission_shed_total 2
+# HELP sparta_server_admission_abandoned_total Queued queries cancelled before a grant.
+# TYPE sparta_server_admission_abandoned_total counter
+sparta_server_admission_abandoned_total 1
+# HELP sparta_server_completed_total Execution slots released.
+# TYPE sparta_server_completed_total counter
+sparta_server_completed_total 7
+# HELP sparta_server_queue_depth_highwater Deepest the wait queue has ever been.
+# TYPE sparta_server_queue_depth_highwater gauge
+sparta_server_queue_depth_highwater 3
+# HELP sparta_server_in_flight_highwater Most queries ever executing concurrently.
+# TYPE sparta_server_in_flight_highwater gauge
+sparta_server_in_flight_highwater 2
+";
+    assert_eq!(server_snapshot_text(&known_snapshot()), expected);
+}
+
+#[test]
+fn rendered_counters_carry_the_admission_invariant() {
+    let snap = known_snapshot();
+    let samples = parse_exposition(&server_snapshot_text(&snap)).expect("golden text parses");
+    let get = |series: &str| sample_value(&samples, series).expect(series);
+    // The invariant must hold in the *rendered* numbers, not just the
+    // in-memory snapshot: attempts == accepted + shed + abandoned.
+    assert_eq!(
+        get("sparta_server_admission_attempts_total"),
+        get("sparta_server_admission_accepted_total")
+            + get("sparta_server_admission_shed_total")
+            + get("sparta_server_admission_abandoned_total"),
+    );
+    assert_eq!(get("sparta_server_admission_attempts_total"), 10.0);
+    // Default (all-zero) snapshots render and hold it too.
+    let zero = parse_exposition(&server_snapshot_text(&ServerSnapshot::default())).unwrap();
+    let z = |series: &str| sample_value(&zero, series).expect(series);
+    assert_eq!(
+        z("sparta_server_admission_attempts_total"),
+        z("sparta_server_admission_accepted_total")
+            + z("sparta_server_admission_shed_total")
+            + z("sparta_server_admission_abandoned_total"),
+    );
+}

@@ -1,0 +1,287 @@
+//! The admin plane: a dependency-free HTTP/1.0 listener on a second
+//! port, serving operational state about the query server.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition: admission counters
+//!   and high-water gauges ([`ServerSnapshot`]), the per-query stage
+//!   latency histograms ([`StageSnapshot`]), and — when the scheduler's
+//!   pool is instrumented — the aggregated executor snapshot.
+//! * `GET /healthz` — liveness: `200 ok` whenever the listener answers.
+//! * `GET /readyz` — readiness: `200` only between "accept loops are
+//!   live" and "shutdown/drain began"; `503` otherwise, so a load
+//!   balancer stops routing before in-flight queries are cut off.
+//! * `GET /debug/trace` — Chrome trace-event JSON of the flight
+//!   recorder rings (open in `chrome://tracing` / Perfetto).
+//! * `GET /debug/slow` — the slow-query log as JSON.
+//!
+//! The protocol support is deliberately minimal — request line + headers
+//! are read, only `GET` and the path matter, every response closes the
+//! connection (`Connection: close`, HTTP/1.0 semantics). That keeps the
+//! entire admin plane inside std TCP: no HTTP dependency enters the
+//! workspace for the sake of five read-only routes.
+//!
+//! Error paths are first-class: malformed request lines get `400`,
+//! unknown paths `404`, request heads larger than
+//! [`MAX_REQUEST_BYTES`] get `431`, and a client that vanishes
+//! mid-response only costs the handler thread a failed write. Handlers
+//! poll the server's stop flag on read timeouts, so admin connections
+//! never outlive shutdown.
+
+use crate::scheduler::BatchScheduler;
+use crate::server::POLL_INTERVAL;
+use sparta_obs::{
+    chrome_trace_string, exec_snapshot_text, server_snapshot_text, stage_snapshot_text,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on an admin request head (request line + headers). A
+/// request that exceeds this without completing is answered `431` and
+/// dropped — the admin plane never buffers unbounded client input.
+pub const MAX_REQUEST_BYTES: usize = 4096;
+
+/// How many consecutive read-timeout polls a handler tolerates while
+/// waiting for the request head before giving up on the connection
+/// (mirrors the data-plane's mid-frame bound: an admin client that
+/// opens a socket and sends nothing cannot pin a thread forever).
+const REQUEST_TIMEOUT_POLLS: usize = 200;
+
+/// Shared state the admin handlers read. Everything is either atomic
+/// or behind the scheduler's own synchronization; handlers never block
+/// the data plane.
+pub(crate) struct AdminState {
+    pub(crate) scheduler: Arc<BatchScheduler>,
+    /// True once the accept loops are live; cleared by drain/shutdown.
+    pub(crate) ready: Arc<AtomicBool>,
+    pub(crate) stop: Arc<AtomicBool>,
+}
+
+/// Serves one admin connection: read the request head, route, answer,
+/// close.
+pub(crate) fn handle_admin_connection(stream: TcpStream, state: &AdminState) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let head = match read_request_head(&mut reader, &state.stop) {
+        Ok(h) => h,
+        Err(ReadError::Oversized) => {
+            write_response(
+                &mut writer,
+                431,
+                "Request Header Fields Too Large",
+                "text/plain",
+                "request head exceeds 4096 bytes\n",
+            );
+            return;
+        }
+        // Stop, EOF before a full request, or a dead socket: nothing
+        // useful to answer.
+        Err(ReadError::Gone) => return,
+    };
+    let Some((method, path)) = parse_request_line(&head) else {
+        write_response(
+            &mut writer,
+            400,
+            "Bad Request",
+            "text/plain",
+            "malformed request line\n",
+        );
+        return;
+    };
+    if method != "GET" {
+        write_response(
+            &mut writer,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+        return;
+    }
+    let (status, reason, ctype, body) = route(&path, state);
+    write_response(&mut writer, status, reason, ctype, &body);
+}
+
+enum ReadError {
+    /// Head grew past [`MAX_REQUEST_BYTES`] without completing.
+    Oversized,
+    /// EOF / error / stop before a complete request arrived.
+    Gone,
+}
+
+/// Reads until the end of the request head (blank line) or the first
+/// full request line, whichever lets us route. Bounded by
+/// [`MAX_REQUEST_BYTES`] and [`REQUEST_TIMEOUT_POLLS`].
+fn read_request_head(reader: &mut TcpStream, stop: &AtomicBool) -> Result<String, ReadError> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    let mut idle_polls = 0usize;
+    loop {
+        // ordering: Acquire pairs with the Release store in
+        // stop_and_join; a stopping server abandons pending reads.
+        if stop.load(Ordering::Acquire) {
+            return Err(ReadError::Gone);
+        }
+        // The request line is enough to route; the head ends at the
+        // blank line but we don't need to wait for it.
+        if buf.contains(&b'\n') {
+            return String::from_utf8(buf).map_err(|_| ReadError::Gone);
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return Err(ReadError::Oversized);
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Gone),
+            Ok(n) => {
+                idle_polls = 0;
+                buf.extend_from_slice(&chunk[..n.min(MAX_REQUEST_BYTES + 1 - buf.len())]);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                idle_polls += 1;
+                if idle_polls > REQUEST_TIMEOUT_POLLS {
+                    return Err(ReadError::Gone);
+                }
+            }
+            Err(_) => return Err(ReadError::Gone),
+        }
+    }
+}
+
+/// Parses `"GET /path HTTP/1.x"` into `(method, path)`. `None` on any
+/// shape violation.
+fn parse_request_line(head: &str) -> Option<(String, String)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let version = parts.next()?;
+    if parts.next().is_some() || !version.starts_with("HTTP/") || !path.starts_with('/') {
+        return None;
+    }
+    Some((method.to_string(), path.to_string()))
+}
+
+/// Routes a GET. Returns `(status, reason, content-type, body)`.
+fn route(path: &str, state: &AdminState) -> (u16, &'static str, &'static str, String) {
+    match path {
+        "/metrics" => (200, "OK", "text/plain; version=0.0.4", metrics_body(state)),
+        "/healthz" => (200, "OK", "text/plain", "ok\n".to_string()),
+        "/readyz" => {
+            // ordering: Acquire pairs with the Release store in
+            // stop_and_join / drain; readiness must observe them.
+            let ready = state.ready.load(Ordering::Acquire) && !state.stop.load(Ordering::Acquire);
+            if ready {
+                (200, "OK", "text/plain", "ready\n".to_string())
+            } else {
+                (
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    "not ready\n".to_string(),
+                )
+            }
+        }
+        "/debug/trace" => match state.scheduler.recorder() {
+            Some(rec) => (200, "OK", "application/json", chrome_trace_string(rec)),
+            None => (
+                404,
+                "Not Found",
+                "text/plain",
+                "no flight recorder attached\n".to_string(),
+            ),
+        },
+        "/debug/slow" => (
+            200,
+            "OK",
+            "application/json",
+            state.scheduler.slow_log().to_json().to_pretty_string(2),
+        ),
+        _ => (404, "Not Found", "text/plain", format!("no route {path}\n")),
+    }
+}
+
+/// The `/metrics` exposition: admission + stage histograms, plus the
+/// executor snapshot when the pool is instrumented.
+fn metrics_body(state: &AdminState) -> String {
+    let metrics = state.scheduler.admission().metrics();
+    let mut out = server_snapshot_text(&metrics.snapshot());
+    out.push_str(&stage_snapshot_text(&metrics.stages.snapshot()));
+    if let Some(exec) = state.scheduler.exec_metrics() {
+        out.push_str(&exec_snapshot_text("pool", &exec.snapshot()));
+    }
+    out
+}
+
+/// Writes a complete HTTP/1.0 response. Write errors are swallowed —
+/// a client that hung up mid-response costs nothing but this handler.
+fn write_response(writer: &mut TcpStream, status: u16, reason: &str, ctype: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = writer
+        .write_all(head.as_bytes())
+        .and_then(|()| writer.write_all(body.as_bytes()))
+        .and_then(|()| writer.flush());
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+}
+
+/// Minimal HTTP/1.0 GET client for the admin plane — used by the bench
+/// harness's scraper, the CI smoke job, and tests. Returns the status
+/// code and the response body.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "no header/body separator"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_and_rejects() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.0\r\n"),
+            Some(("GET".to_string(), "/metrics".to_string()))
+        );
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET".to_string(), "/metrics".to_string()))
+        );
+        assert!(parse_request_line("\r\n").is_none(), "empty line");
+        assert!(parse_request_line("GET /x\r\n").is_none(), "no version");
+        assert!(
+            parse_request_line("GET metrics HTTP/1.0\r\n").is_none(),
+            "path must be absolute"
+        );
+        assert!(
+            parse_request_line("GET /x HTTP/1.0 extra\r\n").is_none(),
+            "trailing tokens"
+        );
+        assert!(
+            parse_request_line("GET /x FTP/1.0\r\n").is_none(),
+            "not HTTP"
+        );
+    }
+}

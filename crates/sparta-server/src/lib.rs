@@ -21,6 +21,14 @@
 //!   pool per query.
 //! * [`server`] / [`client`] — the TCP edge: accept loop, polling
 //!   handlers, cooperative shutdown that joins every thread.
+//! * [`admin`] — the observability plane: a second listener speaking
+//!   minimal HTTP/1.0 for `/metrics` (Prometheus exposition),
+//!   `/healthz`, `/readyz`, `/debug/trace` (Chrome trace of the
+//!   flight-recorder rings), and `/debug/slow`.
+//! * [`slowlog`] — the slow-query log: a bounded ring of evidence
+//!   records (stage decomposition + flight-recorder dump) for queries
+//!   whose end-to-end latency crossed a threshold, plus watchdog stall
+//!   dumps.
 //!
 //! The open-loop load harness in `sparta-bench` (`repro load`) drives
 //! either the in-process scheduler (deterministic, logical-clock,
@@ -30,17 +38,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod admission;
 pub mod client;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod slowlog;
 
+pub use admin::{http_get, MAX_REQUEST_BYTES};
 pub use admission::{AdmissionConfig, AdmissionController, Permit, QueueSlot, TryAdmit};
 pub use client::Client;
 pub use protocol::{
     read_frame, write_frame, ErrorCode, Frame, ProtocolError, QueryRequest, TraceSummary, WireHit,
     MAX_PAYLOAD,
 };
-pub use scheduler::{BatchScheduler, MAX_K};
-pub use server::{serve, ServerHandle, POLL_INTERVAL};
+pub use scheduler::{BatchScheduler, StageTiming, MAX_K};
+pub use server::{serve, serve_with_admin, ServerHandle, POLL_INTERVAL};
+pub use slowlog::{SlowLog, SlowLogConfig, SlowQueryRecord, SLOW_DUMP_MAX_BYTES};

@@ -1,0 +1,137 @@
+//! Admin-plane error paths: the HTTP/1.0 listener must answer typed
+//! errors — never panic, never wedge a thread — for every malformed
+//! input a port scanner or a confused client can throw at it.
+
+use sparta_core::SearchConfig;
+use sparta_obs::ServerMetrics;
+use sparta_server::admission::AdmissionConfig;
+use sparta_server::scheduler::BatchScheduler;
+use sparta_server::{http_get, serve_with_admin, ServerHandle, MAX_REQUEST_BYTES};
+use sparta_testkit::{base_seed, build_index};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn start_server() -> (ServerHandle, SocketAddr) {
+    let (index, _corpus) = build_index(base_seed());
+    let scheduler = BatchScheduler::new(
+        Arc::clone(&index),
+        SearchConfig::exact(10),
+        2,
+        AdmissionConfig::new(2, 8),
+        ServerMetrics::new(),
+    );
+    let handle = serve_with_admin("127.0.0.1:0", "127.0.0.1:0", scheduler).expect("bind loopback");
+    let admin = handle.admin_addr().expect("admin listener bound");
+    (handle, admin)
+}
+
+/// Sends raw bytes and returns the full raw response.
+fn send_raw(admin: SocketAddr, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(admin).expect("connect admin");
+    stream.write_all(payload).expect("write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn malformed_request_line_gets_400() {
+    let (handle, admin) = start_server();
+    for payload in [
+        "GARBAGE\r\n",
+        "GET /metrics\r\n",          // no version
+        "GET metrics HTTP/1.0\r\n",  // relative path
+        "GET /x HTTP/1.0 extra\r\n", // trailing tokens
+        "\r\n",                      // empty line
+    ] {
+        let resp = send_raw(admin, payload.as_bytes());
+        assert!(
+            resp.starts_with("HTTP/1.0 400 "),
+            "payload {payload:?} got {resp:?}"
+        );
+    }
+    // The listener survived all of it.
+    let (status, _) = http_get(admin, "/healthz").expect("healthz answers");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_path_gets_404_and_wrong_method_405() {
+    let (handle, admin) = start_server();
+    let (status, body) = http_get(admin, "/nope").expect("answered");
+    assert_eq!(status, 404);
+    assert!(body.contains("/nope"), "404 names the path: {body:?}");
+    let resp = send_raw(admin, b"POST /metrics HTTP/1.0\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.0 405 "), "got {resp:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_request_gets_431() {
+    let (handle, admin) = start_server();
+    // A request line that never ends: more than the head cap with no
+    // newline anywhere.
+    let huge = vec![b'A'; MAX_REQUEST_BYTES * 2];
+    let resp = send_raw(admin, &huge);
+    assert!(resp.starts_with("HTTP/1.0 431 "), "got {resp:?}");
+    // Still serving.
+    let (status, _) = http_get(admin, "/healthz").expect("healthz answers");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_request_at_every_byte_never_wedges() {
+    let (handle, admin) = start_server();
+    let request = b"GET /healthz HTTP/1.0\r\n\r\n";
+    // Send every strict prefix, then hang up. The handler must treat
+    // each as a dead client and move on (same style as the data-plane
+    // protocol truncation test).
+    for cut in 0..request.len() {
+        let mut stream = TcpStream::connect(admin).expect("connect");
+        stream.write_all(&request[..cut]).expect("write prefix");
+        drop(stream); // EOF before a complete request
+    }
+    // After all that abuse, a whole request still works.
+    let (status, body) = http_get(admin, "/healthz").expect("healthz answers");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    handle.shutdown();
+}
+
+#[test]
+fn client_hangup_mid_response_is_survived() {
+    let (handle, admin) = start_server();
+    // Ask for the biggest response (/metrics) and vanish immediately
+    // without reading it; the handler's failed write must be absorbed.
+    for _ in 0..8 {
+        let mut stream = TcpStream::connect(admin).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("write");
+        drop(stream); // gone before the response lands
+    }
+    let (status, body) = http_get(admin, "/metrics").expect("metrics answers");
+    assert_eq!(status, 200);
+    assert!(body.contains("sparta_server_admission_attempts_total"));
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_joins_with_idle_admin_connection() {
+    let (handle, admin) = start_server();
+    // An admin connection that never sends a byte must not block
+    // shutdown (the head reader polls the stop flag).
+    let _idle = TcpStream::connect(admin).expect("connect");
+    let t0 = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown must not hang on idle admin connections"
+    );
+}

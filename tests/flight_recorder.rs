@@ -149,6 +149,7 @@ fn watchdog_dumps_rings_when_pool_wedges() {
             poll: Duration::from_millis(20),
             dump_path: Some(dump.clone()),
             max_dumps: 1,
+            on_dump: None,
         })
         .expect("pool has a recorder");
 
