@@ -15,6 +15,11 @@
 //! repro --validate-json <path>   # schema-checks an emitted document
 //! repro --perf-guard <baseline>  # deterministic work-counter guard;
 //!                                #   --write regenerates the baseline
+//! repro --perf-guard-compressed <baseline>
+//!                                # same pinned cell replayed on the
+//!                                #   compressed posting backend; also
+//!                                #   asserts block-max pruning and
+//!                                #   block decoding actually fired
 //! repro --emit-trace <name>      # flight-recorder timeline of the
 //!                                #   pinned guard cell as Chrome
 //!                                #   trace JSON: out/TRACE_<name>.json
@@ -37,6 +42,7 @@ use sparta_bench::{Dataset, LatencyStats, Scale, VariantParams};
 use sparta_core::recall::{recall_dynamics, time_to_recall};
 use sparta_core::{algorithm_by_name, Algorithm};
 use sparta_exec::{DedicatedExecutor, Executor as _};
+use sparta_index::IndexKind;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -461,7 +467,9 @@ fn ramdisk() {
 /// Flags: `--qps a,b,c` offered rates, `--queries N` per level,
 /// `--seed N`, `--burst N` (burst arrivals of size N instead of
 /// Poisson), `--max-in-flight N`, `--queue-capacity N`,
-/// `--service-us N` (simulated mean service time), `--tcp`.
+/// `--service-us N` (simulated mean service time), `--tcp`,
+/// `--backend raw|compressed` (posting backend the TCP server
+/// serves from).
 fn load_cmd(args: &[String]) {
     use sparta_bench::{run_load_sim, run_load_tcp, BenchReport, LoadConfig};
     use sparta_server::admission::AdmissionConfig;
@@ -471,6 +479,7 @@ fn load_cmd(args: &[String]) {
     let mut cfg = LoadConfig::default();
     let mut emit: Option<String> = None;
     let mut tcp = false;
+    let mut backend = IndexKind::Raw;
     let mut it = args.iter();
     let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> String {
         it.next()
@@ -515,12 +524,23 @@ fn load_cmd(args: &[String]) {
                     * 1_000
             }
             "--tcp" => tcp = true,
+            "--backend" => {
+                let v = value(&mut it, arg);
+                backend = IndexKind::parse(&v)
+                    .unwrap_or_else(|| panic!("--backend: {v:?} is not raw|compressed"));
+            }
             other => panic!("unknown load flag {other:?}"),
         }
     }
 
-    let (load, docs, k) = if tcp {
-        let ds = Dataset::cached(Scale::Cw);
+    let (load, docs, k, index) = if tcp {
+        let ds = Dataset::cached_kind(Scale::Cw, backend);
+        println!(
+            "serving from {} index ({} bytes; raw build {} bytes)",
+            ds.backend,
+            ds.index.footprint().map(|f| f.total()).unwrap_or(0),
+            ds.raw_footprint.total()
+        );
         let metrics = sparta_obs::ServerMetrics::new();
         let scheduler = BatchScheduler::new(
             Arc::clone(&ds.index),
@@ -565,9 +585,14 @@ fn load_cmd(args: &[String]) {
                 e2e.1
             );
         }
-        (report, sparta_bench::dataset::base_docs(), ds.k)
+        let index = ds.index.footprint().map(|fp| sparta_bench::IndexReport {
+            backend: ds.backend.name().to_string(),
+            footprint_bytes: fp.total(),
+            raw_footprint_bytes: ds.raw_footprint.total(),
+        });
+        (report, sparta_bench::dataset::base_docs(), ds.k, index)
     } else {
-        (run_load_sim(&cfg), 0, 0)
+        (run_load_sim(&cfg), 0, 0, None)
     };
 
     println!(
@@ -608,6 +633,7 @@ fn load_cmd(args: &[String]) {
             queries_per_cell: cfg.queries_per_level,
             terms_per_query: 0,
             cells: Vec::new(),
+            index,
             recall_curves: Vec::new(),
             recorder: None,
             load: Some(load),
@@ -624,24 +650,42 @@ fn load_cmd(args: &[String]) {
 }
 
 /// `--emit-json <name>`: measures the case-study grid (every parallel
-/// algorithm × {exact, high} × {1, 2, SPARTA_THREADS} threads) and
-/// writes `out/BENCH_<name>.json`.
+/// algorithm × {exact, high} × {1, 2, SPARTA_THREADS} threads, on both
+/// the raw and the compressed posting backends) and writes
+/// `out/BENCH_<name>.json`. The report's `"index"` block carries the
+/// compressed footprint against the raw build of the same corpus.
 fn emit_json(name: &str) {
-    let ds = Dataset::cached(Scale::Cw);
     let algorithms = ["sparta", "pnra", "snra", "pra", "pbmw", "pjass"];
     let variants = [VariantParams::exact(), VariantParams::high()];
     let mut thread_counts = vec![1, 2, threads()];
     thread_counts.sort_unstable();
     thread_counts.dedup();
-    let report = sparta_bench::export::build_report(
-        ds,
-        name,
-        &algorithms,
-        &variants,
-        &thread_counts,
-        queries_per_cell(),
-        6,
-    );
+    let build = |kind: IndexKind| {
+        sparta_bench::export::build_report(
+            Dataset::cached_kind(Scale::Cw, kind),
+            name,
+            &algorithms,
+            &variants,
+            &thread_counts,
+            queries_per_cell(),
+            6,
+        )
+    };
+    let mut report = build(IndexKind::Raw);
+    let compressed = build(IndexKind::Compressed);
+    // One document, both backends: the compressed cells ride along and
+    // the size accounting comes from the compressed dataset (which
+    // also measured the raw build of the identical corpus).
+    report.cells.extend(compressed.cells);
+    report.index = compressed.index;
+    if let Some(ix) = &report.index {
+        println!(
+            "index: compressed {} bytes vs raw {} bytes ({:.2}x smaller)",
+            ix.footprint_bytes,
+            ix.raw_footprint_bytes,
+            ix.compression_ratio()
+        );
+    }
     let path = report
         .write_to(std::path::Path::new("out"))
         .expect("write benchmark JSON");
@@ -666,7 +710,36 @@ const GUARD_QUERIES: usize = 4;
 const GUARD_TERMS: usize = 6;
 const GUARD_ALGOS: [&str; 4] = ["sparta", "pnra", "pbmw", "pjass"];
 
-fn perf_guard_measure() -> Vec<(String, u64, u64)> {
+/// One guard cell's schedule-independent counters. `postings`/`heap`
+/// are backend-independent on the bit-exact compressed format;
+/// `blocks_skipped`/`blocks_decoded` are the compressed backend's
+/// block-max-pruning and decode evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GuardCell {
+    name: String,
+    postings: u64,
+    heap: u64,
+    blocks_skipped: u64,
+    blocks_decoded: u64,
+}
+
+impl GuardCell {
+    fn get(&self, key: &str) -> u64 {
+        match key {
+            "postings_scanned" => self.postings,
+            "heap_updates" => self.heap,
+            "blocks_skipped" => self.blocks_skipped,
+            "blocks_decoded" => self.blocks_decoded,
+            other => panic!("unknown guard counter {other:?}"),
+        }
+    }
+}
+
+fn perf_guard_measure() -> Vec<GuardCell> {
+    perf_guard_measure_kind(IndexKind::Raw)
+}
+
+fn perf_guard_measure_kind(kind: IndexKind) -> Vec<GuardCell> {
     std::env::set_var("SPARTA_DOCS", GUARD_DOCS);
     std::env::set_var("SPARTA_K", GUARD_K);
     // SPARTA_RECORDER=1 runs the same pinned schedules with a flight
@@ -674,14 +747,21 @@ fn perf_guard_measure() -> Vec<(String, u64, u64)> {
     let use_recorder = std::env::var("SPARTA_RECORDER")
         .map(|v| v == "1")
         .unwrap_or(false);
-    let ds = Dataset::build(Scale::Cw);
+    let ds = Dataset::build_kind(Scale::Cw, kind);
     let qs = ds.queries_of_length(GUARD_TERMS, GUARD_QUERIES);
     let cfg = VariantParams::exact().config(ds.k);
+    let io = ds.index.io_stats();
     GUARD_ALGOS
         .iter()
         .map(|&name| {
             let a = algo(name);
-            let (mut postings, mut heap) = (0u64, 0u64);
+            let mut cell = GuardCell {
+                name: name.to_string(),
+                postings: 0,
+                heap: 0,
+                blocks_skipped: 0,
+                blocks_decoded: 0,
+            };
             for (i, q) in qs.iter().enumerate() {
                 let mut exec =
                     sparta_exec::DeterministicExecutor::new(GUARD_SEED.wrapping_add(i as u64));
@@ -693,16 +773,20 @@ fn perf_guard_measure() -> Vec<(String, u64, u64)> {
                         sparta_obs::ClockMode::Logical,
                     ));
                 }
+                let decode0 = io.map(|s| s.decode_snapshot()).unwrap_or_default();
                 let r = a.search(&ds.index, q, &cfg, &exec);
-                postings += r.work.postings_scanned;
-                heap += r.work.heap_updates;
+                let decode1 = io.map(|s| s.decode_snapshot()).unwrap_or_default();
+                cell.postings += r.work.postings_scanned;
+                cell.heap += r.work.heap_updates;
+                cell.blocks_skipped += r.work.blocks_skipped;
+                cell.blocks_decoded += decode1.0.saturating_sub(decode0.0);
             }
-            (name.to_string(), postings, heap)
+            cell
         })
         .collect()
 }
 
-fn perf_guard_json(cells: &[(String, u64, u64)]) -> sparta_obs::json::Json {
+fn perf_guard_json(cells: &[GuardCell], keys: &[&str]) -> sparta_obs::json::Json {
     use sparta_obs::json::Json;
     Json::obj()
         .with("schema_version", 1u64)
@@ -716,25 +800,24 @@ fn perf_guard_json(cells: &[(String, u64, u64)]) -> sparta_obs::json::Json {
             Json::Arr(
                 cells
                     .iter()
-                    .map(|(name, postings, heap)| {
-                        Json::obj()
-                            .with("algorithm", name.as_str())
-                            .with("postings_scanned", *postings)
-                            .with("heap_updates", *heap)
+                    .map(|c| {
+                        let mut j = Json::obj().with("algorithm", c.name.as_str());
+                        for &key in keys {
+                            j = j.with(key, c.get(key));
+                        }
+                        j
                     })
                     .collect(),
             ),
         )
 }
 
-/// `--perf-guard <baseline> [--write]`: replays the pinned
-/// deterministic cell. With `--write`, records the counters into
-/// `<baseline>`; otherwise compares against the checked-in baseline
-/// and exits non-zero on any drift.
-fn perf_guard(path: &str, write: bool) {
-    let cells = perf_guard_measure();
+/// Shared guard body: with `write`, records `keys` of every cell into
+/// `<baseline>`; otherwise compares for equality and exits non-zero on
+/// any drift.
+fn guard_against(path: &str, cells: &[GuardCell], keys: &[&str], write: bool) {
     if write {
-        std::fs::write(path, perf_guard_json(&cells).to_pretty_string(2))
+        std::fs::write(path, perf_guard_json(cells, keys).to_pretty_string(2))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("{path}: baseline written ({} cells)", cells.len());
         return;
@@ -744,7 +827,8 @@ fn perf_guard(path: &str, write: bool) {
     let doc = sparta_obs::json::parse(&text).expect("baseline parses");
     let base = doc.get("cells").and_then(|c| c.as_arr()).unwrap_or(&[]);
     let mut drifted = false;
-    for (name, postings, heap) in &cells {
+    for cell in cells {
+        let name = cell.name.as_str();
         let Some(b) = base
             .iter()
             .find(|c| c.get("algorithm").and_then(|a| a.as_str()) == Some(name))
@@ -753,7 +837,8 @@ fn perf_guard(path: &str, write: bool) {
             drifted = true;
             continue;
         };
-        for (key, got) in [("postings_scanned", *postings), ("heap_updates", *heap)] {
+        for &key in keys {
+            let got = cell.get(key);
             let want = b.get(key).and_then(|v| v.as_f64()).unwrap_or(-1.0);
             if want != got as f64 {
                 eprintln!("{name}: {key} drifted — baseline {want}, measured {got}");
@@ -766,11 +851,60 @@ fn perf_guard(path: &str, write: bool) {
     if drifted {
         eprintln!(
             "perf guard FAILED; if the change is intentional, regenerate with \
-             `repro --perf-guard {path} --write`"
+             `repro --perf-guard {path} --write` (or --perf-guard-compressed)"
         );
         std::process::exit(1);
     }
     println!("perf guard ok ({} cells)", cells.len());
+}
+
+/// `--perf-guard <baseline> [--write]`: replays the pinned
+/// deterministic cell on the raw backend. With `--write`, records the
+/// counters into `<baseline>`; otherwise compares against the
+/// checked-in baseline and exits non-zero on any drift.
+fn perf_guard(path: &str, write: bool) {
+    let cells = perf_guard_measure();
+    guard_against(path, &cells, &["postings_scanned", "heap_updates"], write);
+}
+
+/// `--perf-guard-compressed <baseline> [--write]`: the same pinned
+/// cell replayed on the compressed posting backend. Beyond the
+/// equality check against its own baseline, this asserts the backend
+/// actually exercises its machinery: every algorithm decodes blocks,
+/// and pBMW's block-max pruning still skips block groups (admissible
+/// quantized bounds would be pointless if pruning never fired).
+fn perf_guard_compressed(path: &str, write: bool) {
+    let cells = perf_guard_measure_kind(IndexKind::Compressed);
+    for c in &cells {
+        assert!(
+            c.blocks_decoded > 0,
+            "{}: compressed run decoded no blocks — the backend was not exercised",
+            c.name
+        );
+        println!(
+            "{}: blocks_decoded={} blocks_skipped={}",
+            c.name, c.blocks_decoded, c.blocks_skipped
+        );
+    }
+    let pbmw = cells
+        .iter()
+        .find(|c| c.name == "pbmw")
+        .expect("pbmw is a guard algorithm");
+    assert!(
+        pbmw.blocks_skipped > 0,
+        "pbmw skipped no blocks on the pinned cell — block-max pruning stopped firing"
+    );
+    guard_against(
+        path,
+        &cells,
+        &[
+            "postings_scanned",
+            "heap_updates",
+            "blocks_skipped",
+            "blocks_decoded",
+        ],
+        write,
+    );
 }
 
 /// `--emit-trace <name>`: replays the pinned perf-guard cell under the
@@ -939,6 +1073,16 @@ fn main() {
                 .map(String::as_str)
                 .unwrap_or("BENCH_perf_guard.json");
             perf_guard(path, args.iter().any(|a| a == "--write"));
+            return;
+        }
+        Some("--perf-guard-compressed") => {
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| *a != "--write")
+                .map(String::as_str)
+                .unwrap_or("BENCH_perf_guard_compressed.json");
+            perf_guard_compressed(path, args.iter().any(|a| a == "--write"));
             return;
         }
         _ => {}

@@ -6,7 +6,7 @@ use sparta_corpus::querylog::QueryLog;
 use sparta_corpus::scoring::TfIdfScorer;
 use sparta_corpus::synth::{CorpusModel, SynthCorpus};
 use sparta_corpus::types::Query;
-use sparta_index::{Index, IndexBuilder};
+use sparta_index::{CompressedIndex, Index, IndexBuilder, IndexFootprint, IndexKind};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -49,13 +49,25 @@ pub struct Dataset {
     pub queries: QueryLog,
     /// k used throughout (paper: 1000; scaled as docs/100, min 10).
     pub k: usize,
+    /// Posting representation `index` was built with.
+    pub backend: IndexKind,
+    /// Footprint of the *raw* build of the same corpus — kept even on
+    /// compressed datasets so reports can state the compression ratio.
+    pub raw_footprint: IndexFootprint,
     oracles: Mutex<HashMap<Query, Arc<Oracle>>>,
 }
 
 impl Dataset {
-    /// Builds a dataset at the given scale. Expensive; use
+    /// Builds a raw-backend dataset at the given scale. Expensive; use
     /// [`Dataset::cached`].
     pub fn build(scale: Scale) -> Self {
+        Self::build_kind(scale, IndexKind::Raw)
+    }
+
+    /// Builds a dataset on the selected posting backend. The raw index
+    /// is always built first (it is also the compressed builder's
+    /// input), so `raw_footprint` is measured on the identical corpus.
+    pub fn build_kind(scale: Scale, kind: IndexKind) -> Self {
         let docs = match scale {
             Scale::Cw => base_docs(),
             Scale::CwX10 => base_docs() * 10,
@@ -69,7 +81,12 @@ impl Dataset {
         };
         debug_assert_eq!(model.num_docs, docs);
         let corpus = SynthCorpus::build(model);
-        let index: Arc<dyn Index> = Arc::new(IndexBuilder::new(TfIdfScorer).build_memory(&corpus));
+        let mem = IndexBuilder::new(TfIdfScorer).build_memory(&corpus);
+        let raw_footprint = Index::footprint(&mem).expect("raw index reports a footprint");
+        let index: Arc<dyn Index> = match kind {
+            IndexKind::Raw => Arc::new(mem),
+            IndexKind::Compressed => Arc::new(CompressedIndex::from_index(&mem)),
+        };
         // Queries always come from the *base* corpus statistics (the
         // paper samples AOL queries once and runs them on both
         // corpora; our X10 shares the dictionary so term ids carry
@@ -93,18 +110,31 @@ impl Dataset {
             index,
             queries,
             k,
+            backend: kind,
+            raw_footprint,
             oracles: Mutex::new(HashMap::new()),
         }
     }
 
     /// Process-wide cached datasets (building CWX10 can take a while).
     pub fn cached(scale: Scale) -> &'static Dataset {
+        Self::cached_kind(scale, IndexKind::Raw)
+    }
+
+    /// [`Dataset::cached`] with a backend choice; one cache slot per
+    /// (scale, backend) cell.
+    pub fn cached_kind(scale: Scale, kind: IndexKind) -> &'static Dataset {
         static CW: OnceLock<Dataset> = OnceLock::new();
         static CWX10: OnceLock<Dataset> = OnceLock::new();
-        match scale {
-            Scale::Cw => CW.get_or_init(|| Dataset::build(Scale::Cw)),
-            Scale::CwX10 => CWX10.get_or_init(|| Dataset::build(Scale::CwX10)),
-        }
+        static CW_COMP: OnceLock<Dataset> = OnceLock::new();
+        static CWX10_COMP: OnceLock<Dataset> = OnceLock::new();
+        let slot = match (scale, kind) {
+            (Scale::Cw, IndexKind::Raw) => &CW,
+            (Scale::CwX10, IndexKind::Raw) => &CWX10,
+            (Scale::Cw, IndexKind::Compressed) => &CW_COMP,
+            (Scale::CwX10, IndexKind::Compressed) => &CWX10_COMP,
+        };
+        slot.get_or_init(|| Dataset::build_kind(scale, kind))
     }
 
     /// `n` queries of exactly `m` terms.
@@ -139,5 +169,23 @@ mod tests {
         let o1 = d.oracle(q);
         let o2 = d.oracle(q);
         assert!(Arc::ptr_eq(&o1, &o2), "oracle cached");
+    }
+
+    #[test]
+    fn compressed_backend_builds_same_corpus_smaller() {
+        std::env::set_var("SPARTA_DOCS", "2000");
+        let d = Dataset::build_kind(Scale::Cw, IndexKind::Compressed);
+        assert_eq!(d.backend, IndexKind::Compressed);
+        assert_eq!(d.index.num_docs(), 2000);
+        let fp = d
+            .index
+            .footprint()
+            .expect("compressed index reports a footprint");
+        assert!(
+            fp.total() < d.raw_footprint.total(),
+            "compressed {} >= raw {}",
+            fp.total(),
+            d.raw_footprint.total()
+        );
     }
 }

@@ -34,6 +34,8 @@ pub struct BenchCell {
     pub algorithm: String,
     /// Variant label ("exact", "high", "low").
     pub variant: String,
+    /// Posting backend the cell ran on ("raw" / "compressed").
+    pub backend: String,
     /// Intra-query worker threads.
     pub threads: usize,
     /// Queries measured.
@@ -51,6 +53,28 @@ pub struct RecallCurve {
     pub variant: String,
     /// `(elapsed_ms, recall)` samples, monotone in both coordinates.
     pub points: Vec<(f64, f64)>,
+}
+
+/// Index-size accounting for the corpus the cells were measured on
+/// (emitted as `"index"`). On a compressed dataset this is the
+/// measured size-ratio evidence: `footprint_bytes` is the backend the
+/// cells ran on, `raw_footprint_bytes` the uncompressed build of the
+/// identical corpus.
+#[derive(Debug, Clone)]
+pub struct IndexReport {
+    /// Backend name ("raw" / "compressed").
+    pub backend: String,
+    /// Total bytes of the measured index (postings + metadata).
+    pub footprint_bytes: u64,
+    /// Total bytes of the raw build of the same corpus.
+    pub raw_footprint_bytes: u64,
+}
+
+impl IndexReport {
+    /// raw / measured size ratio (1.0 for the raw backend).
+    pub fn compression_ratio(&self) -> f64 {
+        self.raw_footprint_bytes as f64 / (self.footprint_bytes as f64).max(1.0)
+    }
 }
 
 /// Flight-recorder accounting for a recorder-enabled emission.
@@ -77,6 +101,8 @@ pub struct BenchReport {
     pub terms_per_query: usize,
     /// The measured cells.
     pub cells: Vec<BenchCell>,
+    /// Index-size accounting (emitted as `"index"` when present).
+    pub index: Option<IndexReport>,
     /// Recall-over-time curves.
     pub recall_curves: Vec<RecallCurve>,
     /// Present when the run had a flight recorder attached
@@ -102,6 +128,9 @@ fn work_json(w: &WorkStats) -> Json {
         .with("jobs_recycled", w.jobs_recycled)
         .with("docmap_final", w.docmap_final)
         .with("timeout_stops", w.timeout_stops)
+        .with("blocks_skipped", w.blocks_skipped)
+        .with("blocks_decoded", w.blocks_decoded)
+        .with("compressed_bytes", w.compressed_bytes)
 }
 
 fn histogram_json(h: &HistogramSnapshot) -> Json {
@@ -130,6 +159,7 @@ fn cell_json(c: &BenchCell) -> Json {
     Json::obj()
         .with("algorithm", c.algorithm.as_str())
         .with("variant", c.variant.as_str())
+        .with("backend", c.backend.as_str())
         .with("threads", c.threads)
         .with("queries", c.queries)
         .with(
@@ -179,6 +209,16 @@ impl BenchReport {
                 "recall_curves",
                 Json::Arr(self.recall_curves.iter().map(curve_json).collect()),
             );
+        if let Some(ix) = &self.index {
+            j = j.with(
+                "index",
+                Json::obj()
+                    .with("backend", ix.backend.as_str())
+                    .with("footprint_bytes", ix.footprint_bytes)
+                    .with("raw_footprint_bytes", ix.raw_footprint_bytes)
+                    .with("compression_ratio", ix.compression_ratio()),
+            );
+        }
         if let Some(r) = &self.recorder {
             j = j.with(
                 "flight_recorder",
@@ -250,6 +290,7 @@ pub fn build_report(
                 cells.push(BenchCell {
                     algorithm: name.to_string(),
                     variant: params.label.to_string(),
+                    backend: ds.backend.name().to_string(),
                     threads: t,
                     queries: queries.len(),
                     stats,
@@ -259,6 +300,11 @@ pub fn build_report(
     }
     let threads = thread_counts.iter().copied().max().unwrap_or(1);
     let recall_curves = build_recall_curves(ds, algorithms, threads, terms_per_query);
+    let index = ds.index.footprint().map(|fp| IndexReport {
+        backend: ds.backend.name().to_string(),
+        footprint_bytes: fp.total(),
+        raw_footprint_bytes: ds.raw_footprint.total(),
+    });
     BenchReport {
         name: name.to_string(),
         docs: ds.index.num_docs(),
@@ -266,6 +312,7 @@ pub fn build_report(
         queries_per_cell: queries.len(),
         terms_per_query,
         cells,
+        index,
         recall_curves,
         recorder: recorder.map(|r| RecorderReport {
             events_recorded: r.total_events(),
@@ -358,6 +405,11 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         for key in ["mean", "p50", "p95", "p99", "p999"] {
             require_num(lat, key, &format!("{ctx} latency_ms"))?;
         }
+        // Optional: older emissions predate per-cell backend labels.
+        if let Some(b) = cell.get("backend") {
+            b.as_str()
+                .ok_or_else(|| format!("{ctx}: key \"backend\" is not a string"))?;
+        }
         let work = require(cell, "work", &ctx)?;
         for key in [
             "postings_scanned",
@@ -371,6 +423,14 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             "timeout_stops",
         ] {
             require_num(work, key, &format!("{ctx} work"))?;
+        }
+        // Optional (schema-compatible additions): compressed-backend
+        // counters. Absent in pre-compression emissions; when present
+        // they must be numbers.
+        for key in ["blocks_skipped", "blocks_decoded", "compressed_bytes"] {
+            if work.get(key).is_some() {
+                require_num(work, key, &format!("{ctx} work"))?;
+            }
         }
         let exec = require(cell, "exec", &ctx)?;
         for key in [
@@ -403,6 +463,21 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         for p in points {
             require_num(p, "ms", &ctx)?;
             require_num(p, "recall", &ctx)?;
+        }
+    }
+    // Optional: index-size accounting, but when present it must be
+    // well-formed (this is where compressed-vs-raw ratios are
+    // regression-tracked).
+    if let Some(ix) = doc.get("index") {
+        require(ix, "backend", "index")?
+            .as_str()
+            .ok_or("index: backend is not a string")?;
+        for key in [
+            "footprint_bytes",
+            "raw_footprint_bytes",
+            "compression_ratio",
+        ] {
+            require_num(ix, key, "index")?;
         }
     }
     // Optional: present only on recorder-enabled runs, but when present
@@ -510,6 +585,7 @@ mod tests {
             cells: vec![BenchCell {
                 algorithm: "sparta".into(),
                 variant: "exact".into(),
+                backend: "raw".into(),
                 threads: 2,
                 queries: 1,
                 stats: LatencyStats {
@@ -524,9 +600,39 @@ mod tests {
                 variant: "exact".into(),
                 points: vec![(0.5, 0.4), (1.0, 1.0)],
             }],
+            index: None,
             recorder: None,
             load: None,
         }
+    }
+
+    #[test]
+    fn index_block_roundtrips_and_validates() {
+        let mut r = tiny_report();
+        r.index = Some(IndexReport {
+            backend: "compressed".into(),
+            footprint_bytes: 250,
+            raw_footprint_bytes: 1000,
+        });
+        let text = r.to_json().to_pretty_string(2);
+        validate_bench_json(&text).unwrap();
+        let doc = parse(&text).unwrap();
+        let ix = doc.get("index").expect("block emitted");
+        assert_eq!(ix.get("backend").and_then(Json::as_str), Some("compressed"));
+        assert_eq!(
+            ix.get("compression_ratio").and_then(Json::as_f64),
+            Some(4.0)
+        );
+        // Cells carry the backend label and the new work counters.
+        let cell = &doc.get("cells").and_then(|c| c.as_arr()).unwrap()[0];
+        assert_eq!(cell.get("backend").and_then(Json::as_str), Some("raw"));
+        let work = cell.get("work").unwrap();
+        for key in ["blocks_skipped", "blocks_decoded", "compressed_bytes"] {
+            assert!(work.get(key).is_some(), "missing {key}");
+        }
+        // A malformed block must fail even though the block is optional.
+        let broken = text.replace("raw_footprint_bytes", "raw_footprint_mangled");
+        assert!(validate_bench_json(&broken).is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod variants;
 pub use arrival::ArrivalProcess;
 pub use dataset::{Dataset, Scale};
 pub use export::{
-    out_path, validate_bench_json, BenchCell, BenchReport, RecallCurve, RecorderReport,
+    out_path, validate_bench_json, BenchCell, BenchReport, IndexReport, RecallCurve, RecorderReport,
 };
 pub use load::{
     run_load_sim, run_load_tcp, LoadConfig, LoadLevel, LoadReport, ServerScrape, StageStat,

@@ -83,10 +83,18 @@ pub fn run_latency_with(
     let mut sorted = Vec::with_capacity(queries.len());
     let mut recall_sum = 0.0;
     let mut work = WorkStats::default();
+    // The index's block-decode counters are cumulative; queries run
+    // sequentially here, so per-query deltas attribute every decoded
+    // block (and its compressed bytes) to the query that touched it.
+    let io = ds.index.io_stats();
     for q in queries {
+        let decode0 = io.map(|s| s.decode_snapshot()).unwrap_or_default();
         let t0 = Instant::now();
-        let r = algo.search(&ds.index, q, &cfg, &exec);
+        let mut r = algo.search(&ds.index, q, &cfg, &exec);
         sorted.push(t0.elapsed());
+        let decode1 = io.map(|s| s.decode_snapshot()).unwrap_or_default();
+        r.work.blocks_decoded += decode1.0.saturating_sub(decode0.0);
+        r.work.compressed_bytes += decode1.1.saturating_sub(decode0.1);
         if measure_recall {
             recall_sum += ds.oracle(q).recall(&r.docs());
         } else {

@@ -164,9 +164,9 @@ fn run_range(
         }
         shared.theta.fetch_max(merged.threshold(), Ordering::AcqRel);
     }
-    let mut w = shared.work.lock();
-    w.postings_scanned += work.postings_scanned;
-    w.heap_updates += work.heap_updates;
+    // Full-field merge: a hand-rolled two-field sum here silently
+    // dropped `blocks_skipped` (and would drop every future counter).
+    shared.work.lock().merge(&work);
 }
 
 #[cfg(test)]
@@ -221,6 +221,26 @@ mod tests {
         let q = Query::new(vec![0]);
         let r = PBmw.search(&ix, &q, &SearchConfig::exact(1), &DedicatedExecutor::new(3));
         assert_eq!(r.docs(), vec![n - 1]);
+    }
+
+    #[test]
+    fn block_skips_survive_the_work_merge() {
+        // Regression: run_range once merged only postings/heap counters
+        // into the shared stats, so pBMW always reported
+        // `blocks_skipped == 0` even while skipping. Compare against
+        // sequential BMW, which skips on this index.
+        let ix = pseudo_index(20_000, 4, 8);
+        let q = Query::new(vec![0, 1, 2, 3]);
+        let cfg = SearchConfig::exact(10);
+        let seq = SeqBmw.search(&ix, &q, &cfg, &DedicatedExecutor::new(1));
+        assert!(seq.work.blocks_skipped > 0, "seq BMW must skip here");
+        for threads in [1usize, 4] {
+            let par = PBmw.search(&ix, &q, &cfg, &DedicatedExecutor::new(threads));
+            assert!(
+                par.work.blocks_skipped > 0,
+                "pBMW dropped its skip counter (threads={threads})"
+            );
+        }
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub(crate) fn wand_range(
                 // The aligned blocks cannot produce a winner: jump to
                 // the first doc past the shallowest block boundary
                 // (bounded by the next list's head).
+                work.blocks_skipped += 1;
                 let mut next = min_block_last.saturating_add(1);
                 if last_pos + 1 < m {
                     if let Some(d) = cursors[order[last_pos + 1]].doc() {

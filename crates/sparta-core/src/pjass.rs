@@ -153,6 +153,7 @@ impl Algorithm for PJass {
             jobs_recycled: queue.recycled() as u64,
             docmap_final: state.acc.len() as u64,
             timeout_stops: 0,
+            ..WorkStats::default()
         };
         let state = Arc::into_inner(state).expect("all jobs drained");
         TopKResult {

@@ -224,6 +224,7 @@ impl Algorithm for PNra {
             jobs_recycled: queue.recycled() as u64,
             docmap_final: state.doc_map.len() as u64,
             timeout_stops: 0,
+            ..WorkStats::default()
         };
         let state = Arc::into_inner(state).expect("all jobs drained");
         TopKResult {

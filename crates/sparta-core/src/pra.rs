@@ -175,6 +175,7 @@ impl Algorithm for PRa {
             jobs_recycled: queue.recycled() as u64,
             docmap_final: state.seen.len() as u64,
             timeout_stops: 0,
+            ..WorkStats::default()
         };
         let state = Arc::into_inner(state).expect("all jobs drained");
         TopKResult {

@@ -53,6 +53,19 @@ pub struct WorkStats {
     /// rather than its exactness condition (0 or 1; approximate
     /// variants only).
     pub timeout_stops: u64,
+    /// Block-max skip decisions taken by doc-order traversal (BMW
+    /// family): each is one aligned block group jumped over without
+    /// scoring. On the compressed backend a skipped block is also a
+    /// block never decoded.
+    pub blocks_skipped: u64,
+    /// Compressed posting blocks decoded while serving this query
+    /// (compressed backend only; folded in from the index's
+    /// [`sparta_index::IoStats`] by the measurement layer).
+    pub blocks_decoded: u64,
+    /// Compressed bytes moved through the block decoder — the
+    /// bytes-moved companion to `postings_scanned` (compressed backend
+    /// only).
+    pub compressed_bytes: u64,
 }
 
 impl WorkStats {
@@ -71,6 +84,9 @@ impl WorkStats {
         self.jobs_recycled = self.jobs_recycled.saturating_add(other.jobs_recycled);
         self.docmap_final = self.docmap_final.saturating_add(other.docmap_final);
         self.timeout_stops = self.timeout_stops.saturating_add(other.timeout_stops);
+        self.blocks_skipped = self.blocks_skipped.saturating_add(other.blocks_skipped);
+        self.blocks_decoded = self.blocks_decoded.saturating_add(other.blocks_decoded);
+        self.compressed_bytes = self.compressed_bytes.saturating_add(other.compressed_bytes);
     }
 }
 
@@ -79,7 +95,8 @@ impl std::fmt::Display for WorkStats {
         write!(
             f,
             "postings={} random={} heap={} docmap_peak={} cleaner={} \
-             panicked={} recycled={} docmap_final={} timeouts={}",
+             panicked={} recycled={} docmap_final={} timeouts={} \
+             blk_skip={} blk_dec={} cbytes={}",
             self.postings_scanned,
             self.random_accesses,
             self.heap_updates,
@@ -89,6 +106,9 @@ impl std::fmt::Display for WorkStats {
             self.jobs_recycled,
             self.docmap_final,
             self.timeout_stops,
+            self.blocks_skipped,
+            self.blocks_decoded,
+            self.compressed_bytes,
         )
     }
 }
@@ -174,6 +194,9 @@ mod tests {
             jobs_recycled: seed % 19,
             docmap_final: seed % 11,
             timeout_stops: seed % 2,
+            blocks_skipped: seed % 23,
+            blocks_decoded: seed % 29,
+            compressed_bytes: seed.wrapping_mul(7) % 1013,
         }
     }
 

@@ -385,6 +385,7 @@ impl Algorithm for Sparta {
             jobs_recycled: queue.recycled() as u64,
             docmap_final,
             timeout_stops: state.timeout_stops.load(Ordering::Relaxed),
+            ..WorkStats::default()
         };
         let state = Arc::into_inner(state).expect("all jobs drained");
         TopKResult {

@@ -6,6 +6,7 @@
 //! by a [`Scorer`], then assembled into an [`InMemoryIndex`] or
 //! streamed to an on-disk index.
 
+use crate::compressed::CompressedIndex;
 use crate::memory::InMemoryIndex;
 use crate::posting::{Posting, DEFAULT_BLOCK_SIZE};
 use crate::storage::writer::IndexWriter;
@@ -14,6 +15,42 @@ use sparta_corpus::synth::SynthCorpus;
 use sparta_corpus::types::{CorpusStats, DocBag, TermId};
 use std::io;
 use std::path::Path;
+
+/// Which in-memory posting representation to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexKind {
+    /// Uncompressed posting arrays (the paper's §5.1 setup).
+    #[default]
+    Raw,
+    /// Block-compressed postings ([`crate::compressed`]).
+    Compressed,
+}
+
+impl IndexKind {
+    /// Parses a backend name (`"raw"` / `"compressed"`), as accepted
+    /// by bench/CLI flags.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "raw" => Some(Self::Raw),
+            "compressed" => Some(Self::Compressed),
+            _ => None,
+        }
+    }
+
+    /// The canonical flag/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Raw => "raw",
+            Self::Compressed => "compressed",
+        }
+    }
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Builds indexes from corpora using a pluggable scoring function.
 pub struct IndexBuilder<S> {
@@ -57,6 +94,25 @@ impl<S: Scorer> IndexBuilder<S> {
             terms.push(self.score_term(t, raw, stats));
         });
         InMemoryIndex::with_block_size(terms, stats.num_docs, self.block_size)
+    }
+
+    /// Builds a RAM-resident compressed index from a synthetic corpus.
+    pub fn build_compressed(&self, corpus: &SynthCorpus) -> CompressedIndex {
+        let stats = corpus.stats();
+        let mut terms = Vec::with_capacity(stats.vocab_size());
+        corpus.for_each_term(|t, raw| {
+            terms.push(self.score_term(t, raw, stats));
+        });
+        CompressedIndex::with_block_size(terms, stats.num_docs, self.block_size)
+    }
+
+    /// Builds the backend selected by `kind`, boxed behind the
+    /// [`Index`](crate::Index) trait.
+    pub fn build_kind(&self, corpus: &SynthCorpus, kind: IndexKind) -> Box<dyn crate::Index> {
+        match kind {
+            IndexKind::Raw => Box::new(self.build_memory(corpus)),
+            IndexKind::Compressed => Box::new(self.build_compressed(corpus)),
+        }
     }
 
     /// Builds a RAM-resident index from tokenized documents (the

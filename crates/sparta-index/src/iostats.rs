@@ -82,6 +82,8 @@ pub struct IoStats {
     seq_blocks: ShardedCounter,
     random_accesses: ShardedCounter,
     bytes_read: ShardedCounter,
+    blocks_decoded: ShardedCounter,
+    compressed_bytes: ShardedCounter,
 }
 
 impl IoStats {
@@ -104,6 +106,17 @@ impl IoStats {
         self.bytes_read.add(bytes);
     }
 
+    /// Records the decode of one compressed posting block whose packed
+    /// representation spans `bytes` bytes. The compressed backend's
+    /// companion to `postings_scanned`: how many blocks were actually
+    /// decompressed (skipped blocks are never decoded) and how many
+    /// compressed bytes moved through the decoder.
+    #[inline]
+    pub fn record_block_decode(&self, bytes: u64) {
+        self.blocks_decoded.incr();
+        self.compressed_bytes.add(bytes);
+    }
+
     /// Sequential block fetches so far.
     pub fn seq_blocks(&self) -> u64 {
         self.seq_blocks.get()
@@ -119,9 +132,26 @@ impl IoStats {
         self.bytes_read.get()
     }
 
-    /// Snapshot of all counters `(seq_blocks, random_accesses, bytes)`.
+    /// Compressed posting blocks decoded so far.
+    pub fn blocks_decoded(&self) -> u64 {
+        self.blocks_decoded.get()
+    }
+
+    /// Compressed bytes moved through the block decoder so far.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed_bytes.get()
+    }
+
+    /// Snapshot of the disk counters `(seq_blocks, random_accesses,
+    /// bytes)`.
     pub fn snapshot(&self) -> (u64, u64, u64) {
         (self.seq_blocks(), self.random_accesses(), self.bytes_read())
+    }
+
+    /// Snapshot of the decode counters `(blocks_decoded,
+    /// compressed_bytes)`.
+    pub fn decode_snapshot(&self) -> (u64, u64) {
+        (self.blocks_decoded(), self.compressed_bytes())
     }
 
     /// Resets all counters (between experiments).
@@ -129,6 +159,8 @@ impl IoStats {
         self.seq_blocks.reset();
         self.random_accesses.reset();
         self.bytes_read.reset();
+        self.blocks_decoded.reset();
+        self.compressed_bytes.reset();
     }
 }
 

@@ -30,13 +30,15 @@
 
 pub mod builder;
 pub mod compress;
+pub mod compressed;
 pub mod cursor;
 pub mod iostats;
 pub mod memory;
 pub mod posting;
 pub mod storage;
 
-pub use builder::IndexBuilder;
+pub use builder::{IndexBuilder, IndexKind};
+pub use compressed::{BoundMode, CompressedIndex, CompressedTermData, ScoreQuantizer};
 pub use cursor::{DocCursor, RandomAccess, ScoreCursor};
 pub use iostats::{IoModel, IoStats};
 pub use memory::InMemoryIndex;
@@ -45,6 +47,24 @@ pub use storage::reader::DiskIndex;
 
 use sparta_corpus::types::TermId;
 use std::sync::Arc;
+
+/// In-memory size of an index's posting storage, split into the
+/// posting planes themselves and the lookup metadata (block directory,
+/// score codebooks, quantization params).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexFootprint {
+    /// Bytes holding postings (raw arrays or packed planes).
+    pub posting_bytes: u64,
+    /// Bytes of per-term/per-block metadata.
+    pub metadata_bytes: u64,
+}
+
+impl IndexFootprint {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.posting_bytes + self.metadata_bytes
+    }
+}
 
 /// A queryable inverted index.
 ///
@@ -89,4 +109,10 @@ pub trait Index: Send + Sync {
     /// I/O statistics accumulated by this index's cursors, if it
     /// performs (simulated) I/O. In-memory indexes return `None`.
     fn io_stats(&self) -> Option<&IoStats>;
+
+    /// In-memory posting-storage footprint, if this backend can report
+    /// one (RAM-resident backends do; the disk reader does not).
+    fn footprint(&self) -> Option<IndexFootprint> {
+        None
+    }
 }

@@ -178,6 +178,17 @@ impl Index for InMemoryIndex {
     fn io_stats(&self) -> Option<&IoStats> {
         None
     }
+
+    fn footprint(&self) -> Option<crate::IndexFootprint> {
+        let mut f = crate::IndexFootprint::default();
+        for t in &self.terms {
+            // Both orders at 8 bytes per posting.
+            f.posting_bytes += (t.score_order.len() + t.doc_order.len()) as u64 * 8;
+            // Block directory + the list-wide max.
+            f.metadata_bytes += t.blocks.len() as u64 * 8 + 4;
+        }
+        Some(f)
+    }
 }
 
 /// `AsRef<[Posting]>` adapter over a shared posting vector.

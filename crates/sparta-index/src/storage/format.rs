@@ -1,13 +1,26 @@
 //! Binary layout constants and (de)serialization of fixed-width records.
 
+use crate::compress::{read_varint, write_varint};
+use crate::compressed::{CompressedTermData, PlaneMeta, ScoreQuantizer, MAX_BLOCK};
 use crate::posting::{BlockMeta, Posting};
 use std::io::{self, Read, Write};
 
 /// File magic at the start of `meta.bin`.
 pub const MAGIC: &[u8; 8] = b"SPARTAIX";
 
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version. Version 2 added the optional compressed
+/// section (`compressed.bin`); version-1 directories (no such file)
+/// remain readable.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version the reader accepts.
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
+/// Magic at the start of the compressed section (`compressed.bin`).
+pub const COMPRESSED_MAGIC: &[u8; 8] = b"SPARTACP";
+
+/// Version of the compressed section's own layout.
+pub const COMPRESSED_SECTION_VERSION: u32 = 1;
 
 /// Contents of `meta.bin`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +57,7 @@ impl Meta {
             ));
         }
         let version = read_u32(r)?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unsupported index format version {version}"),
@@ -157,6 +170,227 @@ pub fn decode_blocks(bytes: &[u8]) -> Vec<BlockMeta> {
         .collect()
 }
 
+/// Writes the compressed-section header.
+pub fn write_compressed_header<W: Write>(
+    w: &mut W,
+    num_docs: u64,
+    num_terms: u32,
+    block_size: u32,
+) -> io::Result<()> {
+    w.write_all(COMPRESSED_MAGIC)?;
+    w.write_all(&COMPRESSED_SECTION_VERSION.to_le_bytes())?;
+    w.write_all(&num_docs.to_le_bytes())?;
+    w.write_all(&num_terms.to_le_bytes())?;
+    w.write_all(&block_size.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads and validates the compressed-section header, returning
+/// `(num_docs, num_terms, block_size)`.
+pub fn read_compressed_header<R: Read>(r: &mut R) -> io::Result<(u64, u32, u32)> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != COMPRESSED_MAGIC {
+        return Err(bad("not a compressed posting section (bad magic)"));
+    }
+    let version = read_u32(r)?;
+    if version != COMPRESSED_SECTION_VERSION {
+        return Err(bad(format!(
+            "unsupported compressed section version {version}"
+        )));
+    }
+    let num_docs = read_u64(r)?;
+    let num_terms = read_u32(r)?;
+    let block_size = read_u32(r)?;
+    if block_size == 0 || block_size as usize > MAX_BLOCK {
+        return Err(bad(format!("invalid block size {block_size}")));
+    }
+    Ok((num_docs, num_terms, block_size))
+}
+
+/// Serializes one term's compressed data. The codebook is written as
+/// varint deltas (it is strictly ascending); packed planes are raw
+/// little-endian words.
+pub fn encode_compressed_term(td: &CompressedTermData, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&td.len.to_le_bytes());
+    if td.len == 0 {
+        return;
+    }
+    out.extend_from_slice(&td.max_score.to_le_bytes());
+    out.push(td.sidx_bits);
+    out.push(td.doc_raw_bits);
+    let q = td.quant.unwrap_or(ScoreQuantizer { min: 0, scale: 1 });
+    out.extend_from_slice(&q.min.to_le_bytes());
+    out.extend_from_slice(&q.scale.to_le_bytes());
+
+    out.extend_from_slice(&(td.dict.len() as u32).to_le_bytes());
+    let mut prev = 0u32;
+    for (i, &v) in td.dict.iter().enumerate() {
+        write_varint(if i == 0 { v } else { v - prev - 1 }, out);
+        prev = v;
+    }
+
+    out.extend_from_slice(&(td.blocks.len() as u32).to_le_bytes());
+    for (bi, b) in td.blocks.iter().enumerate() {
+        out.extend_from_slice(&b.last_doc.to_le_bytes());
+        out.extend_from_slice(&b.max_score.to_le_bytes());
+        out.push(td.qmax[bi]);
+        out.extend_from_slice(&td.doc_meta[bi].off.to_le_bytes());
+        out.push(td.doc_meta[bi].bits);
+        out.extend_from_slice(&td.score_meta[bi].off.to_le_bytes());
+        out.push(td.score_meta[bi].bits);
+    }
+
+    out.extend_from_slice(&(td.words.len() as u32).to_le_bytes());
+    for &w in &td.words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Deserializes one term written by [`encode_compressed_term`].
+pub fn decode_compressed_term<R: Read>(
+    r: &mut R,
+    block_size: u32,
+) -> io::Result<CompressedTermData> {
+    let len = read_u32(r)?;
+    if len == 0 {
+        return Ok(CompressedTermData {
+            block_size,
+            ..CompressedTermData::default()
+        });
+    }
+    let max_score = read_u32(r)?;
+    let mut widths = [0u8; 2];
+    r.read_exact(&mut widths)?;
+    let (sidx_bits, doc_raw_bits) = (widths[0], widths[1]);
+    if sidx_bits > 32 || doc_raw_bits > 32 {
+        return Err(bad("invalid packed field width"));
+    }
+    let quant = ScoreQuantizer {
+        min: read_u32(r)?,
+        scale: read_u32(r)?,
+    };
+    if quant.scale == 0 {
+        return Err(bad("invalid quantizer scale"));
+    }
+
+    let dict_len = read_u32(r)? as usize;
+    if dict_len == 0 || dict_len > len as usize {
+        return Err(bad("invalid codebook size"));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    let mut varint_buf = [0u8; 5];
+    let mut prev = 0u32;
+    for i in 0..dict_len {
+        let v = read_varint_from(r, &mut varint_buf)?;
+        let v = if i == 0 {
+            v
+        } else {
+            prev.checked_add(v)
+                .and_then(|x| x.checked_add(1))
+                .ok_or_else(|| bad("codebook delta overflow"))?
+        };
+        dict.push(v);
+        prev = v;
+    }
+    if dict.last() != Some(&max_score) {
+        return Err(bad("codebook does not end at max score"));
+    }
+
+    let num_blocks = read_u32(r)? as usize;
+    if num_blocks != (len as usize).div_ceil(block_size as usize) {
+        return Err(bad("block count does not match posting count"));
+    }
+    let mut blocks = Vec::with_capacity(num_blocks);
+    let mut qmax = Vec::with_capacity(num_blocks);
+    let mut doc_meta = Vec::with_capacity(num_blocks);
+    let mut score_meta = Vec::with_capacity(num_blocks);
+    for _ in 0..num_blocks {
+        let last_doc = read_u32(r)?;
+        let bmax = read_u32(r)?;
+        let mut b1 = [0u8; 1];
+        r.read_exact(&mut b1)?;
+        qmax.push(b1[0]);
+        let doc_off = read_u32(r)?;
+        r.read_exact(&mut b1)?;
+        let doc_bits = b1[0];
+        let score_off = read_u32(r)?;
+        r.read_exact(&mut b1)?;
+        let score_bits = b1[0];
+        if doc_bits > 32 || score_bits > 32 {
+            return Err(bad("invalid packed field width"));
+        }
+        blocks.push(BlockMeta {
+            last_doc,
+            max_score: bmax,
+        });
+        doc_meta.push(PlaneMeta {
+            off: doc_off,
+            bits: doc_bits,
+        });
+        score_meta.push(PlaneMeta {
+            off: score_off,
+            bits: score_bits,
+        });
+    }
+
+    let num_words = read_u32(r)? as usize;
+    if num_words == 0 {
+        return Err(bad("missing packed words"));
+    }
+    let mut words = Vec::with_capacity(num_words);
+    let mut w8 = [0u8; 8];
+    for _ in 0..num_words {
+        r.read_exact(&mut w8)?;
+        words.push(u64::from_le_bytes(w8));
+    }
+    // Every plane offset must leave room for its block's data plus the
+    // decoder's one-word lookahead.
+    let word_bits = (num_words as u64 - 1) * 64;
+    for (bi, (dm, sm)) in doc_meta.iter().zip(score_meta.iter()).enumerate() {
+        let n = (len as u64 - bi as u64 * u64::from(block_size)).min(u64::from(block_size));
+        let doc_end = u64::from(dm.off) + n * (u64::from(dm.bits) + u64::from(sidx_bits));
+        let score_end = u64::from(sm.off) + n * (u64::from(doc_raw_bits) + u64::from(sm.bits));
+        if doc_end > word_bits || score_end > word_bits {
+            return Err(bad("plane offset out of bounds"));
+        }
+    }
+
+    Ok(CompressedTermData {
+        len,
+        max_score,
+        block_size,
+        dict,
+        blocks,
+        quant: Some(quant),
+        qmax,
+        sidx_bits,
+        doc_raw_bits,
+        doc_meta,
+        score_meta,
+        words,
+    })
+}
+
+fn read_varint_from<R: Read>(r: &mut R, scratch: &mut [u8; 5]) -> io::Result<u32> {
+    for i in 0..5 {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        scratch[i] = b[0];
+        if b[0] & 0x80 == 0 {
+            return read_varint(&scratch[..=i])
+                .map(|(v, _)| v)
+                .ok_or_else(|| bad("malformed varint"));
+        }
+    }
+    Err(bad("malformed varint"))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
 fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
@@ -227,6 +461,71 @@ mod tests {
         e.write_to(&mut buf).unwrap();
         assert_eq!(buf.len(), DictEntry::SIZE);
         assert_eq!(DictEntry::read_from(&mut buf.as_slice()).unwrap(), e);
+    }
+
+    #[test]
+    fn compressed_term_round_trips() {
+        let ps: Vec<Posting> = (0..300u32)
+            .map(|i| Posting::new(i * 5 + i % 4, i.wrapping_mul(2_654_435_761) % 900_000 + 1))
+            .collect();
+        let td = CompressedTermData::from_postings(ps, 64);
+        let mut buf = Vec::new();
+        encode_compressed_term(&td, &mut buf);
+        let got = decode_compressed_term(&mut buf.as_slice(), 64).unwrap();
+        assert_eq!(got.len(), td.len());
+        assert_eq!(got.max_score(), td.max_score());
+        assert_eq!(got.blocks(), td.blocks());
+        assert_eq!(got.quantizer(), td.quantizer());
+        let mut docs = [0u32; crate::compressed::MAX_BLOCK];
+        let mut scores = [0u32; crate::compressed::MAX_BLOCK];
+        let mut docs2 = [0u32; crate::compressed::MAX_BLOCK];
+        let mut scores2 = [0u32; crate::compressed::MAX_BLOCK];
+        for bi in 0..td.blocks().len() {
+            let n = td.decode_doc_block(bi, &mut docs, &mut scores);
+            let m = got.decode_doc_block(bi, &mut docs2, &mut scores2);
+            assert_eq!(n, m);
+            assert_eq!(docs[..n], docs2[..n]);
+            assert_eq!(scores[..n], scores2[..n]);
+        }
+    }
+
+    #[test]
+    fn compressed_term_empty_round_trips() {
+        let td = CompressedTermData::from_postings(Vec::new(), 64);
+        let mut buf = Vec::new();
+        encode_compressed_term(&td, &mut buf);
+        assert_eq!(buf.len(), 4, "empty terms cost one length field");
+        let got = decode_compressed_term(&mut buf.as_slice(), 64).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn compressed_term_rejects_dangling_plane_offset() {
+        let ps: Vec<Posting> = (0..100u32).map(|i| Posting::new(i * 3, i + 1)).collect();
+        let mut td = CompressedTermData::from_postings(ps, 64);
+        td.doc_meta[1].off = u32::MAX;
+        let mut buf = Vec::new();
+        encode_compressed_term(&td, &mut buf);
+        let err = decode_compressed_term(&mut buf.as_slice(), 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn compressed_header_round_trips_and_validates() {
+        let mut buf = Vec::new();
+        write_compressed_header(&mut buf, 1000, 50, 64).unwrap();
+        assert_eq!(
+            read_compressed_header(&mut buf.as_slice()).unwrap(),
+            (1000, 50, 64)
+        );
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_compressed_header(&mut bad.as_slice()).is_err());
+        // Oversized block size.
+        let mut big = Vec::new();
+        write_compressed_header(&mut big, 1000, 50, MAX_BLOCK as u32 + 1).unwrap();
+        assert!(read_compressed_header(&mut big.as_slice()).is_err());
     }
 
     #[test]

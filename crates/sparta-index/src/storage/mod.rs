@@ -21,13 +21,27 @@
 //! 8 bytes per 64 postings) and are held in RAM by the reader, like
 //! any production engine; posting data is fetched in fixed-size blocks
 //! through the [`crate::iostats`] layer.
+//!
+//! Format version 2 adds an *optional* versioned compressed section:
+//!
+//! ```text
+//! compressed.bin  magic "SPARTACP", section version, num_docs,
+//!                 num_terms, block_size, then one
+//!                 [`crate::CompressedTermData`] record per term
+//!                 (see [`format::encode_compressed_term`])
+//! ```
+//!
+//! written when the index is built with
+//! [`crate::builder::IndexKind::Compressed`] and loaded whole into RAM
+//! by [`reader::load_compressed`]. Version-1 directories (no such
+//! file) remain readable by [`DiskIndex`].
 
 pub mod format;
 pub mod reader;
 pub mod writer;
 
-pub use format::{DictEntry, Meta, FORMAT_VERSION, MAGIC};
-pub use reader::DiskIndex;
+pub use format::{DictEntry, Meta, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
+pub use reader::{load_compressed, DiskIndex};
 pub use writer::IndexWriter;
 
 #[cfg(test)]
@@ -156,6 +170,100 @@ mod tests {
         bytes[0] ^= 0xFF;
         std::fs::write(&meta, bytes).unwrap();
         assert!(DiskIndex::open(&dir, IoModel::free()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compressed_section_round_trips() {
+        use crate::builder::IndexKind;
+        use crate::compressed::CompressedIndex;
+        let dir = tempdir("compressed_rt");
+        let lists = sample_lists();
+        let mut w =
+            IndexWriter::create_with_kind(&dir, 900, lists.len() as u32, 64, IndexKind::Compressed)
+                .unwrap();
+        for l in &lists {
+            w.add_term(l.clone()).unwrap();
+        }
+        w.finish().unwrap();
+
+        // The raw planes are still a valid v2 index.
+        assert!(DiskIndex::open(&dir, IoModel::free()).is_ok());
+
+        let loaded = load_compressed(&dir).unwrap();
+        let built = CompressedIndex::from_term_postings(sample_lists(), 900);
+        assert_eq!(loaded.num_docs(), built.num_docs());
+        assert_eq!(loaded.num_terms(), built.num_terms());
+        for t in 0..loaded.num_terms() {
+            assert_eq!(loaded.doc_freq(t), built.doc_freq(t));
+            assert_eq!(loaded.max_score(t), built.max_score(t));
+            let mut a = loaded.score_cursor(t);
+            let mut b = built.score_cursor(t);
+            loop {
+                let (x, y) = (a.next(), b.next());
+                assert_eq!(x, y, "term {t}");
+                if x.is_none() {
+                    break;
+                }
+            }
+            let mut a = loaded.doc_cursor(t);
+            let mut b = built.doc_cursor(t);
+            loop {
+                assert_eq!(a.doc(), b.doc(), "term {t}");
+                assert_eq!(a.block_max_score(), b.block_max_score(), "term {t}");
+                if a.advance().is_none() {
+                    b.advance();
+                    break;
+                }
+                b.advance();
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn raw_kind_writes_no_compressed_section() {
+        let dir = tempdir("raw_kind");
+        write_sample(&dir);
+        assert!(!dir.join("compressed.bin").exists());
+        let err = reader::load_compressed(&dir).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compressed_section_rejects_corruption() {
+        use crate::builder::IndexKind;
+        let dir = tempdir("compressed_corrupt");
+        let lists = sample_lists();
+        let mut w =
+            IndexWriter::create_with_kind(&dir, 900, lists.len() as u32, 64, IndexKind::Compressed)
+                .unwrap();
+        for l in &lists {
+            w.add_term(l.clone()).unwrap();
+        }
+        w.finish().unwrap();
+        let path = dir.join("compressed.bin");
+        let good = std::fs::read(&path).unwrap();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(load_compressed(&dir).is_err());
+
+        // Truncation mid-term.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(load_compressed(&dir).is_err());
+
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        std::fs::write(&path, &long).unwrap();
+        assert!(load_compressed(&dir).is_err());
+
+        std::fs::write(&path, &good).unwrap();
+        assert!(load_compressed(&dir).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

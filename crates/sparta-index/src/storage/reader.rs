@@ -436,3 +436,32 @@ impl<R: Borrow<DiskIndex> + Send> DocCursor for DiskDocCursor<R> {
         self.entry.len
     }
 }
+
+/// Loads the versioned compressed section (`compressed.bin`) of an
+/// index directory written with
+/// [`IndexKind::Compressed`](crate::builder::IndexKind::Compressed)
+/// into a RAM-resident [`CompressedIndex`](crate::CompressedIndex).
+///
+/// Version-1 directories have no such section; opening them raises
+/// `NotFound`, and callers fall back to [`DiskIndex`] / a raw build.
+pub fn load_compressed(dir: impl AsRef<Path>) -> io::Result<crate::CompressedIndex> {
+    let dir = dir.as_ref();
+    let mut f = std::io::BufReader::new(File::open(dir.join("compressed.bin"))?);
+    let (num_docs, num_terms, block_size) = format::read_compressed_header(&mut f)?;
+    let mut terms = Vec::with_capacity(num_terms as usize);
+    for _ in 0..num_terms {
+        terms.push(format::decode_compressed_term(&mut f, block_size)?);
+    }
+    let mut rest = [0u8; 1];
+    if f.read(&mut rest)? != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after last term",
+        ));
+    }
+    Ok(crate::CompressedIndex::from_parts(
+        terms,
+        num_docs,
+        block_size as usize,
+    ))
+}

@@ -74,12 +74,17 @@ impl Policy {
         path.starts_with("crates/sparta-core/src/")
     }
 
-    /// The flight recorder's record path: allocation banned after ring
-    /// construction (workers record from inside the scheduler loop;
-    /// an allocation there can deadlock a diagnostic of an allocator
-    /// stall and skews the recorder's own overhead).
+    /// Allocation-banned hot paths: the flight recorder's record path
+    /// (workers record from inside the scheduler loop; an allocation
+    /// there can deadlock a diagnostic of an allocator stall and skews
+    /// the recorder's own overhead) and the compressed posting
+    /// decoder (block decode sits under every cursor advance — it
+    /// must run out of fixed scratch arrays; builders escape with
+    /// `lint: allow(alloc)`).
     pub fn bans_alloc(path: &str) -> bool {
-        path == "crates/sparta-obs/src/ring.rs" || path == "crates/sparta-obs/src/recorder.rs"
+        path == "crates/sparta-obs/src/ring.rs"
+            || path == "crates/sparta-obs/src/recorder.rs"
+            || path == "crates/sparta-index/src/compressed.rs"
     }
 
     /// Std-Mutex `.lock().unwrap()` ban (parking_lot is the standard).
