@@ -140,7 +140,7 @@ impl DocSlab {
     #[inline]
     pub fn id(&self, h: DocHandle) -> DocId {
         let (block, off) = self.record(h);
-        // ordering: the id word is written once in alloc() before the
+        // ordering: the id word is written once in alloc() before the (model: doc_slab_publish)
         // handle is published through the docMap stripe lock (or the
         // heap lock); that lock's release/acquire pair orders the store
         // before any reader holding a handle, so Relaxed suffices here

@@ -46,7 +46,7 @@ impl DocType {
     /// correct even when a score is revised downward.
     #[inline]
     pub fn set_score(&self, i: usize, score: u32) {
-        // ordering: both RMWs are AcqRel so the running sum stays a
+        // ordering: both RMWs are AcqRel so the running sum stays a (model: doc_slab_publish)
         // *publication point*: a thread that Acquire-loads `sum` in
         // current_sum() and observes this delta also observes the score
         // swap that produced it (release sequence through the two

@@ -120,7 +120,7 @@ impl JobQueue {
     /// or a [`Job`] directly (`Job::cyclic(…)` for resumable jobs).
     pub fn push(&self, job: impl Into<Job>) {
         let job = job.into();
-        // ordering: outstanding is a completion *protocol*, not a mere
+        // ordering: outstanding is a completion *protocol*, not a mere (model: job_queue_outstanding)
         // stat — wait_for_completion spins on it reaching 0, so every
         // increment/decrement is AcqRel to pair with the Acquire load
         // in outstanding(): the release of the final fetch_sub makes
@@ -279,7 +279,7 @@ impl JobQueue {
     /// lock, any waiter that missed the decrement has already released
     /// the mutex *by parking*, so the notify reaches it.
     fn finish_one(&self) {
-        // ordering: AcqRel — release publishes this job's side effects
+        // ordering: AcqRel — release publishes this job's side effects (model: job_queue_outstanding)
         // to the waiter that observes outstanding() == 0; acquire
         // orders this decrement after the job body above it.
         if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {

@@ -1,0 +1,206 @@
+//! Pass 5: condvar waits must sit in a predicate-rechecking loop.
+//!
+//! `Condvar::wait` can return spuriously, and a notify can land
+//! between the predicate check and the park — the only correct shape
+//! is `while !pred { cv.wait(&mut g) }` (or `loop { if pred { break }
+//! … wait … }`). A bare `if !pred { cv.wait(…) }` compiles, passes
+//! every low-contention test, and turns into a wedge under load; the
+//! `sparta-model` wedge detector catches the modelled version of this
+//! bug, and this pass catches the lexical shape in shipped code.
+//!
+//! Detection: every `.wait(…)` / `.wait_for(…)` / `.wait_timeout(…)`
+//! call whose receiver tail names a condvar (`cv`, `cvar`, `cond`,
+//! `condvar`, or a `*_cv` field) must have a `while` or `loop` block
+//! among its enclosing braces *before* the enclosing function or
+//! closure body. `wait_while`/`wait_until` are exempt — the predicate
+//! recheck is built into the API. A `for` loop does **not** count: it
+//! re-runs the body a fixed number of times, it does not recheck the
+//! condvar's predicate. Test regions are exempt (a litmus test may
+//! park deliberately); genuine exceptions carry
+//! `// lint: allow(condvar-wait): <reason>`.
+
+use crate::report::Diagnostic;
+use crate::scan::Scan;
+
+const WAIT_METHODS: [&str; 3] = ["wait", "wait_for", "wait_timeout"];
+
+/// Whether a receiver tail plausibly names a condition variable.
+fn is_condvar_recv(tail: &str) -> bool {
+    matches!(tail, "cv" | "cvar" | "cond" | "condvar")
+        || tail.ends_with("_cv")
+        || tail.ends_with("_cvar")
+        || tail.ends_with("_condvar")
+}
+
+/// How a brace block relates to loop-guardedness.
+#[derive(Debug, PartialEq, Eq)]
+enum BlockClass {
+    /// `while … {` or `loop {` — the wait rechecks its predicate.
+    Loop,
+    /// `fn … {` — searching past this would credit the *caller's*
+    /// loop, which does not re-lock-and-recheck.
+    Function,
+    /// `|…| {` closure body — same boundary as a function.
+    Closure,
+    /// `if`/`else`/`match`/arm/`for`/plain block — keep walking out.
+    Other,
+}
+
+/// Classifies the block opened at `open` by scanning its header
+/// backward, skipping balanced `(…)`/`[…]` groups.
+fn block_class(toks: &[crate::lexer::Tok], match_of: &[usize], open: usize) -> BlockClass {
+    let mut j = open;
+    let mut budget = 64usize;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let t = &toks[j];
+        if t.is_punct(')') || t.is_punct(']') {
+            let m = match_of[j];
+            if m == usize::MAX || m == 0 {
+                return BlockClass::Other;
+            }
+            j = m;
+            continue;
+        }
+        if t.is_ident("while") || t.is_ident("loop") {
+            return BlockClass::Loop;
+        }
+        if t.is_ident("fn") {
+            return BlockClass::Function;
+        }
+        if t.is_punct('|') {
+            return BlockClass::Closure;
+        }
+        if t.is_ident("if") || t.is_ident("else") || t.is_ident("match") || t.is_ident("for") {
+            return BlockClass::Other;
+        }
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return BlockClass::Other;
+        }
+    }
+    BlockClass::Other
+}
+
+/// Whether the token at `idx` is enclosed by a `while`/`loop` block
+/// before any function/closure boundary.
+fn loop_guarded(toks: &[crate::lexer::Tok], match_of: &[usize], idx: usize) -> bool {
+    // Enclosing open braces, innermost last.
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate().take(idx) {
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            stack.pop();
+        }
+    }
+    for &open in stack.iter().rev() {
+        match block_class(toks, match_of, open) {
+            BlockClass::Loop => return true,
+            BlockClass::Function | BlockClass::Closure => return false,
+            BlockClass::Other => {}
+        }
+    }
+    false
+}
+
+/// Runs the condvar-wait pass over one file.
+pub fn scan_condvars(path: &str, scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    let toks = &scan.lex.toks;
+    for c in &scan.calls {
+        if !WAIT_METHODS.contains(&c.method.as_str()) || !is_condvar_recv(&c.recv_tail) {
+            continue;
+        }
+        if scan.in_test_region(c.line) || scan.lex.annotated(c.line, "condvar-wait") {
+            continue;
+        }
+        if !loop_guarded(toks, &scan.match_of, c.method_idx) {
+            diags.push(Diagnostic::new(
+                "condvar-wait",
+                path,
+                c.line,
+                format!(
+                    "`{}.{}` outside a predicate-rechecking `while`/`loop` — \
+                     spurious wakeups and check-to-park races wedge this \
+                     wait; re-test the predicate in a loop (model: \
+                     job_queue_outstanding shows the wedge) or justify with \
+                     `// lint: allow(condvar-wait): <reason>`",
+                    c.recv, c.method
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let l = lex(src);
+        let s = Scan::new(&l);
+        let mut d = Vec::new();
+        scan_condvars("test.rs", &s, &mut d);
+        d
+    }
+
+    #[test]
+    fn while_and_loop_guarded_waits_are_clean() {
+        let d = run("fn f() { let mut g = m.lock(); while !*g { cv.wait(&mut g); } }");
+        assert!(d.is_empty(), "{d:?}");
+        let d = run("fn f() { let mut g = m.lock(); loop { if *g { break; } \
+             self.cv.wait(&mut g); } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn if_guarded_wait_fires() {
+        let d = run("fn f() { let mut g = m.lock(); if !*g { cv.wait(&mut g); } }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "condvar-wait");
+    }
+
+    #[test]
+    fn bare_wait_in_fn_body_fires() {
+        let d = run("fn f() { let mut g = m.lock(); cv.wait(&mut g); }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn for_loop_is_not_predicate_rechecking() {
+        let d = run("fn f() { let mut g = m.lock(); for _ in 0..2 { cv.wait(&mut g); } }");
+        assert_eq!(d.len(), 1, "a for loop must not count as a recheck");
+    }
+
+    #[test]
+    fn closure_inside_loop_is_a_boundary() {
+        let d = run("fn f() { while go() { run(|| { cv.wait(&mut g); }); } }");
+        assert_eq!(d.len(), 1, "the loop is the caller's, not the wait's");
+    }
+
+    #[test]
+    fn wait_while_and_non_condvar_receivers_are_exempt() {
+        let d = run("fn f() { cv.wait_while(&mut g, |v| !*v); slot.wait(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn wait_for_needs_a_loop_too() {
+        let d = run("fn f() { if !*g { cv.wait_for(&mut g, TIMEOUT); } }");
+        assert_eq!(d.len(), 1);
+        let d = run("fn f() { while !*g { cv.wait_for(&mut g, TIMEOUT); } }");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn annotation_and_test_regions_suppress() {
+        let d = run(
+            "fn f() {\n  // lint: allow(condvar-wait): single-shot handoff, \
+             notify precedes park by construction\n  cv.wait(&mut g);\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = run("#[cfg(test)]\nmod t { fn f() { cv.wait(&mut g); } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

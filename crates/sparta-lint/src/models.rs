@@ -1,0 +1,223 @@
+//! Pass 4: the ordering ↔ model cross-reference.
+//!
+//! A `// ordering: <reason>` comment is a *claim* about weak-memory
+//! behavior, and DESIGN.md §15 requires every such claim to be backed
+//! by a machine-checked `sparta-model` protocol. The contract:
+//!
+//! - Every ordering annotation in non-test workspace code must carry a
+//!   `model: <name>` tag **on the annotation line** (rule
+//!   `ordering-unmodeled` otherwise). The tag names the
+//!   `Model::new("<name>")` protocol whose exhaustive exploration
+//!   verifies the claimed edge.
+//! - The registry of valid names is harvested *textually* from
+//!   `crates/sparta-model/src/**`: every `Model::new("…")` string
+//!   literal outside `#[cfg(test)]` regions. A tag naming no harvested
+//!   model is rule `unknown-model`. When the registry directory is not
+//!   present under the lint root (fixture runs use the `sparta-lint`
+//!   crate dir as root), tag presence is still required but names are
+//!   not validated.
+//! - `sparta-model` itself is exempt — its sources *are* the models,
+//!   and its prose deliberately never uses the annotation grammar.
+//!
+//! The pass also counts citations per model so the report can show
+//! which protocols carry how many justifications.
+
+use crate::lexer;
+use crate::report::Diagnostic;
+use crate::scan::Scan;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// The harvested set of checked-model names.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    /// Whether `crates/sparta-model/src` existed under the lint root.
+    /// When false, `model:` tags are required but names go unchecked.
+    pub available: bool,
+    pub names: BTreeSet<String>,
+}
+
+/// Extracts `Model::new("…")` names from one source text, skipping
+/// `#[cfg(test)]` regions (litmus tests name throwaway models).
+pub fn extract_model_names(src: &str) -> Vec<String> {
+    let lex = lexer::lex(src);
+    let scan = Scan::new(&lex);
+    let toks = &lex.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("Model")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("new"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            let Some(lit) = toks.get(i + 5) else { continue };
+            if scan.in_test_region(lit.line) {
+                continue;
+            }
+            if let Some(name) = lit.text.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Walks `<root>/crates/sparta-model/src` and harvests every model
+/// name. Missing directory → `available: false`.
+pub fn harvest_registry(root: &Path) -> ModelRegistry {
+    let dir = root.join("crates/sparta-model/src");
+    if !dir.is_dir() {
+        return ModelRegistry::default();
+    }
+    let mut reg = ModelRegistry {
+        available: true,
+        names: BTreeSet::new(),
+    };
+    let mut stack = vec![dir];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(src) = std::fs::read_to_string(&path) {
+                    reg.names.extend(extract_model_names(&src));
+                }
+            }
+        }
+    }
+    reg
+}
+
+/// Parses the `model: <name>` tag out of an annotation reason. The
+/// name is the maximal `[A-Za-z0-9_-]+` run after the marker.
+pub fn model_tag(reason: &str) -> Option<String> {
+    let idx = reason.find("model:")?;
+    let rest = reason[idx + "model:".len()..].trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Cross-references one file's ordering annotations against the model
+/// registry, counting citations into `refs`.
+pub fn check_model_refs(
+    path: &str,
+    scan: &Scan,
+    registry: &ModelRegistry,
+    refs: &mut BTreeMap<String, usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for a in &scan.lex.annotations {
+        if a.rule != "ordering" || scan.in_test_region(a.line) {
+            continue;
+        }
+        match model_tag(&a.reason) {
+            None => diags.push(Diagnostic::new(
+                "ordering-unmodeled",
+                path,
+                a.line,
+                "`// ordering:` claim cites no checked model — add a \
+                 `model: <name>` tag on this line naming the sparta-model \
+                 protocol (Model::new(\"<name>\")) that verifies the edge"
+                    .to_string(),
+            )),
+            Some(name) => {
+                if registry.available && !registry.names.contains(&name) {
+                    diags.push(Diagnostic::new(
+                        "unknown-model",
+                        path,
+                        a.line,
+                        format!(
+                            "ordering claim cites model `{name}`, but no \
+                             Model::new(\"{name}\") exists under \
+                             crates/sparta-model/src — the justification is \
+                             not machine-checked"
+                        ),
+                    ));
+                }
+                *refs.entry(name).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn extracts_names_outside_test_regions() {
+        let src = "\
+pub fn model() -> Model { Model::new(\"seqlock_ring\") }\n\
+#[cfg(test)]\nmod tests { fn t() { let m = Model::new(\"scratch\"); } }\n";
+        assert_eq!(extract_model_names(src), ["seqlock_ring"]);
+    }
+
+    #[test]
+    fn model_tag_parses_with_and_without_parens() {
+        assert_eq!(
+            model_tag("single producer (model: seqlock_ring)").as_deref(),
+            Some("seqlock_ring")
+        );
+        assert_eq!(
+            model_tag("model: job_queue_outstanding — final decrement").as_deref(),
+            Some("job_queue_outstanding")
+        );
+        assert_eq!(model_tag("no tag here"), None);
+        assert_eq!(model_tag("model: "), None);
+    }
+
+    #[test]
+    fn missing_tag_fires_and_tagged_counts() {
+        let src = "\
+// ordering: raced hint only (model: seqlock_ring)\n\
+a.load(Ordering::Relaxed);\n\
+// ordering: no tag at all\n\
+b.load(Ordering::Relaxed);\n";
+        let l = lex(src);
+        let s = Scan::new(&l);
+        let reg = ModelRegistry {
+            available: true,
+            names: [String::from("seqlock_ring")].into(),
+        };
+        let mut refs = BTreeMap::new();
+        let mut diags = Vec::new();
+        check_model_refs("x.rs", &s, &reg, &mut refs, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "ordering-unmodeled");
+        assert_eq!(refs.get("seqlock_ring"), Some(&1));
+    }
+
+    #[test]
+    fn unknown_name_fires_only_with_registry() {
+        let src = "// ordering: claim (model: bogus)\na.load(Ordering::Relaxed);\n";
+        let l = lex(src);
+        let s = Scan::new(&l);
+        let mut refs = BTreeMap::new();
+        let mut diags = Vec::new();
+        let reg = ModelRegistry {
+            available: true,
+            names: BTreeSet::new(),
+        };
+        check_model_refs("x.rs", &s, &reg, &mut refs, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unknown-model");
+
+        let mut diags = Vec::new();
+        let reg = ModelRegistry::default();
+        check_model_refs("x.rs", &s, &reg, &mut refs, &mut diags);
+        assert!(diags.is_empty(), "no registry → names unchecked");
+    }
+}

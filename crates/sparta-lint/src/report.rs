@@ -38,6 +38,11 @@ pub struct Report {
     pub ordering: BTreeMap<String, Coverage>,
     /// Observed lock-nesting edges (deduplicated per class pair).
     pub lock_edges: Vec<LockEdge>,
+    /// Model names harvested from `crates/sparta-model/src` (empty
+    /// when the registry directory is outside the lint root).
+    pub model_registry: Vec<String>,
+    /// Ordering-annotation citations per model name.
+    pub model_refs: BTreeMap<String, usize>,
 }
 
 impl Report {
@@ -97,7 +102,22 @@ impl Report {
             t.violations,
             self.coverage_percent(),
         ));
+        if !self.model_registry.is_empty() || !self.model_refs.is_empty() {
+            let cited: usize = self.model_refs.values().sum();
+            out.push_str(&format!(
+                "model cross-reference: {} checked models, {} ordering \
+                 claims cited\n",
+                self.model_registry.len(),
+                cited
+            ));
+        }
         if verbose {
+            for name in &self.model_registry {
+                out.push_str(&format!(
+                    "  model {name}: {} citing sites\n",
+                    self.model_refs.get(name).copied().unwrap_or(0)
+                ));
+            }
             for (file, c) in &self.ordering {
                 out.push_str(&format!(
                     "  {file}: {} sites, {} matched, {} annotated, {} violations\n",
@@ -172,6 +192,25 @@ impl Report {
                     .with("per_file", Json::Arr(coverage)),
             )
             .with("lock_order", Json::obj().with("edges", Json::Arr(edges)))
+            .with(
+                "models",
+                Json::obj()
+                    .with(
+                        "registry",
+                        Json::Arr(
+                            self.model_registry
+                                .iter()
+                                .map(|n| Json::from(n.as_str()))
+                                .collect(),
+                        ),
+                    )
+                    .with(
+                        "referenced",
+                        self.model_refs
+                            .iter()
+                            .fold(Json::obj(), |j, (n, c)| j.with(n.as_str(), *c as u64)),
+                    ),
+            )
             .with("diagnostics", Json::Arr(diags))
     }
 }

@@ -1,0 +1,18 @@
+// Fixture: `Condvar::wait` guarded by a plain `if` — the predicate is
+// never rechecked after wakeup, so a spurious wake or a notify landing
+// between check and park wedges the wait (rule `condvar-wait`). The
+// `while`-guarded wait below is the approved shape and stays silent.
+
+pub fn bad_wait(queue: &JobQueue) {
+    let mut guard = queue.state.lock();
+    if guard.outstanding > 0 {
+        queue.done_cv.wait(&mut guard);
+    }
+}
+
+pub fn good_wait(queue: &JobQueue) {
+    let mut guard = queue.state.lock();
+    while guard.outstanding > 0 {
+        queue.done_cv.wait(&mut guard);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: a `// ordering:` justification that cites no checked model
+// (rule `ordering-unmodeled`) — the weak-memory claim is prose only,
+// nothing exhaustively verifies it.
+
+pub fn is_ready_hint(ready: &std::sync::atomic::AtomicU64) -> bool {
+    // ordering: raced hint only; the caller revalidates under the lock
+    ready.load(Ordering::Relaxed) == 1
+}

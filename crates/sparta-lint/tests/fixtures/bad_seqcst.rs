@@ -2,6 +2,6 @@
 // excuse it (rule `seqcst-forbidden`).
 
 pub fn publish(flag: &std::sync::atomic::AtomicU64) {
-    // ordering: an annotation must NOT silence SeqCst
+    // ordering: an annotation must NOT silence SeqCst (model: server_lifecycle)
     flag.store(1, Ordering::SeqCst);
 }

@@ -1,0 +1,9 @@
+// Fixture: the ordering claim cites a model name no `Model::new("…")`
+// under `crates/sparta-model/src` defines (rule `unknown-model`). The
+// rule only fires when the registry is harvestable, i.e. the lint root
+// is the workspace root; under other roots tag presence suffices.
+
+pub fn is_ready_hint(ready: &std::sync::atomic::AtomicU64) -> bool {
+    // ordering: raced hint only (model: not_a_real_model)
+    ready.load(Ordering::Relaxed) == 1
+}

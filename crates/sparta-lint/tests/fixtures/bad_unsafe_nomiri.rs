@@ -1,0 +1,14 @@
+// Fixture: `unsafe` in an unsafe-whitelisted lock-free module. One
+// site carries the required justification, one does not (rule
+// `unsafe-unjustified`), and the file has no coverage marker naming a
+// miri-run test (rule `miri-coverage`). Linted as ordinary workspace
+// code instead, both sites are a flat `unsafe-code` ban.
+
+pub fn read_published(slot: *const u64) -> u64 {
+    // lint: allow(unsafe): slot outlives the epoch guard held by the caller
+    unsafe { *slot }
+}
+
+pub fn write_raw(slot: *mut u64) {
+    unsafe { *slot = 1 }
+}

@@ -35,8 +35,7 @@ impl Stats {
 
     /// A justified exception to the publish-class rule.
     pub fn is_ready_hint(&self) -> bool {
-        // ordering: raced hint only; the caller revalidates under the
-        // heap lock before acting on it
+        // ordering: raced hint, revalidated under the heap lock (model: server_lifecycle)
         self.ready.load(Ordering::Relaxed) == 1
     }
 

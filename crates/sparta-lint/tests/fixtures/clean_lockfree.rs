@@ -1,0 +1,9 @@
+// Fixture: the passing side of the unsafe-fencing rule set — every
+// `unsafe` site justified, and the file-level marker below names the
+// miri-run test that interprets these blocks.
+// miri: lockfree::tests::miri_publish_roundtrip
+
+pub fn read_published(slot: *const u64) -> u64 {
+    // lint: allow(unsafe): slot outlives the epoch guard held by the caller
+    unsafe { *slot }
+}

@@ -109,6 +109,63 @@ fn bad_alloc_fires_on_record_path_only() {
 }
 
 #[test]
+fn bad_condvar_wait_fires_on_if_guard_only() {
+    // The `while`-guarded wait in the same file must stay silent.
+    let rules = rules_for("bad_condvar_wait.rs", CORE_MOD);
+    assert_eq!(rules, ["condvar-wait"]);
+}
+
+#[test]
+fn bad_ordering_no_model_fires() {
+    let rules = rules_for("bad_ordering_no_model.rs", CORE_MOD);
+    assert_eq!(rules, ["ordering-unmodeled"]);
+}
+
+#[test]
+fn bad_unknown_model_fires_with_registry() {
+    // The model registry is harvested from crates/sparta-model/src,
+    // which only exists under the *workspace* root.
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = sparta_lint::run_files(&ws, &[fixture("bad_unknown_model.rs")], Some(CORE_MOD))
+        .expect("fixture readable");
+    let rules: Vec<String> = report.diagnostics.iter().map(|d| d.rule.clone()).collect();
+    assert_eq!(rules, ["unknown-model"]);
+    assert!(
+        report.model_registry.len() >= 4,
+        "registry not harvested: {:?}",
+        report.model_registry
+    );
+
+    // Under the lint crate root the registry is unavailable: the tag's
+    // presence satisfies the rule and the bogus name goes unchecked.
+    let rules = rules_for("bad_unknown_model.rs", CORE_MOD);
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+}
+
+#[test]
+fn bad_unsafe_nomiri_fires_fencing_rules_when_whitelisted() {
+    let rules = rules_for(
+        "bad_unsafe_nomiri.rs",
+        "crates/sparta-lockfree/src/fixture.rs",
+    );
+    assert_eq!(rules, ["miri-coverage", "unsafe-unjustified"]);
+    // The same file outside the whitelist is a flat unsafe ban — the
+    // per-site justification buys nothing there.
+    let rules = rules_for("bad_unsafe_nomiri.rs", CORE_MOD);
+    assert_eq!(rules, ["unsafe-code", "unsafe-code"]);
+}
+
+#[test]
+fn clean_lockfree_fencing_is_silent() {
+    let rules = rules_for("clean_lockfree.rs", "crates/sparta-lockfree/src/fixture.rs");
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+}
+
+#[test]
 fn clean_fixture_is_silent() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
     let report = sparta_lint::run_files(&root, &[fixture("clean.rs")], Some(CORE_ROOT))

@@ -33,6 +33,22 @@ fn workspace_is_clean_with_full_coverage() {
         "expected the documented ordering justifications to be counted"
     );
 
+    // The model cross-reference must be live: the shipped protocols
+    // are harvested and the real ordering claims cite them.
+    assert!(
+        report.model_registry.len() >= 6,
+        "shipped models not harvested: {:?}",
+        report.model_registry
+    );
+    let cited: usize = report.model_refs.values().sum();
+    assert!(cited >= 20, "only {cited} ordering claims cite a model");
+    for name in report.model_refs.keys() {
+        assert!(
+            report.model_registry.contains(name),
+            "claim cites unharvested model {name}"
+        );
+    }
+
     // JSON export must round-trip through the sparta-obs parser.
     let json = report.to_json().to_pretty_string(2);
     let back = sparta_obs::json::parse(&json).expect("self-report JSON parses");

@@ -1,0 +1,109 @@
+//! The server admission gate (`sparta-server/src/admission.rs`): a
+//! mutex-guarded counter with a condvar queue. Admission takes a slot
+//! if one is free, otherwise registers as waiting and parks; release
+//! hands its slot directly to a waiter (incrementing `granted`) or
+//! frees it, then notifies.
+//!
+//! The DESIGN.md invariant: the gate conserves slots — after every
+//! client has been admitted and released, all counters return to zero
+//! and nobody is left parked. The memory half of the claim is the
+//! mutex's own release/acquire edge: all three counters are plain
+//! (Relaxed) *because* every access happens under the lock. The
+//! mutations therefore weaken the lock itself via
+//! [`Model::mutex_weakened`]: drop the acquire edge on `lock()` or the
+//! release edge on `unlock()` and stale counter reads double-admit,
+//! corrupt the accounting, or strand a waiter.
+
+use super::Mutation;
+use crate::{MemOrder, Model};
+
+const CAPACITY: u64 = 1;
+
+/// Two clients racing through a capacity-1 gate. Mutations weaken the
+/// gate mutex's memory edges (the counters themselves are Relaxed by
+/// design, so the lock is the only ordering in the protocol).
+pub fn model(mutation: Mutation) -> Model {
+    let mut m = Model::new("admission_gate");
+    let (acq_on_lock, rel_on_unlock) = match mutation {
+        Mutation::None => (true, true),
+        Mutation::AcquireToRelaxed => (false, true),
+        Mutation::ReleaseToRelaxed => (true, false),
+    };
+    let gate = m.mutex_weakened(acq_on_lock, rel_on_unlock);
+    let cv = m.condvar();
+    let in_flight = m.atomic_u64("in_flight", 0);
+    let waiting = m.atomic_u64("waiting", 0);
+    let granted = m.atomic_u64("granted", 0);
+
+    for name in ["client_a", "client_b"] {
+        m.thread(name, move |t| {
+            // admit(): take a free slot or queue up and park.
+            gate.lock(t);
+            let inf = in_flight.load(t, MemOrder::Relaxed);
+            if inf < CAPACITY {
+                in_flight.store(t, inf + 1, MemOrder::Relaxed);
+            } else {
+                waiting.store(t, waiting.load(t, MemOrder::Relaxed) + 1, MemOrder::Relaxed);
+                loop {
+                    let g = granted.load(t, MemOrder::Relaxed);
+                    if g > 0 {
+                        granted.store(t, g - 1, MemOrder::Relaxed);
+                        break;
+                    }
+                    cv.wait(t, gate);
+                }
+            }
+            gate.unlock(t);
+
+            // ... serve the query ...
+
+            // release(): hand the slot to a waiter or free it.
+            gate.lock(t);
+            let w = waiting.load(t, MemOrder::Relaxed);
+            if w > 0 {
+                waiting.store(t, w - 1, MemOrder::Relaxed);
+                granted.store(t, granted.load(t, MemOrder::Relaxed) + 1, MemOrder::Relaxed);
+            } else {
+                // wrapping_sub: under a weakened mutex a stale read can
+                // drive this below zero; let the invariant report that
+                // instead of an overflow panic.
+                in_flight.store(
+                    t,
+                    in_flight.load(t, MemOrder::Relaxed).wrapping_sub(1),
+                    MemOrder::Relaxed,
+                );
+            }
+            gate.unlock(t);
+            cv.notify_all(t);
+        });
+    }
+
+    m.invariant(move |leaf| {
+        let (inf, w, g) = (
+            leaf.value(in_flight),
+            leaf.value(waiting),
+            leaf.value(granted),
+        );
+        if inf == 0 && w == 0 && g == 0 {
+            Ok(())
+        } else {
+            Err(format!(
+                "gate leaked slots: in_flight={inf} waiting={w} granted={g} \
+                 after all clients released"
+            ))
+        }
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_gate_conserves_slots() {
+        let report = model(Mutation::None).check();
+        report.assert_clean();
+        assert!(report.executions > 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! The `DocSlab`/`DocType` score-publication protocol
+//! (`sparta-core/src/sparta/{doc_slab,doc_type}.rs`): `set_score` is
+//! `scores[i].swap(AcqRel)` followed by `sum.fetch_add(delta, AcqRel)`,
+//! and the Alg. 1 line 23 filter reads `sum` with Acquire.
+//!
+//! The DESIGN.md claim under test: the running sum is a *publication
+//! point* — a thread that Acquire-loads `sum` and observes a delta
+//! also observes the score swap that produced it (release sequence
+//! through the two RMWs). It also covers the `doc_slab.rs` Relaxed id
+//! load: the id word is written before the handle is published through
+//! a stripe lock, so the lock's release/acquire edge (modelled by the
+//! `publish` mutex) is what makes a Relaxed read safe.
+
+use super::Mutation;
+use crate::{MemOrder, Model};
+
+const SCORE: u64 = 7;
+const DOC_ID: u64 = 42;
+
+/// One owner thread scoring a doc, one filter thread reading the sum.
+/// Mutations: `AcquireToRelaxed` flips the filter's `sum` load
+/// (`current_sum()`); `ReleaseToRelaxed` drops the release half of the
+/// `sum.fetch_add` (AcqRel → Acquire).
+pub fn model(mutation: Mutation) -> Model {
+    let mut m = Model::new("doc_slab_publish");
+    let id = m.atomic_u64("rec.id", 0);
+    let score = m.atomic_u64("rec.score", 0);
+    let sum = m.atomic_u64("rec.sum", 0);
+    let stripe = m.mutex();
+    let published = m.atomic_u64("docmap.published", 0);
+
+    let add_ord = match mutation {
+        Mutation::ReleaseToRelaxed => MemOrder::Acquire,
+        _ => MemOrder::AcqRel,
+    };
+    m.thread("owner", move |t| {
+        // alloc(): the id word is written once, Relaxed, *before* the
+        // handle is published under the docMap stripe lock.
+        id.store(t, DOC_ID, MemOrder::Relaxed);
+        stripe.lock(t);
+        published.store(t, 1, MemOrder::Relaxed);
+        stripe.unlock(t);
+        // set_score(): swap the score, fold the delta into the sum.
+        let old = score.swap(t, SCORE, MemOrder::AcqRel);
+        sum.fetch_add(t, SCORE.wrapping_sub(old), add_ord);
+    });
+
+    let sum_ord = match mutation {
+        Mutation::AcquireToRelaxed => MemOrder::Relaxed,
+        _ => MemOrder::Acquire,
+    };
+    m.thread("filter", move |t| {
+        // The cleaner's Eq. 2 filter: current_sum(), then the
+        // constituent score must already be visible.
+        let s = sum.load(t, sum_ord);
+        if s == SCORE {
+            t.observe("score_at_filter", score.load(t, MemOrder::Relaxed));
+        }
+        // A reader that got the handle through the stripe lock may
+        // read the id Relaxed.
+        stripe.lock(t);
+        let p = published.load(t, MemOrder::Relaxed);
+        stripe.unlock(t);
+        if p == 1 {
+            t.observe("id_via_handle", id.load(t, MemOrder::Relaxed));
+        }
+    });
+
+    m.invariant(move |leaf| {
+        if !leaf.observed("score_at_filter").iter().all(|&v| v == SCORE) {
+            return Err("filter observed the sum's delta but not the score \
+                 swap that produced it"
+                .to_string());
+        }
+        if !leaf.observed("id_via_handle").iter().all(|&v| v == DOC_ID) {
+            return Err("handle published through the stripe lock but the id \
+                 word was not visible"
+                .to_string());
+        }
+        Ok(())
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_publication_protocol_is_clean() {
+        let report = model(Mutation::None).check();
+        report.assert_clean();
+        assert!(report.executions > 10);
+    }
+}

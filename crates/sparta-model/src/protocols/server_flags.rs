@@ -1,0 +1,72 @@
+//! The server lifecycle flags (`sparta-server/src/server.rs`,
+//! `sparta-server/src/admin.rs`): startup publishes subsystem state
+//! (listener bound, admin plane up) with Relaxed stores and flips a
+//! single `ready` flag with Release; probes Acquire-load `ready` and
+//! may then read the subsystem words Relaxed.
+//!
+//! The DESIGN.md claim: `ready` is the sole publication point — a
+//! probe that observes `ready == 1` observes every write the starter
+//! made before flipping it. Mutations: `AcquireToRelaxed` flips the
+//! probe's load, `ReleaseToRelaxed` flips the starter's `ready` store;
+//! either lets a probe see "ready" with a half-initialized server.
+
+use super::Mutation;
+use crate::{MemOrder, Model};
+
+/// One starter bringing the server up, one readiness probe.
+pub fn model(mutation: Mutation) -> Model {
+    let mut m = Model::new("server_lifecycle");
+    let http = m.atomic_u64("admin_up", 0);
+    let tcp = m.atomic_u64("listener_up", 0);
+    let ready = m.atomic_u64("ready", 0);
+
+    let store_ord = match mutation {
+        Mutation::ReleaseToRelaxed => MemOrder::Relaxed,
+        _ => MemOrder::Release,
+    };
+    m.thread("starter", move |t| {
+        http.store(t, 1, MemOrder::Relaxed);
+        tcp.store(t, 1, MemOrder::Relaxed);
+        ready.store(t, 1, store_ord);
+    });
+
+    let load_ord = match mutation {
+        Mutation::AcquireToRelaxed => MemOrder::Relaxed,
+        _ => MemOrder::Acquire,
+    };
+    m.thread("probe", move |t| {
+        if ready.load(t, load_ord) == 1 {
+            t.observe(
+                "probe",
+                100 + http.load(t, MemOrder::Relaxed) * 10 + tcp.load(t, MemOrder::Relaxed),
+            );
+        }
+    });
+
+    m.invariant(move |leaf| {
+        for &p in &leaf.observed("probe") {
+            if p != 111 {
+                return Err(format!(
+                    "probe saw ready=1 but subsystems admin_up={} \
+                     listener_up={}",
+                    p / 10 % 10,
+                    p % 10
+                ));
+            }
+        }
+        Ok(())
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_lifecycle_publication_is_clean() {
+        let report = model(Mutation::None).check();
+        report.assert_clean();
+        assert!(report.executions > 1);
+    }
+}

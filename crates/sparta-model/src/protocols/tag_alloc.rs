@@ -1,0 +1,67 @@
+//! The scheduler's query-tag allocator (`sparta-exec/src/scheduler.rs`
+//! `next_tag`): a `fetch_add(1, Relaxed)` counter. The `// ordering:`
+//! comment claims Relaxed suffices because the tag is an identity, not
+//! a publication — the only property consumers need is uniqueness.
+//!
+//! The model checks exactly that, and its mutation is different in
+//! kind from the acquire/release flips elsewhere: the dangerous
+//! "weakening" of a Relaxed RMW is splitting it into a load + store
+//! ([`Rmw::SplitLoadStore`]), which loses atomicity and hands two
+//! threads the same tag. `Mutation::{AcquireToRelaxed,
+//! ReleaseToRelaxed}` have nothing left to weaken here, so the
+//! mutation self-test for this protocol exercises the split instead.
+
+use crate::{MemOrder, Model};
+
+/// How the counter bump is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rmw {
+    /// The shipped `fetch_add(1, Relaxed)`.
+    Atomic,
+    /// The mutation: a Relaxed load followed by a Relaxed store of
+    /// `v + 1` — no longer one indivisible read-modify-write.
+    SplitLoadStore,
+}
+
+/// Two threads each drawing one tag. Invariant: the tags are distinct.
+pub fn model(rmw: Rmw) -> Model {
+    let mut m = Model::new("tag_allocator");
+    let next = m.atomic_u64("next_tag", 0);
+
+    for name in ["worker_a", "worker_b"] {
+        m.thread(name, move |t| {
+            let tag = match rmw {
+                Rmw::Atomic => next.fetch_add(t, 1, MemOrder::Relaxed),
+                Rmw::SplitLoadStore => {
+                    let v = next.load(t, MemOrder::Relaxed);
+                    next.store(t, v + 1, MemOrder::Relaxed);
+                    v
+                }
+            };
+            t.observe("tag", tag);
+        });
+    }
+
+    m.invariant(move |leaf| {
+        let tags = leaf.observed("tag");
+        for (i, a) in tags.iter().enumerate() {
+            if tags[i + 1..].contains(a) {
+                return Err(format!("duplicate tag allocated: {a}"));
+            }
+        }
+        Ok(())
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_atomic_rmw_allocates_unique_tags() {
+        let report = model(Rmw::Atomic).check();
+        report.assert_clean();
+        assert!(report.executions > 1);
+    }
+}

@@ -217,22 +217,22 @@ impl EventRing {
     /// Records one event with an explicit timestamp (for pre-timed
     /// intervals whose start tick was taken earlier).
     pub fn record_at(&self, ts: u64, kind: EventKind, payload: u64) {
-        // ordering: single producer — only the owning worker writes
+        // ordering: single producer — only the owning worker writes (model: seqlock_ring)
         // `head`, so its own read needs no synchronization.
         let h = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(h & self.mask) as usize];
-        // ordering: seqlock begin marker (odd); the Release fence below
+        // ordering: seqlock begin marker (odd); the Release fence below (model: seqlock_ring)
         // keeps it ahead of the field stores, and readers validate with
         // the seq double-check.
         slot.seq.store(2 * h + 1, Ordering::Relaxed);
-        // ordering: StoreStore barrier — the odd marker above must be
+        // ordering: StoreStore barrier — the odd marker above must be (model: seqlock_ring)
         // visible before any field store below.
         fence(Ordering::Release);
         slot.ts.store(ts, Ordering::Relaxed);
         slot.kind_worker
             .store(u64::from(self.worker) << 8 | kind as u64, Ordering::Relaxed);
         slot.payload.store(payload, Ordering::Relaxed);
-        // ordering: StoreStore barrier — all field stores must be
+        // ordering: StoreStore barrier — all field stores must be (model: seqlock_ring)
         // visible before the even publish marker below.
         fence(Ordering::Release);
         slot.seq.store(2 * (h + 1), Ordering::Release);
@@ -275,10 +275,10 @@ impl EventRing {
             let ts = slot.ts.load(Ordering::Relaxed);
             let kw = slot.kind_worker.load(Ordering::Relaxed);
             let payload = slot.payload.load(Ordering::Relaxed);
-            // ordering: LoadLoad barrier — the field loads above must
+            // ordering: LoadLoad barrier — the field loads above must (model: seqlock_ring)
             // complete before the validating seq re-read below.
             fence(Ordering::Acquire);
-            // ordering: the Acquire fence above orders this validation
+            // ordering: the Acquire fence above orders this validation (model: seqlock_ring)
             // load after the field loads; Acquire on the load itself
             // adds nothing further.
             let s2 = slot.seq.load(Ordering::Relaxed);

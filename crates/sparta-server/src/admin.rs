@@ -124,7 +124,7 @@ fn read_request_head(reader: &mut TcpStream, stop: &AtomicBool) -> Result<String
     let mut chunk = [0u8; 512];
     let mut idle_polls = 0usize;
     loop {
-        // ordering: Acquire pairs with the Release store in
+        // ordering: Acquire pairs with the Release store in (model: server_lifecycle)
         // stop_and_join; a stopping server abandons pending reads.
         if stop.load(Ordering::Acquire) {
             return Err(ReadError::Gone);
@@ -174,7 +174,7 @@ fn route(path: &str, state: &AdminState) -> (u16, &'static str, &'static str, St
         "/metrics" => (200, "OK", "text/plain; version=0.0.4", metrics_body(state)),
         "/healthz" => (200, "OK", "text/plain", "ok\n".to_string()),
         "/readyz" => {
-            // ordering: Acquire pairs with the Release store in
+            // ordering: Acquire pairs with the Release store in (model: server_lifecycle)
             // stop_and_join / drain; readiness must observe them.
             let ready = state.ready.load(Ordering::Acquire) && !state.stop.load(Ordering::Acquire);
             if ready {

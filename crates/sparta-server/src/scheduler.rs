@@ -75,7 +75,7 @@ pub struct BatchScheduler {
     recorder: Option<Arc<FlightRecorder>>,
     exec_metrics: Option<Arc<ExecMetrics>>,
     slow_log: Arc<SlowLog>,
-    // ordering: Relaxed — monotone tag allocator; uniqueness is all
+    // ordering: Relaxed — monotone tag allocator; uniqueness is all (model: tag_allocator)
     // that matters, no ordering with other memory.
     next_tag: AtomicU64,
 }

@@ -82,7 +82,7 @@ impl ServerHandle {
     /// it: the drain step a rolling restart takes before shutdown, so
     /// load balancers stop routing while in-flight queries finish.
     pub fn drain(&self) {
-        // ordering: Release publishes the drain; /readyz reads with
+        // ordering: Release publishes the drain; /readyz reads with (model: server_lifecycle)
         // Acquire.
         self.ready.store(false, Ordering::Release);
     }
@@ -93,10 +93,10 @@ impl ServerHandle {
     }
 
     fn stop_and_join(&mut self) {
-        // ordering: Release publishes the drain; /readyz reads with
+        // ordering: Release publishes the drain; /readyz reads with (model: server_lifecycle)
         // Acquire.
         self.ready.store(false, Ordering::Release);
-        // ordering: Release publishes the stop request; handlers and
+        // ordering: Release publishes the stop request; handlers and (model: server_lifecycle)
         // the accept loops read it with Acquire.
         self.stop.store(true, Ordering::Release);
         // Unblock the accept loops with throwaway connections.
@@ -171,7 +171,7 @@ fn serve_inner(
             .name("sparta-accept".to_string())
             .spawn(move || {
                 for incoming in listener.incoming() {
-                    // ordering: Acquire pairs with the Release store in
+                    // ordering: Acquire pairs with the Release store in (model: server_lifecycle)
                     // stop_and_join.
                     if stop.load(Ordering::Acquire) {
                         break;
@@ -202,7 +202,7 @@ fn serve_inner(
                     .name("sparta-admin-accept".to_string())
                     .spawn(move || {
                         for incoming in listener.incoming() {
-                            // ordering: Acquire pairs with the Release
+                            // ordering: Acquire pairs with the Release (model: server_lifecycle)
                             // store in stop_and_join.
                             if stop.load(Ordering::Acquire) {
                                 break;
@@ -221,7 +221,7 @@ fn serve_inner(
         None => None,
     };
 
-    // ordering: Release publishes readiness after both accept loops
+    // ordering: Release publishes readiness after both accept loops (model: server_lifecycle)
     // are spawned; /readyz reads with Acquire.
     ready.store(true, Ordering::Release);
 
@@ -248,7 +248,7 @@ fn handle_connection(stream: TcpStream, scheduler: &BatchScheduler, stop: &Atomi
     };
     let mut writer = stream;
     loop {
-        // ordering: Acquire pairs with the Release store in
+        // ordering: Acquire pairs with the Release store in (model: server_lifecycle)
         // stop_and_join.
         if stop.load(Ordering::Acquire) {
             return;

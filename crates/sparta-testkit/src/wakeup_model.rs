@@ -1,32 +1,22 @@
-//! Exhaustive interleaving model of the queue-completion wakeup
-//! protocol.
+//! Exhaustive model of the queue-completion wakeup protocol — now a
+//! thin wrapper over `sparta-model`'s instruction-level port.
 //!
-//! `JobQueue::wait_done` parks on a condvar after checking the
-//! outstanding counter under the queue mutex; `finish_one` performs the
-//! final decrement with a plain atomic RMW, *outside* that mutex. The
-//! correctness of the pair therefore rests on an ordering argument the
-//! type system cannot check: a notify issued between the waiter's
-//! check and its park is silently lost, and the waiter sleeps forever.
+//! This module used to carry its own bespoke state-machine explorer
+//! (one waiter, one finisher, hand-enumerated program counters). That
+//! explorer only checked the *scheduling* half of the protocol; the
+//! `sparta-model` port ([`sparta_model::protocols::job_queue`]) checks
+//! the same interleaving space **and** the weak-memory half (the
+//! release edge of the final `fetch_sub` publishing the finished job's
+//! writes), so the bespoke machinery is gone and this module just
+//! re-expresses its old API on top of the checker.
 //!
-//! This module models both finish-side protocols as small-step state
-//! machines — one waiter thread, one finisher thread — and enumerates
-//! **every** interleaving:
-//!
-//! - [`Protocol::Legacy`]: decrement, then `notify_all`, never touching
-//!   the waiter's mutex. The sweep proves this loses wakeups.
-//! - [`Protocol::LockBridge`]: the shipped protocol — after the final
-//!   decrement the finisher acquires and immediately drops the queue
-//!   mutex *before* notifying. Because the waiter holds that mutex
-//!   continuously from its check until the condvar's atomic
-//!   release-and-park, the bridge cannot complete inside the race
-//!   window, so the notify always lands after the park.
-//!
-//! The model gives the condvar its guaranteed semantics only: a notify
-//! wakes a currently-parked waiter and is lost otherwise. Spurious
-//! wakeups and `wait_for` timeouts are deliberately excluded — the
-//! point is that the protocol needs neither.
+//! The golden regression is unchanged: [`Protocol::Legacy`]
+//! (decrement + notify, no lock bridge) must lose a wakeup on some
+//! interleaving, and the shipped [`Protocol::LockBridge`] must verify
+//! clean over every interleaving.
 
-use std::collections::VecDeque;
+use sparta_model::protocols::job_queue::{self, Variant};
+use sparta_model::protocols::Mutation;
 
 /// Which finish-side protocol the model executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,149 +39,22 @@ pub struct ModelStats {
     pub lost_wakeups: usize,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WaiterPc {
-    /// About to acquire the queue mutex.
-    Lock,
-    /// Holding the mutex, about to read the outstanding counter.
-    Check,
-    /// Saw outstanding > 0; about to atomically release + park.
-    Park,
-    /// Parked on the condvar; runnable only via a notify.
-    Waiting,
-    /// Woken; must reacquire the mutex before rechecking.
-    Relock,
-    /// Returned from `wait_done`.
-    Done,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FinisherPc {
-    /// About to perform the final `fetch_sub` on the counter.
-    Sub,
-    /// (LockBridge only) about to acquire the queue mutex.
-    Bridge,
-    /// (LockBridge only) holding the mutex, about to drop it.
-    BridgeDrop,
-    /// About to `notify_all`.
-    Notify,
-    /// Returned from `finish_one`.
-    Done,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Holder {
-    Waiter,
-    Finisher,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct State {
-    outstanding: u8,
-    lock: Option<Holder>,
-    waiter: WaiterPc,
-    finisher: FinisherPc,
-}
-
-fn waiter_step(mut s: State) -> Option<State> {
-    match s.waiter {
-        WaiterPc::Lock | WaiterPc::Relock => {
-            if s.lock.is_some() {
-                return None;
-            }
-            s.lock = Some(Holder::Waiter);
-            s.waiter = WaiterPc::Check;
-            Some(s)
-        }
-        WaiterPc::Check => {
-            if s.outstanding == 0 {
-                s.lock = None;
-                s.waiter = WaiterPc::Done;
-            } else {
-                s.waiter = WaiterPc::Park;
-            }
-            Some(s)
-        }
-        // The condvar's atomic release-and-park: one indivisible step.
-        WaiterPc::Park => {
-            s.lock = None;
-            s.waiter = WaiterPc::Waiting;
-            Some(s)
-        }
-        WaiterPc::Waiting | WaiterPc::Done => None,
-    }
-}
-
-fn finisher_step(mut s: State, p: Protocol) -> Option<State> {
-    match s.finisher {
-        FinisherPc::Sub => {
-            s.outstanding -= 1;
-            s.finisher = match p {
-                Protocol::Legacy => FinisherPc::Notify,
-                Protocol::LockBridge => FinisherPc::Bridge,
-            };
-            Some(s)
-        }
-        FinisherPc::Bridge => {
-            if s.lock.is_some() {
-                return None;
-            }
-            s.lock = Some(Holder::Finisher);
-            s.finisher = FinisherPc::BridgeDrop;
-            Some(s)
-        }
-        FinisherPc::BridgeDrop => {
-            s.lock = None;
-            s.finisher = FinisherPc::Notify;
-            Some(s)
-        }
-        FinisherPc::Notify => {
-            // Guaranteed condvar semantics: a parked waiter wakes (and
-            // must relock); anyone else misses the notify entirely.
-            if s.waiter == WaiterPc::Waiting {
-                s.waiter = WaiterPc::Relock;
-            }
-            s.finisher = FinisherPc::Done;
-            Some(s)
-        }
-        FinisherPc::Done => None,
-    }
-}
-
-/// Exhaustively explores every interleaving of one waiter and one
-/// finisher (one unit outstanding) under `protocol`.
+/// Exhaustively explores every interleaving (and every permitted stale
+/// read) of one waiter and one finisher under `protocol`.
 pub fn explore(protocol: Protocol) -> ModelStats {
-    let mut stats = ModelStats {
-        interleavings: 0,
-        lost_wakeups: 0,
+    let variant = match protocol {
+        Protocol::Legacy => Variant::Legacy,
+        Protocol::LockBridge => Variant::LockBridge,
     };
-    // Iterative DFS over the (tiny) interleaving tree; each leaf is a
-    // state with no runnable thread.
-    let mut stack = VecDeque::new();
-    stack.push_back(State {
-        outstanding: 1,
-        lock: None,
-        waiter: WaiterPc::Lock,
-        finisher: FinisherPc::Sub,
-    });
-    while let Some(s) = stack.pop_back() {
-        let w = waiter_step(s);
-        let f = finisher_step(s, protocol);
-        if w.is_none() && f.is_none() {
-            stats.interleavings += 1;
-            if !(s.waiter == WaiterPc::Done && s.finisher == FinisherPc::Done) {
-                stats.lost_wakeups += 1;
-            }
-            continue;
-        }
-        if let Some(next) = w {
-            stack.push_back(next);
-        }
-        if let Some(next) = f {
-            stack.push_back(next);
-        }
+    let report = job_queue::model(variant, Mutation::None).check();
+    assert!(
+        !report.truncated,
+        "wakeup model must be explored exhaustively"
+    );
+    ModelStats {
+        interleavings: report.executions,
+        lost_wakeups: report.violations,
     }
-    stats
 }
 
 /// Number of interleavings under `protocol` that end with the waiter
