@@ -26,6 +26,12 @@
 //! repro --validate-trace <path>  # schema-checks an emitted trace
 //! repro --recorder-overhead [n]  # recorder on-vs-off p50 on the
 //!                                #   guard cell, n repetitions
+//! repro profile <name>           # deterministic aggregate profile of
+//!                                #   the pinned guard cell (utilization,
+//!                                #   contention, per-phase self time):
+//!                                #   out/PROFILE_<name>.json; add
+//!                                #   --collapsed for the flamegraph
+//!                                #   text rendering on stdout
 //! ```
 //!
 //! Environment:
@@ -469,7 +475,8 @@ fn ramdisk() {
 /// Poisson), `--max-in-flight N`, `--queue-capacity N`,
 /// `--service-us N` (simulated mean service time), `--tcp`,
 /// `--backend raw|compressed` (posting backend the TCP server
-/// serves from).
+/// serves from), `--latency-budget-ms X` (p99 budget the saturation
+/// analysis detects the knee against).
 fn load_cmd(args: &[String]) {
     use sparta_bench::{run_load_sim, run_load_tcp, BenchReport, LoadConfig};
     use sparta_server::admission::AdmissionConfig;
@@ -524,6 +531,15 @@ fn load_cmd(args: &[String]) {
                     * 1_000
             }
             "--tcp" => tcp = true,
+            "--latency-budget-ms" => {
+                cfg.latency_budget_ms = value(&mut it, arg)
+                    .parse()
+                    .expect("--latency-budget-ms: f64");
+                assert!(
+                    cfg.latency_budget_ms > 0.0,
+                    "--latency-budget-ms must be positive"
+                );
+            }
             "--backend" => {
                 let v = value(&mut it, arg);
                 backend = IndexKind::parse(&v)
@@ -542,9 +558,12 @@ fn load_cmd(args: &[String]) {
             ds.raw_footprint.total()
         );
         let metrics = sparta_obs::ServerMetrics::new();
+        // Spans on: the sweep is also what CI scrapes `/debug/profile`
+        // against, and phase attribution needs SpanBegin/SpanEnd events
+        // in the server's flight-recorder rings.
         let scheduler = BatchScheduler::new(
             Arc::clone(&ds.index),
-            sparta_core::SearchConfig::exact(ds.k),
+            sparta_core::SearchConfig::exact(ds.k).with_spans(true),
             threads(),
             cfg.admission,
             metrics,
@@ -567,6 +586,33 @@ fn load_cmd(args: &[String]) {
             &requests,
             handle.admin_addr(),
         );
+        // Scrape the profiling plane while the server is still live:
+        // the collapsed profile and the metrics-history ring both come
+        // from the same sweep the report describes.
+        if let Some(admin) = handle.admin_addr() {
+            match sparta_server::http_get(admin, "/debug/profile?format=collapsed") {
+                Ok((200, body)) => println!(
+                    "debug profile scrape: {} collapsed lines",
+                    body.lines().count()
+                ),
+                other => println!("debug profile scrape failed: {other:?}"),
+            }
+            match sparta_server::http_get(admin, "/debug/history") {
+                Ok((200, body)) => {
+                    let doc = sparta_obs::json::parse(&body).expect("history JSON parses");
+                    let samples = doc
+                        .get("samples")
+                        .and_then(|s| s.as_arr())
+                        .map_or(0, <[sparta_obs::json::Json]>::len);
+                    let overwritten = doc
+                        .get("overwritten")
+                        .and_then(sparta_obs::json::Json::as_f64)
+                        .unwrap_or(-1.0);
+                    println!("debug history scrape: {samples} samples, overwritten={overwritten}");
+                }
+                other => println!("debug history scrape failed: {other:?}"),
+            }
+        }
         handle.shutdown();
         if let Some(scrape) = &report.server {
             let e2e = scrape
@@ -622,6 +668,18 @@ fn load_cmd(args: &[String]) {
             lat(0.99),
             lat(0.999),
             l.snapshot.queue_depth_highwater
+        );
+    }
+    if let Some(sat) = &load.saturation {
+        println!(
+            "saturation: knee_detected={} knee_qps={:.0} knee_p99_ms={:.3} dominant_wait={} \
+             in_flight_utilization={:.2} (budget {} ms)",
+            sat.knee_detected,
+            sat.knee_qps,
+            sat.knee_p99_ms,
+            sat.dominant_wait,
+            sat.in_flight_utilization,
+            sat.latency_budget_ms
         );
     }
 
@@ -949,6 +1007,90 @@ fn emit_trace(trace_name: &str) {
     );
 }
 
+/// `profile [name] [--collapsed]`: replays the pinned perf-guard cell
+/// under the deterministic executor with a logical-clock flight
+/// recorder, folds the rings into an aggregate profile (per-worker
+/// utilization breakdown, contention sites, per-phase self time), and
+/// writes it to `out/PROFILE_<name>.json`. Deterministic end to end:
+/// two runs emit byte-identical files, so CI pins the bytes. With
+/// `--collapsed`, also prints the flamegraph-collapsed rendering
+/// (pipe into `flamegraph.pl`).
+fn profile_cmd(args: &[String]) {
+    let mut profile_name = "run".to_string();
+    let mut collapsed = false;
+    for arg in args {
+        match arg.as_str() {
+            "--collapsed" => collapsed = true,
+            other if !other.starts_with("--") => profile_name = other.to_string(),
+            other => panic!("unknown profile flag {other:?}"),
+        }
+    }
+    std::env::set_var("SPARTA_DOCS", GUARD_DOCS);
+    std::env::set_var("SPARTA_K", GUARD_K);
+    let ds = Dataset::build(Scale::Cw);
+    let qs = ds.queries_of_length(GUARD_TERMS, GUARD_QUERIES);
+    let rec = sparta_obs::FlightRecorder::new(4, 1 << 15, sparta_obs::ClockMode::Logical);
+    let cfg = VariantParams::exact()
+        .config(ds.k)
+        .with_trace(true)
+        .with_spans(true)
+        .with_clock(sparta_obs::ClockMode::Logical);
+    for &name in &GUARD_ALGOS {
+        let a = algo(name);
+        for (i, q) in qs.iter().enumerate() {
+            let exec = sparta_exec::DeterministicExecutor::new(GUARD_SEED.wrapping_add(i as u64))
+                .with_recorder(Arc::clone(&rec));
+            a.search(&ds.index, q, &cfg, &exec);
+        }
+    }
+    let profile = sparta_obs::profile_recorder(&rec, sparta_obs::DEFAULT_TOP_SITES);
+    let text = profile.to_json().to_pretty_string(2);
+    sparta_obs::validate_profile_json(&text)
+        .unwrap_or_else(|e| panic!("emitted profile violates its own schema: {e}"));
+    let path = sparta_bench::out_path(
+        std::path::Path::new("out"),
+        &format!("PROFILE_{profile_name}"),
+        "json",
+    )
+    .expect("resolve profile path");
+    std::fs::write(&path, &text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!(
+        "{:>7} {:>8} {:>7} {:>7} {:>7} {:>7}",
+        "worker", "events", "busy", "parked", "queue", "lock"
+    );
+    for w in &profile.workers {
+        println!(
+            "{:>7} {:>8} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            w.worker,
+            w.events,
+            100.0 * w.busy_fraction(),
+            100.0 * w.parked_fraction(),
+            100.0 * w.queue_wait_fraction(),
+            100.0 * w.lock_wait_fraction()
+        );
+    }
+    for p in &profile.phases {
+        println!(
+            "phase {:>12}: count {:>6} inclusive {:>10} self {:>10}",
+            p.phase.as_str(),
+            p.count,
+            p.total_ticks,
+            p.self_ticks
+        );
+    }
+    if collapsed {
+        print!("{}", profile.to_collapsed());
+    }
+    println!(
+        "wrote {} ({} events folded, {} dropped, {} skipped reads, dominant_wait={})",
+        path.display(),
+        profile.events_folded,
+        profile.dropped_events,
+        profile.skipped_reads,
+        profile.dominant_wait().unwrap_or("none")
+    );
+}
+
 /// `--validate-trace <path>`: parses an emitted Chrome trace and checks
 /// the schema, exiting non-zero on any drift.
 fn validate_trace(path: &str) {
@@ -1063,6 +1205,10 @@ fn main() {
         }
         Some("load") => {
             load_cmd(&args[1..]);
+            return;
+        }
+        Some("profile") => {
+            profile_cmd(&args[1..]);
             return;
         }
         Some("--perf-guard") => {

@@ -567,6 +567,28 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 require_num(stage, "sum_ns", &ctx)?;
             }
         }
+        // Required: every non-empty sweep carries its saturation
+        // analysis — the knee verdict, where it sits, and the dominant
+        // wait class there.
+        let sat = require(load, "saturation", "load")?;
+        for key in [
+            "latency_budget_ms",
+            "knee_qps",
+            "knee_p99_ms",
+            "in_flight_utilization",
+        ] {
+            require_num(sat, key, "load saturation")?;
+        }
+        match require(sat, "knee_detected", "load saturation")? {
+            Json::Bool(_) => {}
+            _ => return Err("load saturation: knee_detected is not a bool".into()),
+        }
+        let wait = require(sat, "dominant_wait", "load saturation")?
+            .as_str()
+            .ok_or("load saturation: dominant_wait is not a string")?;
+        if wait.is_empty() {
+            return Err("load saturation: dominant_wait is empty".into());
+        }
     }
     Ok(())
 }
@@ -689,7 +711,7 @@ mod tests {
 
     #[test]
     fn load_server_block_roundtrips_and_validates() {
-        use crate::load::{LoadLevel, LoadReport, ServerScrape, StageStat};
+        use crate::load::{LoadLevel, LoadReport, SaturationReport, ServerScrape, StageStat};
         let mut r = tiny_report();
         r.load = Some(LoadReport {
             arrival: "poisson".into(),
@@ -715,6 +737,14 @@ mod tests {
                     sum_ns: 12345,
                 }],
             }),
+            saturation: Some(SaturationReport {
+                latency_budget_ms: 10.0,
+                knee_detected: true,
+                knee_qps: 100.0,
+                knee_p99_ms: 12.5,
+                dominant_wait: "queue_wait".into(),
+                in_flight_utilization: 1.0,
+            }),
         });
         let text = r.to_json().to_pretty_string(2);
         validate_bench_json(&text).unwrap();
@@ -729,6 +759,17 @@ mod tests {
         let broken = text.replace("\"monotone\": true", "\"monotone\": 1");
         assert!(validate_bench_json(&broken).is_err());
         let broken = text.replace("\"sum_ns\"", "\"sum_mangled\"");
+        assert!(validate_bench_json(&broken).is_err());
+        // The saturation block is required and typed: a missing block,
+        // a mistyped knee verdict, and an empty wait class all fail.
+        let broken = text.replace("\"saturation\"", "\"saturation_gone\"");
+        assert!(validate_bench_json(&broken).is_err());
+        let broken = text.replace("\"knee_detected\": true", "\"knee_detected\": 1");
+        assert!(validate_bench_json(&broken).is_err());
+        let broken = text.replace(
+            "\"dominant_wait\": \"queue_wait\"",
+            "\"dominant_wait\": \"\"",
+        );
         assert!(validate_bench_json(&broken).is_err());
     }
 

@@ -30,7 +30,8 @@ pub use export::{
     out_path, validate_bench_json, BenchCell, BenchReport, IndexReport, RecallCurve, RecorderReport,
 };
 pub use load::{
-    run_load_sim, run_load_tcp, LoadConfig, LoadLevel, LoadReport, ServerScrape, StageStat,
+    analyze_saturation, run_load_sim, run_load_tcp, LoadConfig, LoadLevel, LoadReport,
+    SaturationReport, ServerScrape, StageStat, DEFAULT_LATENCY_BUDGET_MS,
 };
 pub use measure::{percentile, LatencyStats};
 pub use variants::VariantParams;

@@ -23,6 +23,12 @@
 //! Each level reports p50/p99/p999 latency, the admission counters
 //! (accepted/queued/shed/abandoned/completed), and a queue-depth
 //! series — the "latency-under-load curve" of the service writeup.
+//!
+//! Every report closes with a **saturation analysis**
+//! ([`SaturationReport`]): the knee — the lowest offered QPS whose p99
+//! exceeds the latency budget — plus the in-flight utilization and the
+//! dominant wait class at that level, so a sweep answers not just
+//! "where does it fall over" but "what it was waiting on when it did".
 
 use crate::arrival::{ArrivalProcess, SplitMix64};
 use crate::measure::percentile;
@@ -33,6 +39,11 @@ use sparta_server::protocol::{Frame, QueryRequest};
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Default p99 budget for knee detection, in milliseconds. Chosen so
+/// the default simulated sweep (2 ms mean service, 2000 qps capacity)
+/// stays inside the budget at 200 qps and blows through it at 5000.
+pub const DEFAULT_LATENCY_BUDGET_MS: f64 = 10.0;
 
 /// Parameters shared by every level of one load run.
 #[derive(Debug, Clone)]
@@ -49,6 +60,9 @@ pub struct LoadConfig {
     pub admission: AdmissionConfig,
     /// Mean simulated service time per query, nanoseconds (sim mode).
     pub service_ns: u64,
+    /// p99 budget (milliseconds) the saturation analysis detects the
+    /// knee against.
+    pub latency_budget_ms: f64,
 }
 
 impl Default for LoadConfig {
@@ -63,6 +77,7 @@ impl Default for LoadConfig {
             seed: 0x5EED_10AD,
             admission: AdmissionConfig::new(4, 16),
             service_ns: 2_000_000,
+            latency_budget_ms: DEFAULT_LATENCY_BUDGET_MS,
         }
     }
 }
@@ -150,6 +165,109 @@ impl ServerScrape {
     }
 }
 
+/// The saturation verdict of one sweep: where the latency budget was
+/// first exceeded and what the service was doing there.
+#[derive(Debug, Clone)]
+pub struct SaturationReport {
+    /// The p99 budget the knee was detected against, milliseconds.
+    pub latency_budget_ms: f64,
+    /// Whether any level's p99 exceeded the budget.
+    pub knee_detected: bool,
+    /// Lowest offered QPS whose p99 exceeded the budget; when no level
+    /// did, the highest offered QPS swept (the knee lies beyond it).
+    pub knee_qps: f64,
+    /// p99 at the knee level, milliseconds.
+    pub knee_p99_ms: f64,
+    /// Dominant wait class at the knee: the stage with the largest
+    /// scraped time total (`admission_wait` / `queue_wait` / `execute`
+    /// / `response_write`) in TCP mode, the queueing-vs-service split
+    /// in sim mode, `"unknown"` when neither source is available.
+    pub dominant_wait: String,
+    /// `in_flight_highwater / max_in_flight` at the knee level — 1.0
+    /// means the pool's concurrency budget was fully used.
+    pub in_flight_utilization: f64,
+}
+
+impl SaturationReport {
+    /// Serializes the analysis (the load block's `"saturation"` field).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("latency_budget_ms", self.latency_budget_ms)
+            .with("knee_detected", self.knee_detected)
+            .with("knee_qps", self.knee_qps)
+            .with("knee_p99_ms", self.knee_p99_ms)
+            .with("dominant_wait", self.dominant_wait.as_str())
+            .with("in_flight_utilization", self.in_flight_utilization)
+    }
+}
+
+/// p99 of a sorted nanosecond latency series, in milliseconds.
+fn p99_ms(latencies_ns: &[u64]) -> f64 {
+    let sorted: Vec<Duration> = latencies_ns
+        .iter()
+        .map(|&n| Duration::from_nanos(n))
+        .collect();
+    percentile(&sorted, 0.99).as_secs_f64() * 1e3
+}
+
+/// Detects the knee and characterizes the service there.
+///
+/// The knee is the lowest offered QPS whose p99 exceeds
+/// `budget_ms` (levels are scanned in sweep order, which the harness
+/// drives in ascending offered rate). When every level stays inside
+/// the budget, the analysis reports the last level with
+/// `knee_detected: false` — the best statement the sweep supports is
+/// "the knee lies beyond the highest rate offered".
+///
+/// Wait-class attribution prefers server-side truth: with an admin
+/// scrape, the stage whose scraped time total dominates names the
+/// class (sweep-cumulative — per-level stage deltas are not scraped).
+/// In sim mode the split is exact per level: total latency minus the
+/// completed queries' expected service time is time spent queued.
+pub fn analyze_saturation(
+    levels: &[LoadLevel],
+    max_in_flight: u64,
+    service_ns: u64,
+    budget_ms: f64,
+    server: Option<&ServerScrape>,
+) -> Option<SaturationReport> {
+    let knee = levels
+        .iter()
+        .find(|level| p99_ms(&level.latencies_ns) > budget_ms);
+    let detected = knee.is_some();
+    let level = knee.or_else(|| levels.last())?;
+    let dominant_wait = match server {
+        Some(scrape) => scrape
+            .stages
+            .iter()
+            .filter(|s| s.stage != "end_to_end")
+            .max_by_key(|s| s.sum_ns)
+            .map_or_else(|| "unknown".to_string(), |s| s.stage.clone()),
+        None if service_ns > 0 => {
+            let total: u64 = level.latencies_ns.iter().sum();
+            let exec = level.snapshot.completed * service_ns;
+            if total.saturating_sub(exec) > exec {
+                "queue_wait".to_string()
+            } else {
+                "execute".to_string()
+            }
+        }
+        None => "unknown".to_string(),
+    };
+    Some(SaturationReport {
+        latency_budget_ms: budget_ms,
+        knee_detected: detected,
+        knee_qps: level.offered_qps,
+        knee_p99_ms: p99_ms(&level.latencies_ns),
+        dominant_wait,
+        in_flight_utilization: if max_in_flight == 0 {
+            0.0
+        } else {
+            level.snapshot.in_flight_highwater as f64 / max_in_flight as f64
+        },
+    })
+}
+
 /// One full load run: every level plus the knobs that produced it.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -170,6 +288,9 @@ pub struct LoadReport {
     /// Admin-endpoint scrape results (TCP mode with an admin port;
     /// `None` in sim mode, keeping sim reports byte-identical).
     pub server: Option<ServerScrape>,
+    /// Saturation analysis over the sweep (`None` only for an empty
+    /// sweep).
+    pub saturation: Option<SaturationReport>,
 }
 
 fn latency_block(latencies_ns: &[u64]) -> Json {
@@ -229,6 +350,9 @@ impl LoadReport {
             .with("queue_capacity", self.queue_capacity);
         if let Some(server) = &self.server {
             obj = obj.with("server", server.to_json());
+        }
+        if let Some(saturation) = &self.saturation {
+            obj = obj.with("saturation", saturation.to_json());
         }
         obj.with(
             "levels",
@@ -331,12 +455,19 @@ fn run_level_sim(cfg: &LoadConfig, qps: f64, level_seed: u64) -> LoadLevel {
 
 /// Runs the full simulated sweep.
 pub fn run_load_sim(cfg: &LoadConfig) -> LoadReport {
-    let levels = cfg
+    let levels: Vec<LoadLevel> = cfg
         .qps_levels
         .iter()
         .enumerate()
         .map(|(i, &qps)| run_level_sim(cfg, qps, cfg.seed.wrapping_add(i as u64)))
         .collect();
+    let saturation = analyze_saturation(
+        &levels,
+        cfg.admission.max_in_flight as u64,
+        cfg.service_ns,
+        cfg.latency_budget_ms,
+        None,
+    );
     LoadReport {
         arrival: cfg.process(1.0).label().to_string(),
         mode: "sim".to_string(),
@@ -346,6 +477,7 @@ pub fn run_load_sim(cfg: &LoadConfig) -> LoadReport {
         queue_capacity: cfg.admission.queue_capacity as u64,
         levels,
         server: None,
+        saturation,
     }
 }
 
@@ -548,6 +680,14 @@ pub fn run_load_tcp(
             s.scrape();
         }
     }
+    let server = scraper.and_then(ScrapeState::finish);
+    let saturation = analyze_saturation(
+        &levels,
+        cfg.admission.max_in_flight as u64,
+        0,
+        cfg.latency_budget_ms,
+        server.as_ref(),
+    );
     LoadReport {
         arrival: cfg.process(1.0).label().to_string(),
         mode: "tcp".to_string(),
@@ -556,7 +696,8 @@ pub fn run_load_tcp(
         max_in_flight: cfg.admission.max_in_flight as u64,
         queue_capacity: cfg.admission.queue_capacity as u64,
         levels,
-        server: scraper.and_then(ScrapeState::finish),
+        server,
+        saturation,
     }
 }
 
@@ -605,6 +746,37 @@ mod tests {
             c.to_json().to_pretty_string(2),
             "different seed must actually change the run"
         );
+    }
+
+    #[test]
+    fn saturation_finds_knee_and_wait_class_in_default_sweep() {
+        let report = run_load_sim(&LoadConfig::default());
+        let sat = report.saturation.expect("non-empty sweep");
+        assert!(
+            sat.knee_detected,
+            "5000 qps against 2000 qps capacity must cross the {} ms p99 budget (saw {:.3} ms)",
+            sat.latency_budget_ms, sat.knee_p99_ms
+        );
+        assert!(
+            sat.knee_qps > 200.0,
+            "the underloaded level must stay inside the budget"
+        );
+        assert!(sat.knee_p99_ms > sat.latency_budget_ms);
+        assert_eq!(
+            sat.dominant_wait, "queue_wait",
+            "an overloaded sim knee is queueing, not service time"
+        );
+        assert!(sat.in_flight_utilization > 0.99, "knee saturates the pool");
+
+        // An unreachable budget pushes the knee beyond the sweep: the
+        // analysis reports the last level, undetected.
+        let cfg = LoadConfig {
+            latency_budget_ms: 1e9,
+            ..LoadConfig::default()
+        };
+        let sat = run_load_sim(&cfg).saturation.expect("non-empty sweep");
+        assert!(!sat.knee_detected);
+        assert_eq!(sat.knee_qps, 5000.0);
     }
 
     #[test]

@@ -93,13 +93,15 @@ impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
     /// flight recorder. The uncontended fast path (`try_lock` success)
     /// records nothing and reads no clock — stripe-wait events only
     /// appear when a thread actually blocked, and an uninstalled
-    /// recorder makes even the slow path a plain `lock()`.
+    /// recorder makes even the slow path a plain `lock()`. The event
+    /// payload carries the stripe index (high bits) alongside the
+    /// waited ticks so aggregate profiles can rank contended stripes.
     #[inline]
     fn lock_stripe(&self, idx: usize) -> MutexGuard<'_, FastHashMap<K, V>> {
         let stripe = &self.stripes[idx];
         match stripe.try_lock() {
             Some(guard) => guard,
-            None => recorder::timed(EventKind::StripeWait, || stripe.lock()),
+            None => recorder::timed_tagged(EventKind::StripeWait, idx as u16, || stripe.lock()),
         }
     }
 

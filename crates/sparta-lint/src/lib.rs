@@ -88,13 +88,17 @@ impl Policy {
     /// Allocation-banned hot paths: the flight recorder's record path
     /// (workers record from inside the scheduler loop; an allocation
     /// there can deadlock a diagnostic of an allocator stall and skews
-    /// the recorder's own overhead) and the compressed posting
+    /// the recorder's own overhead), the compressed posting
     /// decoder (block decode sits under every cursor advance — it
     /// must run out of fixed scratch arrays; builders escape with
-    /// `lint: allow(alloc)`).
+    /// `lint: allow(alloc)`), and the profiling plane's sample/fold
+    /// paths (the sampler runs forever beside the serving path;
+    /// construction and rendering escape with `lint: allow(alloc)`).
     pub fn bans_alloc(path: &str) -> bool {
         path == "crates/sparta-obs/src/ring.rs"
             || path == "crates/sparta-obs/src/recorder.rs"
+            || path == "crates/sparta-obs/src/history.rs"
+            || path == "crates/sparta-obs/src/profile.rs"
             || path == "crates/sparta-index/src/compressed.rs"
     }
 

@@ -432,4 +432,85 @@ mod tests {
         assert_eq!(ok.len(), 1);
         assert!(ok[0].1.is_infinite());
     }
+
+    #[test]
+    fn parser_rejects_junk_values_and_reports_the_line() {
+        // The value is everything after the *last* space, so trailing
+        // junk lands in the value and fails the float parse.
+        assert!(parse_exposition("a 1 2 3trailing\n").is_err());
+        assert!(parse_exposition("a_total 1e\n").is_err());
+        assert!(parse_exposition("a_total 0x10\n").is_err());
+        // Errors carry the 1-based line number of the offender.
+        let err = parse_exposition("ok_total 1\nbroken_total x\n").unwrap_err();
+        assert!(err.contains("line 2"), "error should name line 2: {err}");
+        // -Inf is a legal value, matching the renderer's gauges.
+        let ok = parse_exposition("g -Inf\n").unwrap();
+        assert_eq!(ok[0].1, f64::NEG_INFINITY);
+        // NaN parses (a gauge can legitimately render it).
+        let ok = parse_exposition("g NaN\n").unwrap();
+        assert!(ok[0].1.is_nan());
+    }
+
+    #[test]
+    fn sample_lookup_is_exact_on_name_and_label_set() {
+        let samples = parse_exposition("reqs_total{algo=\"sparta\"} 7\nplain_total 3\n").unwrap();
+        // A lookup missing the label set must not match the labelled
+        // series, and a lookup inventing labels must not match the
+        // bare one — the series string is the whole key.
+        assert_eq!(sample_value(&samples, "reqs_total"), None);
+        assert_eq!(
+            sample_value(&samples, "reqs_total{algo=\"sparta\"}"),
+            Some(7.0)
+        );
+        assert_eq!(sample_value(&samples, "reqs_total{algo=\"pbmw\"}"), None);
+        assert_eq!(sample_value(&samples, "plain_total{algo=\"sparta\"}"), None);
+        assert_eq!(sample_value(&samples, "plain_total"), Some(3.0));
+        assert_eq!(sample_value(&samples, "absent_total"), None);
+    }
+
+    #[test]
+    fn duplicate_series_are_preserved_and_lookup_takes_the_first() {
+        // A scrape that concatenates two registries can repeat a metric
+        // name; the parser must not silently drop or merge samples, and
+        // the lookup contract is first-match (exposition order).
+        let samples = parse_exposition("dup_total 1\ndup_total 2\n").unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(sample_value(&samples, "dup_total"), Some(1.0));
+    }
+
+    #[test]
+    fn scraped_histogram_buckets_are_ordered_and_close_at_inf() {
+        let h = Histogram::new();
+        for v in [1u64, 5, 9, 1_000, 100_000] {
+            h.record(v);
+        }
+        let mut doc = PrometheusText::new();
+        doc.histogram(
+            "scrape_lat",
+            "Latency.",
+            &[("stage", "execute")],
+            &h.snapshot(),
+        );
+        let samples = parse_exposition(&doc.finish()).unwrap();
+        let buckets: Vec<&(String, f64)> = samples
+            .iter()
+            .filter(|(s, _)| s.starts_with("scrape_lat_bucket{"))
+            .collect();
+        assert!(buckets.len() >= 2, "multiple buckets expected");
+        assert!(
+            buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+            "cumulative buckets must be non-decreasing in exposition order"
+        );
+        let last = buckets.last().unwrap();
+        assert!(
+            last.0.contains("le=\"+Inf\""),
+            "the bucket series must close with +Inf, got {}",
+            last.0
+        );
+        assert_eq!(
+            Some(last.1),
+            sample_value(&samples, "scrape_lat_count{stage=\"execute\"}"),
+            "the +Inf bucket equals the sample count"
+        );
+    }
 }

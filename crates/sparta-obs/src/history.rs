@@ -1,0 +1,408 @@
+//! Bounded metrics-history ring: periodic snapshots of the server's
+//! registries with exact overwrite accounting.
+//!
+//! A scrape shows *now*; saturation questions ("when did the queue
+//! start backing up?") need *recently*. [`MetricsHistory`] is a
+//! fixed-capacity ring of [`HistorySample`]s — each one a
+//! [`ServerSnapshot`] + [`StageSnapshot`] + optional [`ExecSnapshot`]
+//! stamped with a tick from an injected [`ObsClock`] — overwriting
+//! oldest-first once full. Like the flight-recorder ring, overwrites
+//! are accounted, never silent: `head` counts samples ever taken, so
+//! [`MetricsHistory::overwritten`] is exact.
+//!
+//! [`start_sampler`] runs the ring from a background thread on a fixed
+//! interval; tests (and deterministic harnesses) instead call
+//! [`MetricsHistory::sample`] directly with a logical clock. The
+//! sample path allocates nothing: the slot buffer is reserved at
+//! construction and snapshots are inline value types (histogram
+//! buckets are fixed arrays), enforced by the allocation-ban lint rule
+//! on this file.
+
+use crate::clock::ObsClock;
+use crate::json::Json;
+use crate::registry::ExecSnapshot;
+use crate::server::{ServerSnapshot, StageSnapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Schema version stamped into history JSON documents.
+pub const HISTORY_SCHEMA_VERSION: u64 = 1;
+
+/// One point-in-time snapshot of the serving stack's registries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistorySample {
+    /// This sample's position in the ever-growing sequence (0-based).
+    pub seq: u64,
+    /// Clock reading at sample time (ns under a wall clock, step count
+    /// under a logical one).
+    pub tick: u64,
+    /// Admission counters at sample time.
+    pub server: ServerSnapshot,
+    /// Stage-latency histograms at sample time.
+    pub stages: StageSnapshot,
+    /// Worker-pool aggregate, when the scheduler exposes one.
+    pub exec: Option<ExecSnapshot>,
+}
+
+struct HistoryInner {
+    slots: Vec<HistorySample>,
+    head: u64,
+}
+
+/// A fixed-capacity ring of [`HistorySample`]s. See the module docs.
+pub struct MetricsHistory {
+    capacity: usize,
+    inner: Mutex<HistoryInner>,
+}
+
+impl std::fmt::Debug for MetricsHistory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHistory")
+            .field("capacity", &self.capacity)
+            .field("head", &self.head())
+            .finish()
+    }
+}
+
+impl MetricsHistory {
+    /// Builds a ring holding the last `capacity` samples (minimum 1).
+    /// This is the ring's only allocation — the sample path writes into
+    /// pre-reserved slots.
+    pub fn new(capacity: usize) -> Arc<MetricsHistory> {
+        let cap = capacity.max(1);
+        // lint: allow(alloc): one-time slot reservation; `sample` only
+        // pushes within this capacity or overwrites in place.
+        let slots = Vec::with_capacity(cap);
+        // lint: allow(alloc): one-time construction of the ring itself.
+        Arc::new(MetricsHistory {
+            capacity: cap,
+            inner: Mutex::new(HistoryInner { slots, head: 0 }),
+        })
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends one sample, overwriting the oldest once full.
+    /// Allocation-free: within-capacity pushes use the reserved buffer
+    /// and overwrites assign in place.
+    pub fn sample(
+        &self,
+        tick: u64,
+        server: ServerSnapshot,
+        stages: StageSnapshot,
+        exec: Option<ExecSnapshot>,
+    ) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let seq = inner.head;
+        let s = HistorySample {
+            seq,
+            tick,
+            server,
+            stages,
+            exec,
+        };
+        if inner.slots.len() < self.capacity {
+            inner.slots.push(s);
+        } else {
+            let idx = (seq % self.capacity as u64) as usize;
+            inner.slots[idx] = s;
+        }
+        inner.head = seq + 1;
+    }
+
+    /// Samples ever taken (monotone; not bounded by capacity).
+    pub fn head(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .head
+    }
+
+    /// Samples currently resident.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .slots
+            .len()
+    }
+
+    /// Whether nothing has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many samples were overwritten (lost off the tail) — exact,
+    /// derived from the monotone head counter.
+    pub fn overwritten(&self) -> u64 {
+        self.head().saturating_sub(self.capacity as u64)
+    }
+
+    /// The resident samples, oldest first.
+    pub fn samples(&self) -> Vec<HistorySample> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // lint: allow(alloc): read-side copy for consumers; the sample
+        // path above never runs this.
+        let mut out = Vec::with_capacity(inner.slots.len());
+        if inner.slots.len() < self.capacity {
+            out.extend(inner.slots.iter().cloned());
+        } else {
+            let split = (inner.head % self.capacity as u64) as usize;
+            out.extend(inner.slots[split..].iter().cloned());
+            out.extend(inner.slots[..split].iter().cloned());
+        }
+        out
+    }
+
+    /// Serializes the resident history (oldest first) with overwrite
+    /// accounting — the `/debug/history` document.
+    pub fn to_json(&self) -> Json {
+        let samples = self.samples();
+        // lint: allow(alloc): rendering, not the sample path.
+        let rows: Vec<Json> = samples.iter().map(sample_json).collect();
+        Json::obj()
+            .with("schema_version", HISTORY_SCHEMA_VERSION)
+            .with("capacity", self.capacity as u64)
+            .with("samples_taken", self.head())
+            .with("overwritten", self.overwritten())
+            .with("samples", Json::Arr(rows))
+    }
+}
+
+fn sample_json(s: &HistorySample) -> Json {
+    let stages: Vec<Json> = s
+        .stages
+        .stages()
+        .iter()
+        .map(|(name, h)| {
+            Json::obj()
+                .with("stage", *name)
+                .with("count", h.count)
+                .with("sum_ns", h.sum)
+        })
+        .collect(); // lint: allow(alloc): rendering, not the sample path.
+    let mut row = Json::obj()
+        .with("seq", s.seq)
+        .with("tick", s.tick)
+        .with(
+            "server",
+            Json::obj()
+                .with("attempts", s.server.attempts())
+                .with("accepted", s.server.accepted)
+                .with("queued", s.server.queued)
+                .with("shed", s.server.shed)
+                .with("abandoned", s.server.abandoned)
+                .with("completed", s.server.completed)
+                .with("queue_depth_highwater", s.server.queue_depth_highwater)
+                .with("in_flight_highwater", s.server.in_flight_highwater),
+        )
+        .with("stages", Json::Arr(stages))
+        .with(
+            "end_to_end",
+            Json::obj()
+                .with("count", s.stages.end_to_end.count)
+                .with("sum_ns", s.stages.end_to_end.sum),
+        );
+    if let Some(e) = &s.exec {
+        row = row.with(
+            "exec",
+            Json::obj()
+                .with("workers", e.workers)
+                .with("jobs_run", e.jobs_run)
+                .with("busy_ns", e.busy_ns)
+                .with("idle_ns", e.idle_ns)
+                .with("idle_ratio", e.idle_ratio())
+                .with("queue_depth_highwater", e.queue_depth_highwater),
+        );
+    }
+    row
+}
+
+/// Stops (and joins) the sampler thread when dropped or via
+/// [`SamplerHandle::stop`].
+#[derive(Debug)]
+pub struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SamplerHandle {
+    /// Signals the thread and joins it. Idempotent via `Option`.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        // ordering: plain stop flag, Relaxed store (model: server_lifecycle)
+        // — the only obligation is eventual visibility to the polling
+        // thread, and the join below is the final synchronization
+        // point, exactly the stop-flag pattern of the accept loops.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SamplerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns a thread that samples `history` every `interval`: each round
+/// it reads `source` for the current snapshots and stamps them with
+/// `clock`. Pacing uses `thread::sleep` (the sampler is observability,
+/// not algorithm code); timestamps come from the injected clock so a
+/// logical-clock history is replayable.
+pub fn start_sampler<F>(
+    history: Arc<MetricsHistory>,
+    clock: Arc<ObsClock>,
+    interval: Duration,
+    source: F,
+) -> SamplerHandle
+where
+    F: Fn() -> (ServerSnapshot, StageSnapshot, Option<ExecSnapshot>) + Send + 'static,
+{
+    // lint: allow(alloc): one-time construction of the stop flag.
+    let stop = Arc::new(AtomicBool::new(false));
+    // lint: allow(alloc): one-time clone at construction.
+    let flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("sparta-metrics-sampler".into()) // lint: allow(alloc): one-time thread name.
+        .spawn(move || {
+            // ordering: stop-flag poll, Relaxed (model: server_lifecycle)
+            // — see the matching store in SamplerHandle::shutdown.
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                // ordering: re-check, Relaxed (model: server_lifecycle) —
+                // a stop during the sleep skips the final sample.
+                if flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                let (server, stages, exec) = source();
+                history.sample(clock.tick(), server, stages, exec);
+            }
+        })
+        .expect("spawn metrics sampler");
+    SamplerHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockMode;
+    use crate::metrics::HistogramSnapshot;
+
+    fn sample_n(h: &MetricsHistory, n: u64) {
+        for i in 0..n {
+            let server = ServerSnapshot {
+                accepted: i,
+                completed: i,
+                ..ServerSnapshot::default()
+            };
+            h.sample(i * 10, server, StageSnapshot::default(), None);
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest_with_exact_accounting() {
+        let h = MetricsHistory::new(4);
+        sample_n(&h, 3);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.overwritten(), 0);
+        sample_n_more(&h, 3, 4);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.head(), 7);
+        assert_eq!(h.overwritten(), 3, "exactly head - capacity lost");
+        let got = h.samples();
+        let seqs: Vec<u64> = got.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, [3, 4, 5, 6], "oldest-first, newest retained");
+    }
+
+    fn sample_n_more(h: &MetricsHistory, start: u64, n: u64) {
+        for i in start..start + n {
+            h.sample(
+                i * 10,
+                ServerSnapshot::default(),
+                StageSnapshot::default(),
+                None,
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_minimum_is_one() {
+        let h = MetricsHistory::new(0);
+        assert_eq!(h.capacity(), 1);
+        sample_n(&h, 3);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.samples()[0].seq, 2);
+    }
+
+    #[test]
+    fn json_document_carries_accounting_and_rows() {
+        let h = MetricsHistory::new(2);
+        let stages = StageSnapshot {
+            execute: HistogramSnapshot {
+                count: 5,
+                sum: 500,
+                ..HistogramSnapshot::default()
+            },
+            ..StageSnapshot::default()
+        };
+        h.sample(7, ServerSnapshot::default(), stages, None);
+        let exec = ExecSnapshot {
+            workers: 2,
+            busy_ns: 80,
+            idle_ns: 20,
+            ..ExecSnapshot::default()
+        };
+        h.sample(
+            9,
+            ServerSnapshot::default(),
+            StageSnapshot::default(),
+            Some(exec),
+        );
+        let doc = h.to_json();
+        assert_eq!(doc.get("capacity").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("samples_taken").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("overwritten").and_then(Json::as_f64), Some(0.0));
+        let rows = doc.get("samples").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        let stages0 = rows[0].get("stages").and_then(Json::as_arr).unwrap();
+        assert_eq!(stages0.len(), 4);
+        assert!(rows[0].get("exec").is_none());
+        let e1 = rows[1].get("exec").expect("exec block present");
+        assert_eq!(e1.get("idle_ratio").and_then(Json::as_f64), Some(0.2));
+    }
+
+    #[test]
+    fn sampler_thread_samples_and_stops_cleanly() {
+        let h = MetricsHistory::new(8);
+        let clock = Arc::new(ObsClock::new(ClockMode::Logical));
+        let handle = start_sampler(Arc::clone(&h), clock, Duration::from_millis(1), || {
+            (ServerSnapshot::default(), StageSnapshot::default(), None)
+        });
+        // Wait until at least two samples landed (bounded).
+        for _ in 0..500 {
+            if h.head() >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(h.head() >= 2, "sampler must make progress");
+        handle.stop();
+        let after = h.head();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(h.head(), after, "no samples after stop+join");
+    }
+}

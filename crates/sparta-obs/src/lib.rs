@@ -38,8 +38,10 @@
 
 pub mod clock;
 pub mod export;
+pub mod history;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod registry;
 pub mod ring;
@@ -52,10 +54,15 @@ pub use export::{
     exec_snapshot_text, parse_exposition, sample_value, server_snapshot_text, stage_snapshot_text,
     PrometheusText,
 };
+pub use history::{start_sampler, HistorySample, MetricsHistory, SamplerHandle};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MaxGauge};
+pub use profile::{
+    profile_recorder, validate_profile_json, ContentionSite, PhaseProfile, Profile,
+    WorkerUtilization, DEFAULT_TOP_SITES, PROFILE_SCHEMA_VERSION,
+};
 pub use recorder::{FlightRecorder, RecorderGuard};
 pub use registry::{ExecMetrics, ExecSnapshot, WorkerMetrics};
-pub use ring::{Event, EventKind, EventRing};
+pub use ring::{pack_wait, unpack_wait, Event, EventKind, EventRing};
 pub use server::{ServerMetrics, ServerSnapshot, StageLatency, StageSnapshot};
 pub use span::{phase_totals, Phase, PhaseTotal, QueryTrace, SpanEvent, SpanGuard};
 pub use trace_export::{

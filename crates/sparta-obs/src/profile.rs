@@ -1,0 +1,722 @@
+//! Deterministic aggregate profiles folded from flight-recorder rings.
+//!
+//! The flight recorder answers "what happened, in order"; this module
+//! answers "where did the time go". [`profile_recorder`] folds every
+//! ring's resident events into one [`Profile`]:
+//!
+//! - a per-worker **utilization breakdown** — busy (job slices), parked
+//!   (`Park`/`Unpark`), queue-wait (job end → next job start) and
+//!   lock-wait (`StripeWait`) ticks, each as a fraction of that
+//!   worker's observed window;
+//! - a **contention-site table** — `StripeWait` payloads carry the
+//!   stripe index ([`pack_wait`](crate::ring::pack_wait)) and the fold
+//!   attributes each wait to the innermost phase span open at the time,
+//!   yielding count / total / max per `(stripe, phase)` site;
+//! - a **per-phase self-time table** from `SpanBegin`/`SpanEnd`
+//!   nesting — inclusive totals plus self time (a parent's ticks minus
+//!   its children's);
+//! - a **flamegraph-collapsed rendering** ([`Profile::to_collapsed`]):
+//!   one `worker;phase;subphase ticks` line per observed span stack,
+//!   pipeable into `flamegraph.pl`.
+//!
+//! The fold is a pure function of the event streams: under
+//! [`ClockMode::Logical`] every tick is an exact integer and both the
+//! JSON and the collapsed text render byte-identical across replays of
+//! the same deterministic schedule — CI pins that with a twice-emitted
+//! `cmp` golden. This file is under the allocation-ban lint rule: the
+//! per-event fold path allocates nothing beyond the annotated
+//! construction and rendering sites.
+
+use crate::clock::ClockMode;
+use crate::json::Json;
+use crate::recorder::FlightRecorder;
+use crate::ring::{unpack_wait, Event, EventKind};
+use crate::span::Phase;
+use std::fmt::Write as _;
+
+/// Schema version stamped into profile JSON documents.
+pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+
+/// Default cap on contention-site table rows (highest total first).
+pub const DEFAULT_TOP_SITES: usize = 16;
+
+/// Span stacks deeper than this many frames stop extending the
+/// collapsed path key (deeper self time folds into the capped frame).
+const MAX_STACK_KEY_DEPTH: usize = 15;
+
+/// One worker's utilization breakdown over its observed window.
+///
+/// The classes are not disjoint: `lock_wait_ticks` happen inside job
+/// slices (a stripe wait blocks mid-job), so busy + parked +
+/// queue_wait ≤ window while lock_wait ⊆ busy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerUtilization {
+    /// The recording worker's id.
+    pub worker: u32,
+    /// Events this worker's ring contributed to the fold.
+    pub events: u64,
+    /// Ticks spanned by this worker's events (last − first).
+    pub window_ticks: u64,
+    /// Ticks inside `JobStart`/`JobEnd` slices.
+    pub busy_ticks: u64,
+    /// Ticks inside `Park`/`Unpark` slices.
+    pub parked_ticks: u64,
+    /// Ticks between finishing a job (or unparking) and starting the
+    /// next job — time the worker wanted work but had none running.
+    pub queue_wait_ticks: u64,
+    /// Ticks spent blocked on contended stripe locks (within jobs).
+    pub lock_wait_ticks: u64,
+}
+
+fn fraction(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+impl WorkerUtilization {
+    /// `busy_ticks` as a fraction of the window (0 on an empty window).
+    pub fn busy_fraction(&self) -> f64 {
+        fraction(self.busy_ticks, self.window_ticks)
+    }
+
+    /// `parked_ticks` as a fraction of the window.
+    pub fn parked_fraction(&self) -> f64 {
+        fraction(self.parked_ticks, self.window_ticks)
+    }
+
+    /// `queue_wait_ticks` as a fraction of the window.
+    pub fn queue_wait_fraction(&self) -> f64 {
+        fraction(self.queue_wait_ticks, self.window_ticks)
+    }
+
+    /// `lock_wait_ticks` as a fraction of the window.
+    pub fn lock_wait_fraction(&self) -> f64 {
+        fraction(self.lock_wait_ticks, self.window_ticks)
+    }
+}
+
+/// One contended site: a stripe index plus the innermost phase span
+/// open on the waiting worker when the wait was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentionSite {
+    /// Stripe index from the packed `StripeWait` payload.
+    pub stripe: u16,
+    /// Phase attribution (`None` when no span was open).
+    pub phase: Option<Phase>,
+    /// Waits recorded at this site.
+    pub count: u64,
+    /// Total ticks waited.
+    pub total_ticks: u64,
+    /// Longest single wait.
+    pub max_ticks: u64,
+}
+
+/// Aggregate time for one phase across all workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// The phase.
+    pub phase: Phase,
+    /// Spans of this phase that closed inside the window.
+    pub count: u64,
+    /// Inclusive ticks (children counted in their parents).
+    pub total_ticks: u64,
+    /// Exclusive ticks: inclusive minus time spent in nested spans.
+    pub self_ticks: u64,
+}
+
+/// One observed span stack and its accumulated self ticks — the unit
+/// of the collapsed flamegraph rendering. The key packs the stack's
+/// phase indices (+1) into 4-bit nibbles, bottom frame most
+/// significant, so `(worker, key)` orders deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StackSlot {
+    worker: u32,
+    key: u64,
+    ticks: u64,
+}
+
+/// A folded profile; build one with [`profile_recorder`].
+#[derive(Debug)]
+pub struct Profile {
+    /// The recorder clock's mode (timestamp unit: ns or steps).
+    pub clock: ClockMode,
+    /// Per-worker utilization, workers ascending (quiet rings omitted).
+    pub workers: Vec<WorkerUtilization>,
+    /// Contention sites, highest total first, capped at the `top_sites`
+    /// argument of [`profile_recorder`].
+    pub sites: Vec<ContentionSite>,
+    /// Per-phase self-time table in [`Phase::ALL`] order (phases with
+    /// no closed spans omitted).
+    pub phases: Vec<PhaseProfile>,
+    /// Events folded (resident at read time, across all rings).
+    pub events_folded: u64,
+    /// Recorder-lifetime events overwritten off ring tails.
+    pub dropped_events: u64,
+    /// Torn reads skipped while collecting this profile's events.
+    pub skipped_reads: u64,
+    stacks: Vec<StackSlot>,
+}
+
+/// Per-worker fold state: the same pairing state machine the Chrome
+/// trace exporter uses, accumulating into tables instead of slices.
+struct WorkerFold {
+    job_start: Vec<(u64, u64)>,
+    park_start: Option<u64>,
+    span_stack: Vec<(u8, u64, u64)>, // (phase index, open tick, child ticks)
+    idle_since: Option<u64>,
+    last_mark: u64, // tick of the last span-stack transition
+    util: WorkerUtilization,
+}
+
+impl WorkerFold {
+    fn new(worker: u32) -> WorkerFold {
+        WorkerFold {
+            // lint: allow(alloc): per-fold construction; the per-event
+            // arms below only push into these stacks.
+            job_start: Vec::with_capacity(4),
+            park_start: None,
+            // lint: allow(alloc): per-fold construction (see above).
+            span_stack: Vec::with_capacity(8),
+            idle_since: None,
+            last_mark: 0,
+            util: WorkerUtilization {
+                worker,
+                ..WorkerUtilization::default()
+            },
+        }
+    }
+
+    /// The current span stack packed into a collapsed-path key
+    /// (bottom frame in the most significant nibble).
+    fn stack_key(&self) -> u64 {
+        let mut key = 0u64;
+        for &(phase, _, _) in self.span_stack.iter().take(MAX_STACK_KEY_DEPTH) {
+            key = (key << 4) | u64::from(phase + 1);
+        }
+        key
+    }
+
+    /// Attributes the ticks since the last stack transition to the
+    /// current stack path (flamegraph self time), then re-marks.
+    fn attribute_self(&mut self, now: u64, stacks: &mut Vec<StackSlot>) {
+        if !self.span_stack.is_empty() {
+            let ticks = now.saturating_sub(self.last_mark);
+            if ticks > 0 {
+                bump_stack(stacks, self.util.worker, self.stack_key(), ticks);
+            }
+        }
+        self.last_mark = now;
+    }
+
+    fn fold(
+        &mut self,
+        e: &Event,
+        stacks: &mut Vec<StackSlot>,
+        sites: &mut Vec<ContentionSite>,
+        phases: &mut [(u64, u64, u64)],
+    ) {
+        match e.kind {
+            EventKind::JobStart => {
+                if let Some(prev) = self.idle_since.take() {
+                    self.util.queue_wait_ticks += e.ts.saturating_sub(prev);
+                }
+                self.job_start.push((e.ts, e.payload));
+            }
+            EventKind::JobEnd => {
+                if let Some((start, _)) = self.job_start.pop() {
+                    self.util.busy_ticks += e.ts.saturating_sub(start);
+                }
+                self.idle_since = Some(e.ts);
+            }
+            EventKind::Park => self.park_start = Some(e.ts),
+            EventKind::Unpark => {
+                if let Some(start) = self.park_start.take() {
+                    self.util.parked_ticks += e.ts.saturating_sub(start);
+                }
+                self.idle_since = Some(e.ts);
+            }
+            EventKind::StripeWait => {
+                let (stripe, waited) = unpack_wait(e.payload);
+                self.util.lock_wait_ticks += waited;
+                let phase = self
+                    .span_stack
+                    .last()
+                    .and_then(|&(p, _, _)| Phase::from_index(p));
+                bump_site(sites, stripe, phase, waited);
+            }
+            EventKind::SpanBegin => {
+                self.attribute_self(e.ts, stacks);
+                self.span_stack.push(((e.payload & 0xff) as u8, e.ts, 0));
+            }
+            EventKind::SpanEnd => {
+                self.attribute_self(e.ts, stacks);
+                let want = (e.payload & 0xff) as u8;
+                if let Some(pos) = self.span_stack.iter().rposition(|&(p, _, _)| p == want) {
+                    let (_, start, child_ticks) = self.span_stack.remove(pos);
+                    let inclusive = e.ts.saturating_sub(start);
+                    if let Some(p) = phases.get_mut(usize::from(want)) {
+                        p.0 += 1; // spans closed
+                        p.1 += inclusive; // inclusive total
+                        p.2 += inclusive.saturating_sub(child_ticks); // self
+                    }
+                    // The closed span is its parent's child time.
+                    if let Some(last) = self.span_stack.last_mut() {
+                        last.2 += inclusive;
+                    }
+                }
+            }
+            EventKind::QueuePush
+            | EventKind::QueuePop
+            | EventKind::Requeue
+            | EventKind::ScoreMark => {}
+        }
+    }
+}
+
+fn bump_stack(stacks: &mut Vec<StackSlot>, worker: u32, key: u64, ticks: u64) {
+    if let Some(s) = stacks
+        .iter_mut()
+        .find(|s| s.worker == worker && s.key == key)
+    {
+        s.ticks += ticks;
+        return;
+    }
+    stacks.push(StackSlot { worker, key, ticks });
+}
+
+fn bump_site(sites: &mut Vec<ContentionSite>, stripe: u16, phase: Option<Phase>, ticks: u64) {
+    if let Some(s) = sites
+        .iter_mut()
+        .find(|s| s.stripe == stripe && s.phase == phase)
+    {
+        s.count += 1;
+        s.total_ticks += ticks;
+        s.max_ticks = s.max_ticks.max(ticks);
+        return;
+    }
+    sites.push(ContentionSite {
+        stripe,
+        phase,
+        count: 1,
+        total_ticks: ticks,
+        max_ticks: ticks,
+    });
+}
+
+/// Folds everything currently resident in `rec`'s rings into a
+/// [`Profile`], keeping at most `top_sites` contention-table rows.
+/// Deterministic: workers ascending, ring order within a worker; under
+/// a logical clock the result renders byte-identically across replays.
+pub fn profile_recorder(rec: &FlightRecorder, top_sites: usize) -> Profile {
+    // lint: allow(alloc): fold-wide accumulators, built once per call.
+    let mut workers: Vec<WorkerUtilization> = Vec::with_capacity(rec.worker_count());
+    // lint: allow(alloc): fold-wide accumulators (see above).
+    let mut sites: Vec<ContentionSite> = Vec::new();
+    // lint: allow(alloc): fold-wide accumulators (see above).
+    let mut stacks: Vec<StackSlot> = Vec::new();
+    let mut phase_acc = [(0u64, 0u64, 0u64); Phase::ALL.len()]; // (count, inclusive, self)
+    let mut events_folded = 0u64;
+    let mut skipped_reads = 0u64;
+    for w in 0..rec.worker_count() {
+        let ring = rec.ring(w);
+        // lint: allow(alloc): one event buffer per ring per fold call.
+        let mut events: Vec<Event> = Vec::with_capacity(ring.len());
+        skipped_reads += ring.for_each(|e| events.push(e));
+        if events.is_empty() {
+            continue;
+        }
+        events_folded += events.len() as u64;
+        let first_ts = events.first().map(|e| e.ts).unwrap_or(0);
+        let last_ts = events.last().map(|e| e.ts).unwrap_or(first_ts);
+        let mut fold = WorkerFold::new(ring.worker());
+        fold.last_mark = first_ts;
+        for e in &events {
+            fold.fold(e, &mut stacks, &mut sites, &mut phase_acc);
+        }
+        fold.util.events = events.len() as u64;
+        fold.util.window_ticks = last_ts.saturating_sub(first_ts);
+        workers.push(fold.util);
+    }
+    // lint: allow(alloc): result-table construction, once per fold.
+    let mut phases: Vec<PhaseProfile> = Vec::new();
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        let (count, total_ticks, self_ticks) = phase_acc[i];
+        if count == 0 {
+            continue;
+        }
+        phases.push(PhaseProfile {
+            phase: *phase,
+            count,
+            total_ticks,
+            self_ticks,
+        });
+    }
+    // Contention table: highest total first; stripe then phase index
+    // break ties so equal-weight sites order deterministically.
+    sites.sort_by(|a, b| {
+        b.total_ticks
+            .cmp(&a.total_ticks)
+            .then(a.stripe.cmp(&b.stripe))
+            .then(phase_rank(a.phase).cmp(&phase_rank(b.phase)))
+    });
+    sites.truncate(top_sites);
+    stacks.sort_by(|a, b| a.worker.cmp(&b.worker).then(a.key.cmp(&b.key)));
+    Profile {
+        clock: rec.mode(),
+        workers,
+        sites,
+        phases,
+        events_folded,
+        dropped_events: rec.dropped_events(),
+        skipped_reads,
+        stacks,
+    }
+}
+
+fn phase_rank(p: Option<Phase>) -> u8 {
+    p.map(|p| p.index()).unwrap_or(u8::MAX)
+}
+
+fn phase_label(p: Option<Phase>) -> &'static str {
+    p.map(|p| p.as_str()).unwrap_or("(no span)")
+}
+
+impl Profile {
+    /// Dominant wait class across workers: the larger of total
+    /// queue-wait and lock-wait ticks (`None` when neither occurred).
+    pub fn dominant_wait(&self) -> Option<&'static str> {
+        let queue: u64 = self.workers.iter().map(|w| w.queue_wait_ticks).sum();
+        let lock: u64 = self.workers.iter().map(|w| w.lock_wait_ticks).sum();
+        if queue == 0 && lock == 0 {
+            None
+        } else if lock > queue {
+            Some("lock_wait")
+        } else {
+            Some("queue_wait")
+        }
+    }
+
+    /// Renders the collapsed flamegraph form: one
+    /// `worker{N};phase;subphase ticks` line per observed span stack,
+    /// sorted (worker, stack) — ready for `flamegraph.pl`.
+    pub fn to_collapsed(&self) -> String {
+        // lint: allow(alloc): rendering, not the fold path.
+        let mut out = String::new();
+        for s in &self.stacks {
+            let _ = write!(out, "worker{}", s.worker);
+            // Decode nibbles top-frame-first, then emit bottom-first.
+            let mut frames = [0u8; MAX_STACK_KEY_DEPTH];
+            let mut depth = 0;
+            let mut key = s.key;
+            while key != 0 && depth < MAX_STACK_KEY_DEPTH {
+                frames[depth] = (key & 0xf) as u8 - 1;
+                key >>= 4;
+                depth += 1;
+            }
+            for d in (0..depth).rev() {
+                let name = Phase::from_index(frames[d]).map(|p| p.as_str());
+                let _ = write!(out, ";{}", name.unwrap_or("span"));
+            }
+            let _ = writeln!(out, " {}", s.ticks);
+        }
+        out
+    }
+
+    /// Serializes the profile (insertion-ordered, byte-deterministic
+    /// under a logical clock).
+    pub fn to_json(&self) -> Json {
+        let mode = match self.clock {
+            ClockMode::Wall => "wall",
+            ClockMode::Logical => "logical",
+        };
+        let workers: Vec<Json> = self
+            .workers
+            .iter()
+            .map(|w| {
+                Json::obj()
+                    .with("worker", u64::from(w.worker))
+                    .with("events", w.events)
+                    .with("window_ticks", w.window_ticks)
+                    .with("busy_ticks", w.busy_ticks)
+                    .with("busy_fraction", w.busy_fraction())
+                    .with("parked_ticks", w.parked_ticks)
+                    .with("parked_fraction", w.parked_fraction())
+                    .with("queue_wait_ticks", w.queue_wait_ticks)
+                    .with("queue_wait_fraction", w.queue_wait_fraction())
+                    .with("lock_wait_ticks", w.lock_wait_ticks)
+                    .with("lock_wait_fraction", w.lock_wait_fraction())
+            })
+            .collect(); // lint: allow(alloc): rendering, not the fold path.
+        let sites: Vec<Json> = self
+            .sites
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .with("stripe", u64::from(s.stripe))
+                    .with("phase", phase_label(s.phase))
+                    .with("count", s.count)
+                    .with("total_ticks", s.total_ticks)
+                    .with("max_ticks", s.max_ticks)
+            })
+            .collect(); // lint: allow(alloc): rendering, not the fold path.
+        let phases: Vec<Json> = self
+            .phases
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .with("phase", p.phase.as_str())
+                    .with("count", p.count)
+                    .with("total_ticks", p.total_ticks)
+                    .with("self_ticks", p.self_ticks)
+            })
+            .collect(); // lint: allow(alloc): rendering, not the fold path.
+        let collapsed: Vec<Json> = self.to_collapsed().lines().map(Json::from).collect(); // lint: allow(alloc): rendering, not the fold path.
+        Json::obj()
+            .with("schema_version", PROFILE_SCHEMA_VERSION)
+            .with("clock", mode)
+            .with("events_folded", self.events_folded)
+            .with("dropped_events", self.dropped_events)
+            .with("skipped_reads", self.skipped_reads)
+            .with("dominant_wait", self.dominant_wait().unwrap_or("none"))
+            .with("workers", Json::Arr(workers))
+            .with("contention", Json::Arr(sites))
+            .with("phases", Json::Arr(phases))
+            .with("collapsed", Json::Arr(collapsed))
+    }
+}
+
+/// Validates a profile document produced by [`Profile::to_json`]:
+/// parses the JSON and checks the envelope and every table row.
+pub fn validate_profile_json(text: &str) -> Result<(), String> {
+    let doc = crate::json::parse(text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing schema_version")?;
+    if version != PROFILE_SCHEMA_VERSION as f64 {
+        // lint: allow(alloc): validation error path, not the fold path.
+        return Err(format!(
+            "schema_version {version} != {PROFILE_SCHEMA_VERSION}"
+        ));
+    }
+    match doc.get("clock").and_then(Json::as_str) {
+        Some("wall") | Some("logical") => {}
+        // lint: allow(alloc): validation error path, not the fold path.
+        other => return Err(format!("clock must be wall|logical, got {other:?}")),
+    }
+    for key in ["events_folded", "dropped_events", "skipped_reads"] {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            // lint: allow(alloc): validation error path, not the fold path.
+            .ok_or_else(|| format!("envelope: missing numeric `{key}`"))?;
+    }
+    doc.get("dominant_wait")
+        .and_then(Json::as_str)
+        .ok_or("envelope: missing `dominant_wait`")?;
+    let workers = doc
+        .get("workers")
+        .and_then(Json::as_arr)
+        .ok_or("missing workers array")?;
+    for (i, w) in workers.iter().enumerate() {
+        for key in [
+            "worker",
+            "events",
+            "window_ticks",
+            "busy_ticks",
+            "busy_fraction",
+            "parked_ticks",
+            "parked_fraction",
+            "queue_wait_ticks",
+            "queue_wait_fraction",
+            "lock_wait_ticks",
+            "lock_wait_fraction",
+        ] {
+            w.get(key)
+                .and_then(Json::as_f64)
+                // lint: allow(alloc): validation error path, not the fold path.
+                .ok_or_else(|| format!("workers[{i}]: missing numeric `{key}`"))?;
+        }
+    }
+    let sites = doc
+        .get("contention")
+        .and_then(Json::as_arr)
+        .ok_or("missing contention array")?;
+    for (i, s) in sites.iter().enumerate() {
+        s.get("phase")
+            .and_then(Json::as_str)
+            // lint: allow(alloc): validation error path, not the fold path.
+            .ok_or_else(|| format!("contention[{i}]: missing `phase`"))?;
+        for key in ["stripe", "count", "total_ticks", "max_ticks"] {
+            s.get(key)
+                .and_then(Json::as_f64)
+                // lint: allow(alloc): validation error path, not the fold path.
+                .ok_or_else(|| format!("contention[{i}]: missing numeric `{key}`"))?;
+        }
+    }
+    let phases = doc
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or("missing phases array")?;
+    for (i, p) in phases.iter().enumerate() {
+        p.get("phase")
+            .and_then(Json::as_str)
+            // lint: allow(alloc): validation error path, not the fold path.
+            .ok_or_else(|| format!("phases[{i}]: missing `phase`"))?;
+        for key in ["count", "total_ticks", "self_ticks"] {
+            p.get(key)
+                .and_then(Json::as_f64)
+                // lint: allow(alloc): validation error path, not the fold path.
+                .ok_or_else(|| format!("phases[{i}]: missing numeric `{key}`"))?;
+        }
+    }
+    doc.get("collapsed")
+        .and_then(Json::as_arr)
+        .ok_or("missing collapsed array")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockMode;
+    use crate::recorder::{record, timed_tagged};
+    use crate::ring::pack_wait;
+
+    /// A scripted two-worker recording with nesting, parks, and tagged
+    /// stripe waits; logical clock so every tick is pinned.
+    fn sample_recorder() -> std::sync::Arc<FlightRecorder> {
+        let rec = FlightRecorder::new(2, 128, ClockMode::Logical);
+        {
+            let _g = rec.install(0);
+            record(EventKind::JobStart, 1); // t=0
+            record(EventKind::SpanBegin, Phase::Plan.index() as u64); // t=1
+            record(EventKind::SpanBegin, Phase::TermProcess.index() as u64); // t=2
+            record(EventKind::StripeWait, pack_wait(7, 3)); // t=3
+            record(EventKind::SpanEnd, Phase::TermProcess.index() as u64); // t=4
+            record(EventKind::SpanEnd, Phase::Plan.index() as u64); // t=5
+            record(EventKind::JobEnd, 0); // t=6
+            record(EventKind::JobStart, 1); // t=7 (queue_wait 6→7)
+            record(EventKind::JobEnd, 0); // t=8
+            record(EventKind::Park, 0); // t=9
+            record(EventKind::Unpark, 0); // t=10
+        }
+        {
+            let _g = rec.install(1);
+            record(EventKind::JobStart, 1);
+            timed_tagged(EventKind::StripeWait, 7, || {});
+            record(EventKind::JobEnd, 0);
+        }
+        rec
+    }
+
+    #[test]
+    fn utilization_breakdown_accounts_each_class() {
+        let rec = sample_recorder();
+        let p = profile_recorder(&rec, DEFAULT_TOP_SITES);
+        assert_eq!(p.workers.len(), 2);
+        let w0 = &p.workers[0];
+        assert_eq!(w0.worker, 0);
+        assert_eq!(w0.window_ticks, 10);
+        assert_eq!(w0.busy_ticks, 6 + 1, "two job slices");
+        assert_eq!(w0.queue_wait_ticks, 1, "job end t=6 → job start t=7");
+        assert_eq!(w0.parked_ticks, 1, "park t=9 → unpark t=10");
+        assert_eq!(w0.lock_wait_ticks, 3);
+        assert!((w0.busy_fraction() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_sites_attribute_stripe_and_phase() {
+        let rec = sample_recorder();
+        let p = profile_recorder(&rec, DEFAULT_TOP_SITES);
+        // Worker 0 waited inside term_process; worker 1 outside spans.
+        assert_eq!(p.sites.len(), 2);
+        let top = &p.sites[0];
+        assert_eq!(top.stripe, 7);
+        assert_eq!(top.phase, Some(Phase::TermProcess));
+        assert_eq!(top.count, 1);
+        assert_eq!(top.total_ticks, 3);
+        assert_eq!(top.max_ticks, 3);
+        assert_eq!(p.sites[1].phase, None);
+        assert_eq!(p.sites[1].stripe, 7);
+    }
+
+    #[test]
+    fn phase_self_time_subtracts_children() {
+        let rec = sample_recorder();
+        let p = profile_recorder(&rec, DEFAULT_TOP_SITES);
+        let plan = p.phases.iter().find(|p| p.phase == Phase::Plan).unwrap();
+        let term = p
+            .phases
+            .iter()
+            .find(|p| p.phase == Phase::TermProcess)
+            .unwrap();
+        // plan open t=1..5 (inclusive 4); term_process open t=2..4
+        // (inclusive 2, entirely plan's child).
+        assert_eq!(term.count, 1);
+        assert_eq!(term.total_ticks, 2);
+        assert_eq!(term.self_ticks, 2);
+        assert_eq!(plan.count, 1);
+        assert_eq!(plan.total_ticks, 4);
+        assert_eq!(plan.self_ticks, 2, "term_process's 2 ticks excluded");
+    }
+
+    #[test]
+    fn collapsed_lines_stack_worker_then_phases() {
+        let rec = sample_recorder();
+        let p = profile_recorder(&rec, DEFAULT_TOP_SITES);
+        let collapsed = p.to_collapsed();
+        assert!(collapsed.contains("worker0;plan 2\n"), "{collapsed}");
+        assert!(
+            collapsed.contains("worker0;plan;term_process 2\n"),
+            "{collapsed}"
+        );
+    }
+
+    #[test]
+    fn profiles_render_byte_identical_and_validate() {
+        let a = profile_recorder(&sample_recorder(), 8);
+        let b = profile_recorder(&sample_recorder(), 8);
+        let ja = a.to_json().to_pretty_string(2);
+        let jb = b.to_json().to_pretty_string(2);
+        assert_eq!(ja, jb);
+        assert_eq!(a.to_collapsed(), b.to_collapsed());
+        validate_profile_json(&ja).expect("own profile must validate");
+        assert!(validate_profile_json("{}").is_err());
+        assert!(validate_profile_json("not json").is_err());
+        let broken = ja.replace("\"dominant_wait\"", "\"dominant_mangled\"");
+        assert!(validate_profile_json(&broken).is_err());
+    }
+
+    #[test]
+    fn dominant_wait_picks_larger_class() {
+        let rec = sample_recorder();
+        let p = profile_recorder(&rec, DEFAULT_TOP_SITES);
+        // lock_wait 3+1 ticks vs queue_wait 1 tick.
+        assert_eq!(p.dominant_wait(), Some("lock_wait"));
+        let quiet = FlightRecorder::new(1, 8, ClockMode::Logical);
+        assert_eq!(profile_recorder(&quiet, 4).dominant_wait(), None);
+    }
+
+    #[test]
+    fn top_sites_caps_the_table() {
+        let rec = FlightRecorder::new(1, 256, ClockMode::Logical);
+        {
+            let _g = rec.install(0);
+            for stripe in 0..10u16 {
+                record(
+                    EventKind::StripeWait,
+                    pack_wait(stripe, u64::from(stripe) + 1),
+                );
+            }
+        }
+        let p = profile_recorder(&rec, 4);
+        assert_eq!(p.sites.len(), 4);
+        // Highest totals kept, descending.
+        assert_eq!(p.sites[0].stripe, 9);
+        assert_eq!(p.sites[0].total_ticks, 10);
+        assert_eq!(p.sites[3].stripe, 6);
+    }
+}

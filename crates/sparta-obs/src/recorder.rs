@@ -19,7 +19,7 @@
 //! annotated exceptions.
 
 use crate::clock::{ClockMode, ObsClock};
-use crate::ring::{EventKind, EventRing};
+use crate::ring::{pack_wait, EventKind, EventRing};
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -85,6 +85,12 @@ impl FlightRecorder {
     /// Total events overwritten (lost off ring tails) across workers.
     pub fn dropped_events(&self) -> u64 {
         self.rings.iter().map(|r| r.dropped_events()).sum()
+    }
+
+    /// Total torn reads skipped by readers across all rings' lifetimes
+    /// (the seqlock double-check failing against a concurrent writer).
+    pub fn skipped_reads(&self) -> u64 {
+        self.rings.iter().map(|r| r.skipped_reads()).sum()
     }
 
     /// Installs `worker`'s ring into this thread's slot; instrumentation
@@ -156,9 +162,28 @@ pub fn timed<R>(kind: EventKind, f: impl FnOnce() -> R) -> R {
     }
 }
 
+/// Like [`timed`], but packs a contention-site index into the payload's
+/// high bits ([`pack_wait`]) so aggregate profiles can attribute the
+/// wait to the specific site (e.g. a `StripedMap` stripe) that blocked.
+#[inline]
+pub fn timed_tagged<R>(kind: EventKind, site: u16, f: impl FnOnce() -> R) -> R {
+    let ring = CURRENT.with(|c| c.borrow().as_ref().map(Arc::clone));
+    match ring {
+        None => f(),
+        Some(ring) => {
+            let start = ring.tick();
+            let out = f();
+            let waited = ring.tick().saturating_sub(start);
+            ring.record(kind, pack_wait(site, waited));
+            out
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ring::unpack_wait;
 
     #[test]
     fn record_without_install_is_noop() {
@@ -213,6 +238,22 @@ mod tests {
     #[test]
     fn timed_without_install_runs_plain() {
         assert_eq!(timed(EventKind::StripeWait, || 7), 7);
+        assert_eq!(timed_tagged(EventKind::StripeWait, 5, || 7), 7);
+    }
+
+    #[test]
+    fn timed_tagged_packs_site_into_payload() {
+        let rec = FlightRecorder::new(1, 16, ClockMode::Logical);
+        let _g = rec.install(0);
+        let v = timed_tagged(EventKind::StripeWait, 42, || 9);
+        assert_eq!(v, 9);
+        let mut got = None;
+        rec.ring(0).for_each(|e| got = Some(e));
+        let e = got.unwrap();
+        assert_eq!(e.kind, EventKind::StripeWait);
+        let (site, waited) = unpack_wait(e.payload);
+        assert_eq!(site, 42);
+        assert_eq!(waited, 1, "two ticks bracket the closure");
     }
 
     #[test]

@@ -65,7 +65,8 @@ pub enum EventKind {
     Unpark = 5,
     /// Cyclic jobs were requeued (payload: queue depth after the batch).
     Requeue = 6,
-    /// A `StripedMap` stripe lock was contended (payload: ticks waited).
+    /// A `StripedMap` stripe lock was contended (payload: site index in
+    /// the high 16 bits, ticks waited in the low 48 — see [`pack_wait`]).
     StripeWait = 7,
     /// A query phase span opened (payload: `Phase` index).
     SpanBegin = 8,
@@ -115,6 +116,26 @@ impl EventKind {
     }
 }
 
+/// How many low bits of a `StripeWait` payload hold the waited ticks;
+/// the high 16 bits carry the contention-site (stripe) index.
+pub const WAIT_TICKS_BITS: u32 = 48;
+
+/// Packs a contention-site index and a waited interval into one
+/// `StripeWait` payload word. Waits longer than 2^48 ticks (~3 days of
+/// nanoseconds) saturate rather than corrupt the site index.
+#[inline]
+pub fn pack_wait(site: u16, ticks: u64) -> u64 {
+    let cap = (1u64 << WAIT_TICKS_BITS) - 1;
+    (u64::from(site) << WAIT_TICKS_BITS) | ticks.min(cap)
+}
+
+/// Inverse of [`pack_wait`]: `(site, ticks)`.
+#[inline]
+pub fn unpack_wait(payload: u64) -> (u16, u64) {
+    let cap = (1u64 << WAIT_TICKS_BITS) - 1;
+    ((payload >> WAIT_TICKS_BITS) as u16, payload & cap)
+}
+
 /// One decoded event, as handed to [`EventRing::for_each`] consumers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
@@ -156,6 +177,7 @@ pub struct EventRing {
     slots: Box<[Slot]>,
     mask: u64,
     head: AtomicU64,
+    skipped: AtomicU64,
 }
 
 impl std::fmt::Debug for EventRing {
@@ -184,6 +206,7 @@ impl EventRing {
             slots,
             mask: (cap - 1) as u64,
             head: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
         }
     }
 
@@ -293,7 +316,21 @@ impl EventRing {
                 _ => skipped += 1,
             }
         }
+        if skipped > 0 {
+            // ordering: pure Relaxed monotone counter — readers only (model: seqlock_ring)
+            // need eventual visibility of the torn-read total, never an
+            // ordering relation with the slots themselves.
+            self.skipped.fetch_add(skipped, Ordering::Relaxed);
+        }
         skipped
+    }
+
+    /// Cumulative count of torn reads skipped by [`EventRing::for_each`]
+    /// passes over this ring's lifetime (0 whenever every read pass ran
+    /// against a quiescent writer).
+    pub fn skipped_reads(&self) -> u64 {
+        // ordering: pure Relaxed monotone counter read (model: seqlock_ring)
+        self.skipped.load(Ordering::Relaxed)
     }
 }
 
@@ -355,6 +392,30 @@ mod tests {
             assert!(!k.as_str().is_empty());
         }
         assert_eq!(EventKind::from_u8(EventKind::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn wait_payload_packs_site_and_saturates_ticks() {
+        assert_eq!(unpack_wait(pack_wait(0, 0)), (0, 0));
+        assert_eq!(unpack_wait(pack_wait(63, 1234)), (63, 1234));
+        assert_eq!(unpack_wait(pack_wait(u16::MAX, 7)), (u16::MAX, 7));
+        let cap = (1u64 << WAIT_TICKS_BITS) - 1;
+        assert_eq!(
+            unpack_wait(pack_wait(3, u64::MAX)),
+            (3, cap),
+            "oversized waits saturate instead of corrupting the site"
+        );
+    }
+
+    #[test]
+    fn clean_reads_leave_skip_counter_at_zero() {
+        let r = ring(8);
+        for i in 0..5u64 {
+            r.record(EventKind::QueuePush, i);
+        }
+        assert_eq!(r.for_each(|_| {}), 0);
+        assert_eq!(r.for_each(|_| {}), 0);
+        assert_eq!(r.skipped_reads(), 0);
     }
 
     #[test]

@@ -115,9 +115,12 @@ fn worker_events(mode: ClockMode, tid: u32, events: &[Event], out: &mut Vec<Json
                 idle_since = Some(e.ts);
             }
             EventKind::StripeWait => {
-                let args = Json::obj().with("waited", e.payload);
-                let start = e.ts.saturating_sub(e.payload);
-                out.push(slice(mode, "lock_wait", tid, start, e.payload, args));
+                let (stripe, waited) = crate::ring::unpack_wait(e.payload);
+                let args = Json::obj()
+                    .with("waited", waited)
+                    .with("stripe", u64::from(stripe));
+                let start = e.ts.saturating_sub(waited);
+                out.push(slice(mode, "lock_wait", tid, start, waited, args));
             }
             EventKind::SpanBegin => span_start.push((e.payload, e.ts)),
             EventKind::SpanEnd => {

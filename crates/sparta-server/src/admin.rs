@@ -14,6 +14,13 @@
 //! * `GET /debug/trace` — Chrome trace-event JSON of the flight
 //!   recorder rings (open in `chrome://tracing` / Perfetto).
 //! * `GET /debug/slow` — the slow-query log as JSON.
+//! * `GET /debug/profile` — deterministic aggregate profile folded
+//!   from the flight-recorder rings (utilization breakdown, contention
+//!   sites, per-phase self time) as JSON; `?format=collapsed` returns
+//!   the flamegraph-collapsed text rendering instead.
+//! * `GET /debug/history` — the bounded metrics-history ring as JSON
+//!   (periodic `ServerSnapshot`/`StageSnapshot`/`ExecSnapshot` samples
+//!   with exact overwrite accounting).
 //!
 //! The protocol support is deliberately minimal — request line + headers
 //! are read, only `GET` and the path matter, every response closes the
@@ -31,7 +38,8 @@
 use crate::scheduler::BatchScheduler;
 use crate::server::POLL_INTERVAL;
 use sparta_obs::{
-    chrome_trace_string, exec_snapshot_text, server_snapshot_text, stage_snapshot_text,
+    chrome_trace_string, exec_snapshot_text, profile_recorder, server_snapshot_text,
+    stage_snapshot_text, MetricsHistory, DEFAULT_TOP_SITES,
 };
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -57,6 +65,9 @@ pub(crate) struct AdminState {
     /// True once the accept loops are live; cleared by drain/shutdown.
     pub(crate) ready: Arc<AtomicBool>,
     pub(crate) stop: Arc<AtomicBool>,
+    /// The metrics-history ring the background sampler feeds; `None`
+    /// when the server runs without an admin plane.
+    pub(crate) history: Option<Arc<MetricsHistory>>,
 }
 
 /// Serves one admin connection: read the request head, route, answer,
@@ -168,8 +179,11 @@ fn parse_request_line(head: &str) -> Option<(String, String)> {
     Some((method.to_string(), path.to_string()))
 }
 
-/// Routes a GET. Returns `(status, reason, content-type, body)`.
+/// Routes a GET. Returns `(status, reason, content-type, body)`. The
+/// query string (everything past the first `?`) only matters to
+/// `/debug/profile`, which accepts `format=collapsed`.
 fn route(path: &str, state: &AdminState) -> (u16, &'static str, &'static str, String) {
+    let (path, query) = path.split_once('?').map_or((path, ""), |(p, q)| (p, q));
     match path {
         "/metrics" => (200, "OK", "text/plain; version=0.0.4", metrics_body(state)),
         "/healthz" => (200, "OK", "text/plain", "ok\n".to_string()),
@@ -203,18 +217,84 @@ fn route(path: &str, state: &AdminState) -> (u16, &'static str, &'static str, St
             "application/json",
             state.scheduler.slow_log().to_json().to_pretty_string(2),
         ),
+        "/debug/profile" => match state.scheduler.recorder() {
+            Some(rec) => {
+                let profile = profile_recorder(rec, DEFAULT_TOP_SITES);
+                if query.split('&').any(|kv| kv == "format=collapsed") {
+                    (200, "OK", "text/plain", profile.to_collapsed())
+                } else {
+                    (
+                        200,
+                        "OK",
+                        "application/json",
+                        profile.to_json().to_pretty_string(2),
+                    )
+                }
+            }
+            None => (
+                404,
+                "Not Found",
+                "text/plain",
+                "no flight recorder attached\n".to_string(),
+            ),
+        },
+        "/debug/history" => match &state.history {
+            Some(history) => (
+                200,
+                "OK",
+                "application/json",
+                history.to_json().to_pretty_string(2),
+            ),
+            None => (
+                404,
+                "Not Found",
+                "text/plain",
+                "no metrics history attached\n".to_string(),
+            ),
+        },
         _ => (404, "Not Found", "text/plain", format!("no route {path}\n")),
     }
 }
 
 /// The `/metrics` exposition: admission + stage histograms, plus the
-/// executor snapshot when the pool is instrumented.
+/// executor snapshot when the pool is instrumented, the flight
+/// recorder's loss counters when one is attached, and the compressed
+/// backend's decode counters when the index reports [`IoStats`]
+/// decode activity.
+///
+/// [`IoStats`]: sparta_index::IoStats
 fn metrics_body(state: &AdminState) -> String {
+    use std::fmt::Write as _;
     let metrics = state.scheduler.admission().metrics();
     let mut out = server_snapshot_text(&metrics.snapshot());
     out.push_str(&stage_snapshot_text(&metrics.stages.snapshot()));
     if let Some(exec) = state.scheduler.exec_metrics() {
         out.push_str(&exec_snapshot_text("pool", &exec.snapshot()));
+    }
+    if let Some(rec) = state.scheduler.recorder() {
+        let _ = write!(
+            out,
+            "# HELP sparta_recorder_dropped_events_total Flight-recorder events overwritten before any reader saw them.\n\
+             # TYPE sparta_recorder_dropped_events_total counter\n\
+             sparta_recorder_dropped_events_total {}\n\
+             # HELP sparta_recorder_skipped_reads_total Ring slots skipped by readers because a seqlock torn read was detected.\n\
+             # TYPE sparta_recorder_skipped_reads_total counter\n\
+             sparta_recorder_skipped_reads_total {}\n",
+            rec.dropped_events(),
+            rec.skipped_reads(),
+        );
+    }
+    if let Some(io) = state.scheduler.index().io_stats() {
+        let (blocks_decoded, compressed_bytes) = io.decode_snapshot();
+        let _ = write!(
+            out,
+            "# HELP sparta_index_blocks_decoded_total Compressed posting blocks decoded.\n\
+             # TYPE sparta_index_blocks_decoded_total counter\n\
+             sparta_index_blocks_decoded_total {blocks_decoded}\n\
+             # HELP sparta_index_compressed_bytes_total Compressed bytes moved through the block decoder.\n\
+             # TYPE sparta_index_compressed_bytes_total counter\n\
+             sparta_index_compressed_bytes_total {compressed_bytes}\n",
+        );
     }
     out
 }

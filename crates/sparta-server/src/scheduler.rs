@@ -174,6 +174,13 @@ impl BatchScheduler {
         self.recorder.as_ref()
     }
 
+    /// The index queries run against (exposed so the admin plane can
+    /// scrape backend counters such as the compressed decoder's
+    /// [`IoStats`](sparta_index::IoStats)).
+    pub fn index(&self) -> &Arc<dyn Index> {
+        &self.index
+    }
+
     /// The pool's executor metrics, if instrumented.
     pub fn exec_metrics(&self) -> Option<&Arc<ExecMetrics>> {
         self.exec_metrics.as_ref()
